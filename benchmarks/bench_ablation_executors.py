@@ -1,0 +1,112 @@
+"""Ablations on the design choices DESIGN.md calls out.
+
+* vectorised vs streamed executor — the cost of executing Algorithm 1
+  literally (one online-softmax update per edge) versus the segment-reduction
+  form of the same work;
+* CSR vs COO explicit formats — the row-search penalty (Section V-C);
+* truly-sparse CSR vs block-sparse FlashAttention — the excess work a block
+  kernel pays on zeros inside touched tiles (Section III);
+* single CSR call vs sequential specialised kernels on a composite mask
+  (Section V-F's two execution strategies);
+* work-model evaluation cost (it is used inside benchmark loops, so it must
+  itself be cheap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.compose import longformer_attention
+from repro.core.explicit_kernels import coo_attention, csr_attention
+from repro.core.flash import flash_attention
+from repro.core.implicit_kernels import local_attention
+from repro.masks.presets import default_global_tokens, longformer_mask
+from repro.masks.windowed import LocalMask
+from repro.sparse.block import blockify
+from repro.utils.rng import random_qkv
+from repro.work.optimality import check_work_optimality
+
+LENGTH = 1_024
+HEAD_DIM = 32
+WINDOW = 17
+
+
+@pytest.fixture(scope="module")
+def ablation_data():
+    q, k, v = random_qkv(LENGTH, HEAD_DIM, dtype=np.float32, seed=7)
+    mask = LocalMask(window=WINDOW)
+    csr = mask.to_csr(LENGTH)
+    return q, k, v, mask, csr
+
+
+class TestExecutorAblation:
+    def test_vectorized_executor(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        benchmark.group = "ablation executor"
+        benchmark(csr_attention, q, k, v, csr, executor="vectorized")
+
+    def test_streamed_executor(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        benchmark.group = "ablation executor"
+        # streamed = literal Algorithm 1; expected orders of magnitude slower on CPU
+        benchmark.pedantic(
+            lambda: csr_attention(q, k, v, csr, executor="streamed"), rounds=1, iterations=1
+        )
+
+
+class TestFormatAblation:
+    def test_csr_format(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        benchmark.group = "ablation sparse format"
+        result = benchmark(csr_attention, q, k, v, csr)
+        assert result.ops.search_steps == 0
+
+    def test_coo_format(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        coo = csr.to_coo()
+        benchmark.group = "ablation sparse format"
+        result = benchmark(coo_attention, q, k, v, coo)
+        assert result.ops.search_steps > 0
+        benchmark.extra_info["search_steps"] = result.ops.search_steps
+
+
+class TestBlockSparseAblation:
+    def test_truly_sparse_csr(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        benchmark.group = "ablation true sparsity vs block sparsity"
+        result = benchmark(csr_attention, q, k, v, csr)
+        benchmark.extra_info["computed_dot_products"] = result.ops.dot_products
+
+    def test_block_sparse_flash(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        blocks = blockify(csr.to_coo(), block_size=64)
+        benchmark.group = "ablation true sparsity vs block sparsity"
+        result = benchmark(flash_attention, q, k, v, block_q=64, block_k=64, block_mask=blocks)
+        benchmark.extra_info["computed_dot_products"] = result.ops.dot_products
+        benchmark.extra_info["wasted_dot_products"] = result.ops.wasted_dot_products
+        assert result.ops.wasted_dot_products > 0
+
+
+class TestCompositionAblation:
+    def test_single_csr_call_on_union(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        globals_ = default_global_tokens(LENGTH, 3)
+        union = longformer_mask(reach=WINDOW - 1, global_tokens=globals_).to_csr(LENGTH)
+        benchmark.group = "ablation composition strategy"
+        benchmark(csr_attention, q, k, v, union)
+
+    def test_sequential_specialised_kernels(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        globals_ = default_global_tokens(LENGTH, 3)
+        benchmark.group = "ablation composition strategy"
+        benchmark(longformer_attention, q, k, v, reach=WINDOW - 1, global_tokens=globals_)
+
+
+class TestWorkModelOverhead:
+    def test_work_optimality_check_is_cheap(self, benchmark, ablation_data):
+        q, k, v, mask, csr = ablation_data
+        result = local_attention(q, k, v, WINDOW)
+        benchmark.group = "ablation work model"
+        report = benchmark(check_work_optimality, result, csr.nnz, HEAD_DIM)
+        assert report.is_work_optimal

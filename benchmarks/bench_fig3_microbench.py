@@ -1,0 +1,98 @@
+"""Fig. 3 — microbenchmarks of all seven algorithms across sparsity factors.
+
+The paper sweeps L ∈ {8k, 16k, 24k}, dk ∈ {64, 128, 256} and Sf ∈ (0, 1] on
+three GPUs.  Here the same seven algorithms (masked SDP baseline plus the six
+graph kernels) are measured on CPU at L = 2,048, dk = 64 for a high and a low
+sparsity factor — enough to reproduce the figure's shape: SDP is flat in Sf,
+the graph kernels scale with Sf and overtake SDP once the mask is sparse, COO
+pays its row-search penalty.  The analytical A100/L40/V100 speedup summary at
+the paper's scales is attached as ``extra_info`` on the SDP baseline cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig3_masks_for_sparsity, fig3_modeled_speedups
+from repro.core.dense import sdp_attention
+from repro.core.explicit_kernels import coo_attention, csr_attention
+from repro.core.implicit_kernels import (
+    dilated1d_attention,
+    dilated2d_attention,
+    global_attention,
+    local_attention,
+)
+
+#: Context length of the measured cells (must match ``conftest.BENCH_LENGTH``).
+BENCH_LENGTH = 2_048
+
+#: The two sparsity regimes benchmarked: "dense-ish" (SDP should win) and
+#: "sparse" (the graph kernels should win), bracketing the paper's crossover.
+SPARSITY_LEVELS = {"dense_mask": 0.20, "sparse_mask": 0.01}
+
+
+def _mask_params(sparsity):
+    return fig3_masks_for_sparsity(BENCH_LENGTH, sparsity)
+
+
+@pytest.fixture(scope="module", params=list(SPARSITY_LEVELS.items()), ids=lambda p: p[0])
+def sparsity_case(request):
+    label, sparsity = request.param
+    params = _mask_params(sparsity)
+    explicit_csr = params["explicit"].to_csr(BENCH_LENGTH)
+    return {
+        "label": label,
+        "sparsity": sparsity,
+        "params": params,
+        "csr": explicit_csr,
+        "coo": explicit_csr.to_coo(),
+    }
+
+
+def test_fig3_sdp_masked(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark.extra_info["modeled_a100_speedups_over_sdp"] = fig3_modeled_speedups("a100")
+    benchmark.extra_info["modeled_l40_speedups_over_sdp"] = fig3_modeled_speedups("l40")
+    benchmark.extra_info["modeled_v100_speedups_over_sdp"] = fig3_modeled_speedups("v100")
+    benchmark(sdp_attention, q, k, v, sparsity_case["csr"])
+
+
+def test_fig3_csr(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark(csr_attention, q, k, v, sparsity_case["csr"])
+
+
+def test_fig3_coo(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark(coo_attention, q, k, v, sparsity_case["coo"])
+
+
+def test_fig3_local(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    window = sparsity_case["params"]["local"]["window"]
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark(local_attention, q, k, v, window)
+
+
+def test_fig3_dilated1d(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    params = sparsity_case["params"]["dilated1d"]
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark(dilated1d_attention, q, k, v, params["window"], params["dilation"])
+
+
+def test_fig3_dilated2d(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    params = sparsity_case["params"]["dilated2d"]
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark(dilated2d_attention, q, k, v, params["block_size"], params["dilation"])
+
+
+def test_fig3_global(benchmark, bench_qkv, sparsity_case):
+    q, k, v = bench_qkv
+    params = sparsity_case["params"]["global"]
+    benchmark.group = f"fig3 Sf={sparsity_case['sparsity']}"
+    benchmark(global_attention, q, k, v, params["global_tokens"], params["window"])

@@ -1,0 +1,43 @@
+"""Fig. 4 — maximum context length vs sparsity factor (A100, dk ∈ {64, 128}, FP32/FP16).
+
+Regenerates every curve of the four panels with the analytical memory model;
+the benchmark measures the sweep and attaches the series to ``extra_info`` so
+the curves (who is flat, who grows with sparsity, the SDP / CSR / COO ordering)
+can be read straight from the benchmark record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import fig4_series
+
+SPARSITIES = (1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+PANELS = [
+    ("fp32", 64),
+    ("fp16", 64),
+    ("fp32", 128),
+    ("fp16", 128),
+]
+
+
+@pytest.mark.parametrize("dtype,head_dim", PANELS, ids=[f"{d}-dk{k}" for d, k in PANELS])
+def test_fig4_panel(benchmark, dtype, head_dim):
+    benchmark.group = "fig4 context-limit curves"
+    series = benchmark(fig4_series, head_dim=head_dim, dtype=dtype, sparsities=SPARSITIES)
+    benchmark.extra_info["series"] = {
+        name: values for name, values in series.items() if name != "sparsity_factors"
+    }
+    # figure shape assertions
+    assert series["local"][0] == series["local"][-1], "implicit kernels are sparsity independent"
+    csr = series["csr"]
+    assert csr[0] > csr[-1], "CSR limit grows as the mask becomes sparser"
+    # at high sparsity the explicit formats reach far beyond SDP; at Sf = 1 their
+    # per-edge storage makes them *worse* than the dense score matrix (the dip
+    # visible at the right edge of Fig. 4)
+    assert csr[0] > 40 * series["sdp"][0], "sparse formats beat dense SDP at high sparsity"
+    assert csr[-1] < series["sdp"][-1], "dense masks favour SDP storage"
+    if dtype == "fp32":
+        assert all(value is None for value in series["flash"]), "FlashAttention unsupported on FP32"
+    else:
+        assert series["flash"][0] >= csr[0], "FlashAttention limit matches the implicit kernels"

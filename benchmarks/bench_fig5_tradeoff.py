@@ -1,0 +1,65 @@
+"""Fig. 5 — FlashAttention vs Local attention: constant window and constant sparsity.
+
+Left panel: a fixed local window means the mask keeps getting sparser as L
+grows, so the gap over FlashAttention widens.  Right panel: a fixed sparsity
+factor means the window grows with L; the paper reports the speedup rising
+from 1.41x at 65k to 4.46x at 2M.  Both panels are measured on CPU at reduced
+lengths and regenerated analytically at the paper's lengths (``extra_info``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import fig5_modeled
+from repro.core.flash import flash_attention
+from repro.core.implicit_kernels import local_attention
+from repro.masks.solvers import local_window_for_sparsity
+from repro.utils.rng import random_qkv
+
+MEASURED_LENGTHS = (1_024, 4_096)
+HEAD_DIM = 32
+CONSTANT_WINDOW = 50
+CONSTANT_SPARSITY = 0.01
+
+
+@pytest.fixture(scope="module", params=MEASURED_LENGTHS, ids=lambda L: f"L{L}")
+def fig5_case(request):
+    length = request.param
+    q, k, v = random_qkv(length, HEAD_DIM, dtype=np.float32, seed=length)
+    return length, q, k, v
+
+
+def test_fig5_flash_baseline(benchmark, fig5_case):
+    length, q, k, v = fig5_case
+    benchmark.group = f"fig5 L={length}"
+    benchmark.extra_info["modeled_a100_fig5"] = fig5_modeled(lengths=(65_536, 2_097_152))
+    benchmark(flash_attention, q, k, v, block_q=256, block_k=256)
+
+
+def test_fig5_local_constant_window(benchmark, fig5_case):
+    length, q, k, v = fig5_case
+    benchmark.group = f"fig5 L={length}"
+    benchmark.extra_info["window"] = CONSTANT_WINDOW
+    benchmark(local_attention, q, k, v, CONSTANT_WINDOW + 1)
+
+
+def test_fig5_local_constant_sparsity(benchmark, fig5_case):
+    length, q, k, v = fig5_case
+    window = local_window_for_sparsity(length, CONSTANT_SPARSITY)
+    benchmark.group = f"fig5 L={length}"
+    benchmark.extra_info["sparsity_factor"] = CONSTANT_SPARSITY
+    benchmark.extra_info["window"] = window
+    benchmark(local_attention, q, k, v, window)
+
+
+def test_fig5_modeled_speedup_trend(benchmark):
+    """Constant-sparsity speedup over FlashAttention grows with L (1.4x -> ~4.5x)."""
+    benchmark.group = "fig5 modeled"
+    rows = benchmark(fig5_modeled, lengths=(65_536, 524_288, 2_097_152), windows=(50,), sparsities=(1e-4,))
+    flash = {r["L"]: r["modeled_s"] for r in rows if r["series"] == "flash"}
+    local = {r["L"]: r["modeled_s"] for r in rows if r["series"] == "Sf=0.0001"}
+    speedups = [flash[L] / local[L] for L in sorted(flash)]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] == pytest.approx(4.46, rel=0.25)

@@ -1,0 +1,50 @@
+"""Table II — theoretical maximum context lengths on one A100 80 GB.
+
+The table is an analytical product of the memory model, so the "benchmark"
+measures the solver itself while asserting that the regenerated limits match
+the paper's printed values; the full table is attached as ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.paper_reference import PAPER_TABLE2
+from repro.perfmodel.context_limits import context_limit_table
+from repro.perfmodel.devices import A100_SXM4_80GB
+from repro.perfmodel.memory import max_context_length
+
+
+def test_table2_full_table(benchmark):
+    benchmark.group = "table2 context limits"
+    rows = benchmark(context_limit_table, A100_SXM4_80GB, accounting="paper")
+    table = {}
+    for row in rows:
+        key = f"{row.dtype}-dk{row.head_dim}-h{row.heads}"
+        table[key] = {alg: limit for alg, limit in row.limits.items()}
+    benchmark.extra_info["table2"] = table
+    # spot check the headline cells against the paper
+    fp16_64 = next(r for r in rows if r.dtype == "fp16" and r.head_dim == 64)
+    assert fp16_64.limits["local"] == pytest.approx(166_471_601, rel=1e-3)
+    assert fp16_64.limits["sdp"] == pytest.approx(207_116, rel=1e-3)
+
+
+@pytest.mark.parametrize("algorithm", ["sdp", "csr", "coo", "local", "flash"])
+def test_table2_per_algorithm_solver(benchmark, algorithm):
+    benchmark.group = "table2 solver"
+    dtype = "fp16"
+    result = benchmark(
+        max_context_length,
+        algorithm,
+        A100_SXM4_80GB,
+        dtype=dtype,
+        head_dim=64,
+        heads=1,
+        sparsity_factor=1e-4,
+        accounting="paper",
+    )
+    expected = PAPER_TABLE2[("fp16", 64, 1)][algorithm]
+    tolerance = 0.001 if algorithm in ("sdp", "flash", "local") else 0.01
+    assert result == pytest.approx(expected, rel=tolerance)
+    benchmark.extra_info["paper_value"] = expected
+    benchmark.extra_info["reproduced_value"] = result

@@ -1,0 +1,73 @@
+"""Table III — FlashAttention vs Local vs CSR at long context lengths.
+
+The paper measures L up to 160 M on an 80 GB A100; here the same three
+algorithms are measured on CPU at the largest lengths that stay fast enough
+for a benchmark suite, with the sparsity following the LongNet-style schedule
+exactly as the paper does (denser masks at short L, sparser masks at long L).
+The analytical A100 reproduction of the full Table III — which lands within
+~15 % of every printed value — is attached as ``extra_info`` on the flash
+cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import table3_modeled
+from repro.core.explicit_kernels import csr_attention
+from repro.core.flash import flash_attention
+from repro.core.implicit_kernels import local_attention
+from repro.masks.solvers import local_window_for_sparsity, longnet_sparsity_factor
+from repro.masks.windowed import LocalMask
+from repro.utils.rng import random_qkv
+
+#: Measured context lengths (scaled-down stand-ins for the paper's 1.6M-160M).
+MEASURED_LENGTHS = (2_048, 4_096)
+HEAD_DIM = 32
+
+
+def _setup(length):
+    # keep the *relative* sparsity schedule of Section II-D: Sf ∝ 1/L
+    sparsity = min(1.0, longnet_sparsity_factor(length, w0=48))
+    window = local_window_for_sparsity(length, sparsity)
+    csr = LocalMask(window=window).to_csr(length)
+    q, k, v = random_qkv(length, HEAD_DIM, dtype=np.float32, seed=length)
+    return q, k, v, window, csr, sparsity
+
+
+@pytest.fixture(scope="module", params=MEASURED_LENGTHS, ids=lambda L: f"L{L}")
+def table3_case(request):
+    return request.param, _setup(request.param)
+
+
+def test_table3_flash(benchmark, table3_case):
+    length, (q, k, v, window, csr, sparsity) = table3_case
+    benchmark.group = f"table3 L={length}"
+    benchmark.extra_info["modeled_a100_table3"] = [
+        {k2: (float(v2) if isinstance(v2, (int, float)) and v2 is not None else v2) for k2, v2 in row.items()}
+        for row in table3_modeled()
+    ]
+    benchmark(flash_attention, q, k, v, block_q=256, block_k=256)
+
+
+def test_table3_local(benchmark, table3_case):
+    length, (q, k, v, window, csr, sparsity) = table3_case
+    benchmark.group = f"table3 L={length}"
+    benchmark.extra_info["sparsity_factor"] = sparsity
+    benchmark(local_attention, q, k, v, window)
+
+
+def test_table3_csr(benchmark, table3_case):
+    length, (q, k, v, window, csr, sparsity) = table3_case
+    benchmark.group = f"table3 L={length}"
+    benchmark.extra_info["sparsity_factor"] = sparsity
+    benchmark(csr_attention, q, k, v, csr)
+
+
+def test_table3_modeled_matches_paper(benchmark):
+    """The analytical Table III reproduction stays within 15 % of every paper value."""
+    benchmark.group = "table3 modeled"
+    rows = benchmark(table3_modeled)
+    for row in rows:
+        assert row["modeled_s"] == pytest.approx(row["paper_s"], rel=0.15), row

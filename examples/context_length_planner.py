@@ -1,0 +1,100 @@
+"""Context-length planner: how long a sequence fits, and what it costs (Table II / Fig. 4 / Table III).
+
+Given a GPU, a data type and an attention pattern's sparsity, this example
+answers the two questions the paper's Section V-D addresses:
+
+* what is the maximum context length each algorithm can hold in memory?
+* at a chosen context length, how long does each algorithm take (modelled)?
+
+It regenerates the headline numbers: 160M-token context on one A100 for the
+implicit-mask kernels, the ~2 orders of magnitude advantage of CSR/COO over
+dense masked SDP, the 51x speedup over FlashAttention at 160M tokens, and the
+32-GPU estimate for a 1-billion-token context (Section VI-B).
+
+Run:  python examples/context_length_planner.py [--quick] [--device a100|l40|v100]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.reporting import format_series, format_table
+from repro.masks import longnet_sparsity_factor
+from repro.perfmodel import RuntimeModel, get_device, max_context_length
+from repro.perfmodel.context_limits import TABLE2_ALGORITHMS, context_limit_sweep, context_limit_table
+
+
+def plan_memory(device, accounting: str) -> None:
+    print(f"-- Theoretical maximum context lengths on {device.name} (Sf = 1e-4), Table II reproduction:")
+    rows = []
+    for limit_row in context_limit_table(device, accounting=accounting):
+        row = {
+            "dtype": limit_row.dtype,
+            "dk": limit_row.head_dim,
+            "heads": limit_row.heads,
+        }
+        row.update({alg: limit_row.limits[alg] for alg in TABLE2_ALGORITHMS})
+        rows.append(row)
+    print(format_table(rows))
+
+
+def plan_sweep(device, quick: bool) -> None:
+    sparsities = (1e-4, 1e-3, 1e-2, 1e-1, 1.0) if not quick else (1e-4, 1e-2, 1.0)
+    print("\n-- Fig. 4 reproduction: limit vs sparsity (FP16, dk = 64):")
+    series = {
+        algorithm: context_limit_sweep(algorithm, sparsities, device=device, dtype="fp16", head_dim=64)
+        for algorithm in ("sdp", "coo", "csr", "flash", "local")
+    }
+    print(format_series(sparsities, series, x_label="Sf"))
+
+
+def plan_runtime(device, quick: bool) -> None:
+    model = RuntimeModel(device)
+    lengths = (1_600_000, 8_000_000) if quick else (1_600_000, 8_000_000, 16_000_000, 160_000_000)
+    print("\n-- Table III reproduction (modelled, FP16, dk = 64, LongNet sparsity schedule):")
+    rows = []
+    for length in lengths:
+        sparsity = longnet_sparsity_factor(length)
+        flash = model.estimate("flash", length, 64, dtype="fp16").seconds
+        local = model.estimate("local", length, 64, sparsity_factor=sparsity, dtype="fp16").seconds
+        rows.append(
+            {
+                "L": length,
+                "Sf": sparsity,
+                "flash_s": flash,
+                "local_s": local,
+                "speedup": flash / local,
+            }
+        )
+    print(format_table(rows))
+
+
+def plan_billion_tokens(device) -> None:
+    # Section VI-B: with 25 % of memory available for attention, ~32 GPUs reach 1B tokens
+    budget = device.memory_bytes // 4
+    per_gpu = max_context_length("local", device, dtype="fp16", head_dim=128)
+    usable = int(per_gpu * 0.25)
+    gpus_needed = -(-1_000_000_000 // usable)
+    print(f"\n-- Scaling to 1 billion tokens (Section VI-B estimate):")
+    print(f"   one {device.name} holds ~{per_gpu:,} tokens of attention state (FP16, dk=128);")
+    print(f"   with 25% of memory reserved for attention that is ~{usable:,} tokens per GPU,")
+    print(f"   so ~{gpus_needed} GPUs reach a 1,000,000,000-token context.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a reduced configuration")
+    parser.add_argument("--device", default="a100", choices=["a100", "l40", "v100"])
+    parser.add_argument("--accounting", default="paper", choices=["paper", "consistent"])
+    args = parser.parse_args()
+
+    device = get_device(args.device)
+    plan_memory(device, args.accounting)
+    plan_sweep(device, args.quick)
+    plan_runtime(device, args.quick)
+    plan_billion_tokens(device)
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Sequence-parallel sparse attention across simulated ranks (Section VI-A future work).
+
+The paper's discussion proposes distributed-memory execution of the graph
+kernels with graph partitioning for load balance.  This example runs that
+pipeline end to end on the in-process simulated communicator:
+
+* build a skewed Longformer mask (global rows make naive partitioning unfair),
+* compare three row-partitioning strategies (equal rows, edge-balanced
+  contiguous, greedy) on work balance and communication volume,
+* execute sequence-parallel attention on several rank counts, verify the
+  distributed output against the single-node kernel, and report per-rank work
+  and all-gather traffic.
+
+Run:  python examples/distributed_sequence_parallel.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import random_qkv, sdp_attention
+from repro.bench.reporting import format_table
+from repro.distributed import evaluate_partitions, sequence_parallel_attention
+from repro.masks import default_global_tokens, longformer_mask
+from repro.utils.validation import allclose_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a reduced configuration")
+    parser.add_argument("--ranks", type=int, nargs="*", default=None, help="rank counts to simulate")
+    args = parser.parse_args()
+
+    length = 512 if args.quick else 2_048
+    reach = 8 if args.quick else 25
+    dim = 16 if args.quick else 32
+    rank_counts = args.ranks or ([2, 4] if args.quick else [2, 4, 8, 16])
+
+    print(f"== Sequence-parallel sparse attention: L={length:,}, reach={reach}, d_k={dim}")
+    mask = longformer_mask(reach=reach, global_tokens=default_global_tokens(length, 3))
+    mask_csr = mask.to_csr(length)
+    print(f"   mask: {mask_csr.nnz:,} edges, Sf = {mask_csr.sparsity_factor:.5f}")
+
+    print("\n-- Partitioning strategies (8 parts): balance = max/mean edges per part")
+    quality = evaluate_partitions(mask_csr, 8)
+    rows = [
+        {
+            "strategy": name,
+            "balance": q.balance,
+            "max_edges": q.max_edges,
+            "edge_cut": q.edge_cut,
+            "contiguous": q.contiguous,
+        }
+        for name, q in quality.items()
+    ]
+    print(format_table(rows))
+
+    q, k, v = random_qkv(length, dim, dtype=np.float64, seed=13)
+    reference = sdp_attention(q, k, v, mask_csr).output
+
+    print("\n-- Sequence-parallel execution (edge-balanced contiguous partition)")
+    rows = []
+    for num_ranks in rank_counts:
+        result = sequence_parallel_attention(q, k, v, mask_csr, num_ranks=num_ranks)
+        report = allclose_report(result.output, reference)
+        assert report.ok, f"distributed output diverged with {num_ranks} ranks: {report}"
+        rows.append(
+            {
+                "ranks": num_ranks,
+                "load_balance": result.load_balance(),
+                "max_rank_edges": int(result.work_per_rank().max()),
+                "comm_MB": result.comm_stats.bytes_moved / 1e6,
+                "allclose": report.ok,
+            }
+        )
+    print(format_table(rows))
+    print("\n   Every rank ran the work-optimal CSR kernel on its row slice; outputs match the")
+    print("   single-node dense reference bit-for-bit within the paper's verification tolerance.")
+    print("Done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` (and
+``python setup.py develop``) work in offline environments whose setuptools
+predates full PEP 660 editable-install support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Benchmark harness and experiment drivers.
+
+``repro.bench`` holds everything the ``benchmarks/`` directory shares:
+
+* :mod:`repro.bench.harness` — the paper's measurement protocol (10 warm-up
+  runs, 15 timed runs, mean reported) wrapped around arbitrary callables;
+* :mod:`repro.bench.sweeps` — cartesian parameter sweeps with deterministic
+  per-cell seeds;
+* :mod:`repro.bench.reporting` — plain-text tables and series so each
+  benchmark prints the same rows/curves the paper's figures show;
+* :mod:`repro.bench.experiments` — one driver per paper table/figure
+  combining *measured* CPU runs of the NumPy kernels (at reduced context
+  lengths) with *modelled* GPU numbers from :mod:`repro.perfmodel` (at the
+  paper's context lengths), plus the paper's reported values for comparison.
+"""
+
+from repro.bench.harness import BenchmarkProtocol, MeasuredCell, measure
+from repro.bench.reporting import format_series, format_table
+from repro.bench.sweeps import sweep_grid
+
+__all__ = [
+    "BenchmarkProtocol",
+    "MeasuredCell",
+    "format_series",
+    "format_table",
+    "measure",
+    "sweep_grid",
+]

@@ -1,0 +1,76 @@
+"""Measurement protocol used by every benchmark.
+
+Sections V-C through V-F use the same protocol: "each algorithm had ten warm
+up runs and then was timed for 15 benchmark runs with the average runtime
+reported".  :class:`BenchmarkProtocol` captures those knobs (the repo defaults
+are reduced so CPU benchmark suites finish in minutes; pass
+``BenchmarkProtocol.paper()`` for the full protocol) and :func:`measure`
+executes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.utils.timing import TimingResult, benchmark_callable
+
+
+@dataclass(frozen=True)
+class BenchmarkProtocol:
+    """Warm-up / iteration counts for one benchmark cell."""
+
+    warmup: int = 2
+    iterations: int = 5
+
+    @classmethod
+    def paper(cls) -> "BenchmarkProtocol":
+        """The paper's protocol: 10 warm-up runs, 15 timed runs."""
+        return cls(warmup=10, iterations=15)
+
+    @classmethod
+    def quick(cls) -> "BenchmarkProtocol":
+        """Single warm-up, three timed runs — for smoke tests."""
+        return cls(warmup=1, iterations=3)
+
+
+@dataclass
+class MeasuredCell:
+    """One measured benchmark cell: the configuration plus its timing summary."""
+
+    label: str
+    params: Dict[str, object]
+    timing: TimingResult
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.timing.mean
+
+    @property
+    def min_seconds(self) -> float:
+        return self.timing.minimum
+
+    def as_row(self) -> Dict[str, object]:
+        """Flatten to a dict suitable for the reporting helpers."""
+        row: Dict[str, object] = {"label": self.label}
+        row.update(self.params)
+        row["mean_s"] = self.mean_seconds
+        row["std_s"] = self.timing.stddev
+        row.update(self.extra)
+        return row
+
+
+def measure(
+    func: Callable[[], object],
+    *,
+    label: str = "",
+    params: Optional[Dict[str, object]] = None,
+    protocol: BenchmarkProtocol = BenchmarkProtocol(),
+    extra: Optional[Dict[str, object]] = None,
+) -> MeasuredCell:
+    """Run ``func`` under the benchmark protocol and return a measured cell."""
+    timing = benchmark_callable(
+        func, warmup=protocol.warmup, iterations=protocol.iterations, label=label
+    )
+    return MeasuredCell(label=label, params=dict(params or {}), timing=timing, extra=dict(extra or {}))

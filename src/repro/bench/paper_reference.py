@@ -1,0 +1,88 @@
+"""Reference values reported in the paper, for side-by-side comparison.
+
+Only values printed in the paper (tables or explicitly stated in the text) are
+recorded here; figure-only data points are not transcribed.  EXPERIMENTS.md
+pairs these with the numbers this repository reproduces.
+"""
+
+from __future__ import annotations
+
+#: Table II — theoretical maximum context lengths on one A100 80 GB, Sf = 1e-4.
+#: Keys: (dtype, head_dim, heads) -> algorithm -> max L (None = unsupported).
+PAPER_TABLE2 = {
+    ("fp32", 64, 1): {
+        "sdp": 146_416, "csr": 9_732_519, "coo": 8_038_418, "flash": None,
+        "local": 83_235_801, "global": 83_235_769, "dilated1d": 83_235_801, "dilated2d": 83_235_801,
+    },
+    ("fp32", 128, 1): {
+        "sdp": 146_288, "csr": 9_152_140, "coo": 7_644_258, "flash": None,
+        "local": 41_779_838, "global": 41_779_830, "dilated1d": 41_779_838, "dilated2d": 41_779_838,
+    },
+    ("fp32", 128, 32): {
+        "sdp": 25_651, "csr": 950_434, "coo": 865_272, "flash": None,
+        "local": 1_305_620, "global": 1_305_620, "dilated1d": 1_305_620, "dilated2d": 1_305_620,
+    },
+    ("fp16", 64, 1): {
+        "sdp": 207_116, "csr": 14_013_926, "coo": 9_009_893, "flash": 166_471_601,
+        "local": 166_471_601, "global": 166_471_472, "dilated1d": 166_471_601, "dilated2d": 166_471_601,
+    },
+    ("fp16", 128, 1): {
+        "sdp": 206_988, "csr": 13_416_404, "coo": 8_764_655, "flash": 83_559_676,
+        "local": 83_559_676, "global": 83_559_643, "dilated1d": 83_559_676, "dilated2d": 83_559_676,
+    },
+    ("fp16", 128, 32): {
+        "sdp": 36_381, "csr": 1_601_190, "coo": 1_200_336, "flash": 2_611_240,
+        "local": 2_611_240, "global": 2_611_239, "dilated1d": 2_611_240, "dilated2d": 2_611_240,
+    },
+}
+
+#: Table III — average runtimes (seconds) on the A100, FP16, long context lengths.
+#: Entries: context length -> algorithm -> (sparsity factor, seconds).
+PAPER_TABLE3 = {
+    160_000_000: {"flash": (None, 37_477.25), "local": (1e-5, 733.93)},
+    16_000_000: {"flash": (None, 372.35), "local": (1.7e-4, 124.67), "csr": (4e-5, 32.46)},
+    8_000_000: {"flash": (None, 92.88), "local": (3.4e-4, 62.32), "csr": (1e-4, 20.49)},
+    1_600_000: {"flash": (None, 3.48), "local": (1.7e-3, 12.46), "csr": (1.7e-3, 13.67)},
+}
+
+#: Section V-C — average speedups over masked SDP at Sf < 0.001, per GPU.
+PAPER_FIG3_SPEEDUPS = {
+    "v100": {"dilated2d": 13.37, "dilated1d": 6.74, "local": 7.87, "global": 1.40, "csr": 9.85},
+    "l40": {"dilated2d": 42.12, "dilated1d": 26.40, "local": 27.56, "global": 2.87, "csr": 31.59},
+    "a100": {"dilated2d": 11.88, "dilated1d": 6.95, "local": 8.07, "global": 0.87, "csr": 7.81},
+}
+
+#: Section V-C — COO speedups over SDP at Sf < 0.1 (i.e. COO is ~1000x slower).
+PAPER_COO_SPEEDUPS = {"v100": 0.002, "l40": 0.003, "a100": 0.001}
+
+#: Section V-E / Fig. 5 — Local (Sf = 1e-4) speedup over FlashAttention.
+PAPER_FIG5_SPEEDUPS = {65_536: 1.41, 2_097_152: 4.46}
+
+#: Abstract / Section I — headline speedups over FlashAttention.
+PAPER_HEADLINE_SPEEDUPS = {2_097_152: 4.46, 160_000_000: 51.06}
+
+#: Section V-D text — Local speedups over FlashAttention at long context lengths.
+PAPER_TABLE3_SPEEDUPS = {1_600_000: 0.28, 8_000_000: 1.49, 16_000_000: 2.99, 160_000_000: 51.06}
+
+#: Fig. 6 configuration (Section V-F).
+PAPER_FIG6_CONFIG = {
+    "context_lengths": (30_000, 35_000, 40_000, 45_000),
+    "reach": 50,
+    "num_global_tokens": 3,
+    "dilation": 2,
+    "random_sparsity": 1e-3,
+}
+
+#: Fig. 3 sweep configuration (Section V-C).
+PAPER_FIG3_CONFIG = {
+    "context_lengths": (8_192, 16_384, 24_576),
+    "head_dims": (64, 128, 256),
+    "dilation": 1,
+    "coo_max_length": 8_192,
+    "coo_max_sparsity": 0.4,
+    "warmup": 10,
+    "iterations": 15,
+}
+
+#: LongNet sparsity schedule parameters used in Section II-D.
+PAPER_LONGNET = {"alpha": 2.0, "w0": 2048, "dot_products_per_token": 2730}

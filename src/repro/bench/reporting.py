@@ -1,0 +1,79 @@
+"""Plain-text reporting of benchmark tables and series.
+
+The benchmarks regenerate the paper's tables and figures as text: tables are
+rendered with aligned columns, figures as one labelled series per line (the
+x-axis values and the y values), which is enough to eyeball the shapes the
+paper plots — who wins, by how much, where curves cross.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4f}" if magnitude < 1 else f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered: List[List[str]] = [[_format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append("  ".join(r[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[object]],
+    *,
+    x_label: str = "x",
+    title: str = "",
+) -> str:
+    """Render named y-series over a shared x axis (the text analogue of a figure)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label}: " + ", ".join(_format_value(x) for x in x_values))
+    for name, values in series.items():
+        lines.append(f"  {name}: " + ", ".join(_format_value(v) for v in values))
+    return "\n".join(lines)
+
+
+def speedup_summary(times: Mapping[str, float], baseline: str) -> Dict[str, float]:
+    """Speedup of every entry relative to ``baseline`` (baseline / entry)."""
+    base = times[baseline]
+    return {name: (base / value if value else float("inf")) for name, value in times.items()}

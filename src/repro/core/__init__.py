@@ -1,0 +1,72 @@
+"""Core attention kernels: the paper's contribution plus the dense baselines.
+
+Public surface:
+
+* graph-processing kernels (Algorithm 1): :func:`coo_attention`,
+  :func:`csr_attention`, :func:`local_attention`, :func:`dilated1d_attention`,
+  :func:`dilated2d_attention`, :func:`global_attention`;
+* baselines: :func:`sdp_attention` (dense masked SDP) and
+  :func:`flash_attention` (tiled dense attention with online softmax);
+* composition of sequential kernel calls (:func:`merge_results`,
+  :func:`longformer_attention`, :func:`bigbird_attention`);
+* multi-head / batched wrappers and a minimal :class:`AttentionLayer`;
+* the :class:`GraphAttentionEngine` dispatcher.
+"""
+
+from repro.core.compose import (
+    bigbird_attention,
+    composed_attention,
+    longformer_attention,
+    merge_results,
+)
+from repro.core.dense import reference_attention, sdp_attention
+from repro.core.engine import ALGORITHMS, GraphAttentionEngine
+from repro.core.flash import flash_attention
+from repro.core.graph_attention import (
+    GRAPH_KERNELS,
+    coo_attention,
+    csr_attention,
+    dilated1d_attention,
+    dilated2d_attention,
+    global_attention,
+    local_attention,
+)
+from repro.core.multihead import (
+    AttentionLayer,
+    MultiHeadResult,
+    batched_attention,
+    merge_heads,
+    multi_head_attention,
+    split_heads,
+)
+from repro.core.online_softmax import OnlineSoftmaxState, stable_softmax
+from repro.core.result import AttentionResult, OpCounts
+
+__all__ = [
+    "ALGORITHMS",
+    "AttentionLayer",
+    "AttentionResult",
+    "GRAPH_KERNELS",
+    "GraphAttentionEngine",
+    "MultiHeadResult",
+    "OnlineSoftmaxState",
+    "OpCounts",
+    "batched_attention",
+    "bigbird_attention",
+    "composed_attention",
+    "coo_attention",
+    "csr_attention",
+    "dilated1d_attention",
+    "dilated2d_attention",
+    "flash_attention",
+    "global_attention",
+    "local_attention",
+    "longformer_attention",
+    "merge_heads",
+    "merge_results",
+    "multi_head_attention",
+    "reference_attention",
+    "sdp_attention",
+    "split_heads",
+    "stable_softmax",
+]

@@ -1,0 +1,131 @@
+"""Dense (masked) scaled-dot-product attention — the paper's SDP baseline.
+
+PyTorch's ``scaled_dot_product_attention`` with an arbitrary binary mask
+computes the full dense ``QK^T`` product, sets masked entries to ``-inf``,
+applies a row softmax and multiplies by ``V`` — its cost is independent of the
+mask's sparsity (Section III, Section V-C).  :func:`sdp_attention` reproduces
+those semantics and serves both as the performance baseline and as the
+correctness reference that every graph kernel is verified against
+(Section V-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.online_softmax import accumulator_dtype, stable_softmax
+from repro.core.result import AttentionResult, OpCounts
+from repro.masks.base import MaskSpec
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import require
+
+MaskLike = Union[None, np.ndarray, MaskSpec, COOMatrix, CSRMatrix]
+
+
+def _mask_to_dense_bool(mask: MaskLike, length: int) -> Optional[np.ndarray]:
+    """Materialise any supported mask representation as a dense boolean array."""
+    if mask is None:
+        return None
+    if isinstance(mask, MaskSpec):
+        dense = mask.to_dense(length)
+    elif isinstance(mask, (COOMatrix, CSRMatrix)):
+        dense = mask.to_dense()
+    else:
+        dense = np.asarray(mask)
+    require(dense.shape == (length, length), f"mask must be ({length}, {length}), got {dense.shape}")
+    return dense.astype(bool) if dense.dtype != bool else dense
+
+
+def validate_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> None:
+    """Check the single-head Q/K/V shape contract shared by every kernel."""
+    require(q.ndim == 2 and k.ndim == 2 and v.ndim == 2, "Q, K, V must be 2-D (L, d)")
+    require(q.shape[0] == k.shape[0] == v.shape[0], "Q, K, V must share the context length L")
+    require(q.shape[1] == k.shape[1], "Q and K must share the head dimension d_k")
+
+
+def resolve_scale(scale: Optional[float], head_dim: int) -> float:
+    """Default attention scale ``1/sqrt(d_k)`` (Eq. 1 of the paper)."""
+    return float(scale) if scale is not None else 1.0 / float(np.sqrt(head_dim))
+
+
+def sdp_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: MaskLike = None,
+    *,
+    scale: Optional[float] = None,
+    zero_fully_masked: bool = True,
+) -> AttentionResult:
+    """Masked scaled-dot-product attention via dense matrices.
+
+    Parameters
+    ----------
+    q, k, v:
+        ``(L, d_k)`` / ``(L, d_k)`` / ``(L, d_v)`` single-head matrices.
+    mask:
+        ``None`` for dense attention, otherwise any mask representation; zero
+        entries are excluded by setting their scores to ``-inf`` *after* the
+        dense multiplication (which is exactly the wasted work the paper's
+        kernels avoid).
+    zero_fully_masked:
+        Rows with no unmasked entry produce NaN in the PyTorch baseline; the
+        graph kernels leave them at 0.  The default maps them to 0 so that both
+        behaviours compare equal under the paper's ``equal_nan`` allclose; pass
+        ``False`` to reproduce the NaN behaviour.
+    """
+    validate_qkv(q, k, v)
+    length, head_dim = q.shape
+    acc_dtype = accumulator_dtype(q.dtype)
+    scale_value = resolve_scale(scale, head_dim)
+
+    q_acc = np.asarray(q, dtype=acc_dtype)
+    k_acc = np.asarray(k, dtype=acc_dtype)
+    v_acc = np.asarray(v, dtype=acc_dtype)
+
+    scores = (q_acc @ k_acc.T) * scale_value
+    dense_mask = _mask_to_dense_bool(mask, length)
+    if dense_mask is not None:
+        scores = np.where(dense_mask, scores, -np.inf)
+
+    if zero_fully_masked:
+        probabilities = stable_softmax(scores, axis=1)
+        row_max = np.max(scores, axis=1)
+        row_sum = np.sum(
+            np.exp(np.where(np.isfinite(scores), scores - np.where(np.isfinite(row_max), row_max, 0.0)[:, None], -np.inf)),
+            axis=1,
+        )
+    else:
+        with np.errstate(invalid="ignore"):
+            shifted = scores - np.max(scores, axis=1, keepdims=True)
+            weights = np.exp(shifted)
+            probabilities = weights / np.sum(weights, axis=1, keepdims=True)
+        row_max = np.max(scores, axis=1)
+        row_sum = np.sum(weights, axis=1)
+
+    output = probabilities @ v_acc
+    nnz = int(dense_mask.sum()) if dense_mask is not None else length * length
+    ops = OpCounts.for_dense(length, head_dim, nnz=nnz)
+    return AttentionResult(
+        output=output.astype(q.dtype),
+        row_max=np.where(np.isfinite(row_max), row_max, -np.inf),
+        row_sum=row_sum,
+        ops=ops,
+        algorithm="sdp",
+        meta={"scale": scale_value, "masked": dense_mask is not None},
+    )
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: MaskLike = None,
+    *,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Convenience wrapper returning only the output matrix (verification helper)."""
+    return sdp_attention(q, k, v, mask, scale=scale).output

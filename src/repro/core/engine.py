@@ -1,0 +1,196 @@
+"""Kernel dispatch engine.
+
+:class:`GraphAttentionEngine` is the user-facing entry point: given Q/K/V and
+a mask specification it picks the most specialised kernel available —
+the implicit ordered-sparsity kernels when the spec advertises a
+``kernel_hint``, a sequence of specialised kernels for disjoint composites, or
+the explicit CSR/COO kernels for arbitrary masks — and returns the
+:class:`~repro.core.result.AttentionResult` together with the op counts the
+work model consumes.  The dense SDP and FlashAttention baselines are exposed
+through the same interface so experiments can swap algorithms by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.compose import merge_results
+from repro.core.dense import sdp_attention
+from repro.core.explicit_kernels import coo_attention, csr_attention
+from repro.core.flash import flash_attention
+from repro.core.implicit_kernels import (
+    dilated1d_attention,
+    dilated2d_attention,
+    global_attention,
+    local_attention,
+)
+from repro.core.result import AttentionResult
+from repro.masks.base import MaskSpec, as_mask_spec
+from repro.masks.composite import UnionMask
+from repro.masks.dilated2d import Dilated2DMask
+from repro.masks.global_ import GlobalMask, GlobalNonLocalMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import require
+
+#: Algorithms the engine can be asked for explicitly.
+ALGORITHMS = (
+    "auto",
+    "sdp",
+    "flash",
+    "coo",
+    "csr",
+    "local",
+    "dilated1d",
+    "dilated2d",
+    "global",
+    "composed",
+)
+
+MaskInput = Union[MaskSpec, np.ndarray, COOMatrix, CSRMatrix, None]
+
+
+@dataclass
+class GraphAttentionEngine:
+    """Dispatches attention computations to the most appropriate kernel.
+
+    Parameters
+    ----------
+    executor:
+        ``"vectorized"`` (default) or ``"streamed"`` — forwarded to the graph
+        kernels.
+    scale:
+        Attention scale; ``None`` means ``1/sqrt(d_k)``.
+    prefer_composition:
+        When dispatching a :class:`UnionMask` whose components all have
+        specialised kernels, run them sequentially and merge (the paper's
+        "Loc + Glo" strategy) instead of collapsing to a single CSR call.
+    """
+
+    executor: str = "vectorized"
+    scale: Optional[float] = None
+    prefer_composition: bool = True
+    history: List[AttentionResult] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        mask: MaskInput = None,
+        *,
+        algorithm: str = "auto",
+    ) -> AttentionResult:
+        """Compute attention for ``mask`` using ``algorithm`` (or auto-dispatch)."""
+        require(algorithm in ALGORITHMS, f"unknown algorithm {algorithm!r}")
+        if algorithm == "auto":
+            result = self._dispatch(q, k, v, mask)
+        else:
+            result = self._run_named(q, k, v, mask, algorithm)
+        self.history.append(result)
+        return result
+
+    def op_counts(self) -> Dict[str, int]:
+        """Aggregate op counts across every call made through this engine."""
+        totals = {"dot_products": 0, "flops": 0, "exp_evaluations": 0, "search_steps": 0, "wasted_dot_products": 0}
+        for result in self.history:
+            totals["dot_products"] += result.ops.dot_products
+            totals["flops"] += result.ops.flops
+            totals["exp_evaluations"] += result.ops.exp_evaluations
+            totals["search_steps"] += result.ops.search_steps
+            totals["wasted_dot_products"] += result.ops.wasted_dot_products
+        return totals
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, q, k, v, mask: MaskInput) -> AttentionResult:
+        if mask is None:
+            return flash_attention(q, k, v, scale=self.scale)
+        if isinstance(mask, (np.ndarray, COOMatrix, CSRMatrix)):
+            mask = as_mask_spec(mask)
+
+        if isinstance(mask, UnionMask) and self.prefer_composition:
+            if all(self._has_specialised_kernel(c) for c in mask.components):
+                return self._run_union_composed(q, k, v, mask)
+
+        if self._has_specialised_kernel(mask):
+            return self._run_spec(q, k, v, mask)
+        return csr_attention(
+            q, k, v, mask.to_csr(q.shape[0]), scale=self.scale, executor=self.executor
+        )
+
+    @staticmethod
+    def _has_specialised_kernel(spec: MaskSpec) -> bool:
+        return isinstance(
+            spec, (LocalMask, Dilated1DMask, Dilated2DMask, GlobalMask, GlobalNonLocalMask)
+        )
+
+    def _run_spec(self, q, k, v, spec: MaskSpec) -> AttentionResult:
+        if isinstance(spec, LocalMask):
+            return local_attention(q, k, v, spec.window, scale=self.scale, executor=self.executor)
+        if isinstance(spec, Dilated1DMask):
+            return dilated1d_attention(
+                q, k, v, spec.window, spec.dilation, scale=self.scale, executor=self.executor
+            )
+        if isinstance(spec, Dilated2DMask):
+            return dilated2d_attention(
+                q, k, v, spec.block_size, spec.dilation, scale=self.scale, executor=self.executor
+            )
+        if isinstance(spec, GlobalNonLocalMask):
+            return global_attention(
+                q, k, v, spec.global_tokens, spec.window, scale=self.scale, executor=self.executor
+            )
+        if isinstance(spec, GlobalMask):
+            return global_attention(
+                q, k, v, spec.global_tokens, 1, scale=self.scale, executor=self.executor
+            )
+        raise TypeError(f"no specialised kernel for {type(spec).__name__}")
+
+    def _run_named(self, q, k, v, mask: MaskInput, algorithm: str) -> AttentionResult:
+        length = q.shape[0]
+        if algorithm == "sdp":
+            return sdp_attention(q, k, v, mask, scale=self.scale)
+        if algorithm == "flash":
+            require(mask is None, "the FlashAttention baseline is dense; pass mask=None")
+            return flash_attention(q, k, v, scale=self.scale)
+        if algorithm in ("coo", "csr"):
+            require(mask is not None, f"{algorithm} kernel requires an explicit mask")
+            spec = mask if isinstance(mask, (COOMatrix, CSRMatrix)) else as_mask_spec(mask) if not isinstance(mask, MaskSpec) else mask
+            kernel = coo_attention if algorithm == "coo" else csr_attention
+            return kernel(q, k, v, spec if not isinstance(spec, MaskSpec) else spec.to_csr(length), scale=self.scale, executor=self.executor)
+        if algorithm == "composed":
+            require(isinstance(mask, UnionMask), "composed execution requires a UnionMask")
+            return self._run_union_composed(q, k, v, mask)
+        # implicit kernels: the mask must be (convertible to) the right spec type
+        require(isinstance(mask, MaskSpec), f"{algorithm} kernel requires a MaskSpec input")
+        return self._run_spec(q, k, v, mask)
+
+    def _run_union_composed(self, q, k, v, mask: UnionMask) -> AttentionResult:
+        """Execute a union mask as sequential kernel calls over disjoint edge sets.
+
+        Online-softmax merging is only exact when no edge is processed twice,
+        so every component is reduced to the edges not already covered by the
+        components before it; a component left intact keeps its specialised
+        kernel, a trimmed component falls back to the CSR kernel on the
+        remaining edges.
+        """
+        length = q.shape[0]
+        covered = None
+        results = []
+        for component in mask.components:
+            component_csr = component.to_csr(length)
+            remainder = component_csr if covered is None else component_csr.difference(covered)
+            if remainder.nnz == component_csr.nnz and self._has_specialised_kernel(component):
+                results.append(self._run_spec(q, k, v, component))
+            elif remainder.nnz:
+                results.append(
+                    csr_attention(q, k, v, remainder, scale=self.scale, executor=self.executor)
+                )
+            covered = component_csr if covered is None else covered.union(component_csr)
+        if not results:
+            return csr_attention(q, k, v, mask.to_csr(length), scale=self.scale, executor=self.executor)
+        return merge_results(results)

@@ -1,0 +1,40 @@
+"""Unified namespace for the six graph-processing attention kernels.
+
+The paper's Algorithm 1 is implemented by six kernels split across two
+modules — explicit-mask kernels (:mod:`repro.core.explicit_kernels`) and
+implicit ordered-sparsity kernels (:mod:`repro.core.implicit_kernels`).  This
+module re-exports them under one roof and provides :data:`GRAPH_KERNELS`, a
+name-to-callable registry the benchmark harness iterates over.
+"""
+
+from __future__ import annotations
+
+from repro.core.explicit_kernels import coo_attention, coo_search_steps, csr_attention
+from repro.core.implicit_kernels import (
+    dilated1d_attention,
+    dilated2d_attention,
+    global_attention,
+    local_attention,
+)
+
+#: The six graph-processing kernels of the paper, keyed by the names used in
+#: Fig. 3's legend.
+GRAPH_KERNELS = {
+    "coo": coo_attention,
+    "csr": csr_attention,
+    "local": local_attention,
+    "dilated1d": dilated1d_attention,
+    "dilated2d": dilated2d_attention,
+    "global": global_attention,
+}
+
+__all__ = [
+    "GRAPH_KERNELS",
+    "coo_attention",
+    "coo_search_steps",
+    "csr_attention",
+    "dilated1d_attention",
+    "dilated2d_attention",
+    "global_attention",
+    "local_attention",
+]

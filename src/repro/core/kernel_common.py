@@ -1,0 +1,160 @@
+"""Shared machinery for the graph-processing attention kernels.
+
+All six kernels follow Algorithm 1: parallel over query rows, pull each
+neighbour's key/value, maintain online-softmax statistics.  They differ only
+in how neighbours are obtained (explicit COO/CSR input vs. implicit pattern
+parameters) and in how the work is batched.  This module hosts the two
+executor cores they share:
+
+* :func:`streamed_attention` — the literal Algorithm 1 loop: one neighbour at
+  a time, one online-softmax update per edge.  It is the executable
+  specification used for verification and op accounting, not a fast path.
+* :func:`csr_ordered_attention` — the vectorised work-optimal core: edge
+  scores are evaluated in one fused pass over the CSR-ordered edge list and
+  reduced per row with segment operations.  Exactly ``nnz`` dot products and
+  ``nnz`` value accumulations are performed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dense import resolve_scale, validate_qkv
+from repro.core.online_softmax import (
+    OnlineSoftmaxState,
+    accumulator_dtype,
+    segment_softmax_stats,
+    segment_weighted_sum,
+)
+from repro.core.result import AttentionResult, OpCounts
+from repro.utils.validation import require
+
+#: Executor names accepted by every graph kernel.
+EXECUTORS = ("vectorized", "streamed")
+
+
+def validate_executor(executor: str) -> str:
+    require(executor in EXECUTORS, f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    return executor
+
+
+def prepare_inputs(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, scale: Optional[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, np.dtype]:
+    """Validate shapes and upcast Q/K/V to the accumulation dtype."""
+    validate_qkv(q, k, v)
+    acc_dtype = accumulator_dtype(q.dtype)
+    scale_value = resolve_scale(scale, q.shape[1])
+    return (
+        np.asarray(q, dtype=acc_dtype),
+        np.asarray(k, dtype=acc_dtype),
+        np.asarray(v, dtype=acc_dtype),
+        scale_value,
+        acc_dtype,
+    )
+
+
+def finalize_result(
+    state: OnlineSoftmaxState,
+    *,
+    out_dtype,
+    ops: OpCounts,
+    algorithm: str,
+    meta: Optional[dict] = None,
+) -> AttentionResult:
+    """Normalise a state into an :class:`AttentionResult`."""
+    return AttentionResult(
+        output=state.finalize(dtype=out_dtype),
+        row_max=state.row_max.copy(),
+        row_sum=state.row_sum.copy(),
+        ops=ops,
+        algorithm=algorithm,
+        meta=dict(meta or {}),
+    )
+
+
+def streamed_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    neighbor_fn: Callable[[int], np.ndarray],
+    *,
+    scale: Optional[float] = None,
+    algorithm: str = "streamed",
+    search_steps: int = 0,
+    meta: Optional[dict] = None,
+) -> AttentionResult:
+    """Literal Algorithm 1: per row, pull neighbours one at a time.
+
+    ``neighbor_fn(i)`` plays the role of ``Get_Neighbors(G, i, Pa)``.  The
+    executor performs exactly one dot product, one exponential and one
+    rescaled accumulation per edge — the work-optimal operation count — but
+    pays Python-level loop overhead, so it is intended for verification and
+    small problem sizes.
+    """
+    q_acc, k_acc, v_acc, scale_value, acc_dtype = prepare_inputs(q, k, v, scale)
+    length, head_dim = q.shape
+    value_dim = v.shape[1]
+    state = OnlineSoftmaxState.initialise(length, value_dim, acc_dtype)
+    edges = 0
+    for i in range(length):
+        neighbors = np.asarray(neighbor_fn(i))
+        for j in neighbors:
+            score = float(q_acc[i] @ k_acc[j]) * scale_value
+            state.update_single(i, score, v_acc[j])
+        edges += int(neighbors.size)
+    ops = OpCounts.for_edges(edges, head_dim, value_dim, search_steps=search_steps)
+    return finalize_result(
+        state, out_dtype=q.dtype, ops=ops, algorithm=algorithm, meta=meta
+    )
+
+
+def csr_ordered_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    indptr: np.ndarray,
+    cols: np.ndarray,
+    *,
+    scale: Optional[float] = None,
+    algorithm: str = "csr",
+    search_steps: int = 0,
+    meta: Optional[dict] = None,
+) -> AttentionResult:
+    """Vectorised work-optimal core over CSR-ordered edges.
+
+    ``indptr`` delimits each query row's edges inside ``cols``.  One fused
+    pass computes the ``nnz`` edge scores, a segment softmax reduces them per
+    row and a segment weighted sum accumulates the value rows — no dense
+    ``L x L`` intermediate is ever formed.
+    """
+    q_acc, k_acc, v_acc, scale_value, _ = prepare_inputs(q, k, v, scale)
+    length, head_dim = q.shape
+    value_dim = v.shape[1]
+    indptr = np.asarray(indptr, dtype=np.int64)
+    cols = np.asarray(cols)
+    require(indptr.size == length + 1, "indptr must have length L + 1")
+    require(int(indptr[-1]) == cols.size, "indptr[-1] must equal the edge count")
+
+    lengths = np.diff(indptr)
+    edge_rows = np.repeat(np.arange(length), lengths)
+    scores = np.einsum("ed,ed->e", q_acc[edge_rows], k_acc[cols]) * scale_value
+    row_max, row_sum, weights = segment_softmax_stats(scores, indptr)
+    acc = segment_weighted_sum(weights, v_acc[cols], indptr, value_dim)
+
+    empty = row_sum == 0
+    safe = np.where(empty, 1.0, row_sum)
+    output = acc / safe[:, None]
+    output[empty] = 0.0
+
+    ops = OpCounts.for_edges(int(cols.size), head_dim, value_dim, search_steps=search_steps)
+    return AttentionResult(
+        output=output.astype(q.dtype),
+        row_max=row_max.astype(np.float64),
+        row_sum=row_sum.astype(np.float64),
+        ops=ops,
+        algorithm=algorithm,
+        meta=dict(meta or {}),
+    )

@@ -1,0 +1,141 @@
+"""Multi-head and batched wrappers around the single-head kernels.
+
+The paper's kernels are single-batch and single-headed "to facilitate focus on
+the experiments", noting that the multi-head extension is trivial: slice the
+model dimension into heads, run the kernel per head, concatenate.  These
+wrappers implement that extension (plus a batch dimension) so the library can
+drop into a standard transformer layer, and they are what the Llama-3-shaped
+rows of Table II (32 heads, d_model = 4096) exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.result import AttentionResult, OpCounts
+from repro.utils.validation import require
+
+#: A single-head kernel: ``(q, k, v) -> AttentionResult`` with Q/K/V of shape (L, d_head).
+HeadKernel = Callable[[np.ndarray, np.ndarray, np.ndarray], AttentionResult]
+
+
+@dataclass
+class MultiHeadResult:
+    """Concatenated multi-head output plus the per-head results."""
+
+    output: np.ndarray
+    head_results: List[AttentionResult]
+
+    @property
+    def num_heads(self) -> int:
+        return len(self.head_results)
+
+    @property
+    def ops(self) -> OpCounts:
+        total = OpCounts()
+        for result in self.head_results:
+            total = total + result.ops
+        return total
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """Reshape ``(L, d_model)`` into ``(num_heads, L, d_model // num_heads)``."""
+    require(x.ndim == 2, "expected a (L, d_model) matrix")
+    length, d_model = x.shape
+    require(d_model % num_heads == 0, "d_model must be divisible by num_heads")
+    head_dim = d_model // num_heads
+    return np.ascontiguousarray(x.reshape(length, num_heads, head_dim).transpose(1, 0, 2))
+
+
+def merge_heads(heads: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`split_heads`: ``(H, L, d_head)`` back to ``(L, H * d_head)``."""
+    require(heads.ndim == 3, "expected a (H, L, d_head) array")
+    num_heads, length, head_dim = heads.shape
+    return np.ascontiguousarray(heads.transpose(1, 0, 2).reshape(length, num_heads * head_dim))
+
+
+def multi_head_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    kernel: HeadKernel,
+    *,
+    num_heads: int,
+) -> MultiHeadResult:
+    """Run a single-head kernel independently on every head and concatenate.
+
+    ``q``, ``k`` and ``v`` are ``(L, d_model)``; the same mask (implied by the
+    kernel closure) is shared across heads, which matches how the sparse
+    attention transformers of the paper apply their patterns.
+    """
+    q_heads = split_heads(q, num_heads)
+    k_heads = split_heads(k, num_heads)
+    v_heads = split_heads(v, num_heads)
+    results = [
+        kernel(q_heads[h], k_heads[h], v_heads[h]) for h in range(num_heads)
+    ]
+    stacked = np.stack([r.output for r in results], axis=0)
+    return MultiHeadResult(output=merge_heads(stacked), head_results=results)
+
+
+def batched_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    kernel: HeadKernel,
+) -> np.ndarray:
+    """Apply a single-head kernel independently over a leading batch dimension."""
+    require(q.ndim == 3 and k.ndim == 3 and v.ndim == 3, "expected (B, L, d) inputs")
+    require(q.shape[0] == k.shape[0] == v.shape[0], "batch sizes must match")
+    outputs = [kernel(q[b], k[b], v[b]).output for b in range(q.shape[0])]
+    return np.stack(outputs, axis=0)
+
+
+@dataclass
+class AttentionLayer:
+    """A minimal transformer attention layer with learnable-shaped projections.
+
+    Holds the ``W_Q``, ``W_K``, ``W_V`` and output projection matrices of
+    Section II-A and applies a sparse attention kernel between them.  Weights
+    are plain numpy arrays (this library does not train; the layer exists so
+    the examples can demonstrate end-to-end integration of the kernels in a
+    transformer block).
+    """
+
+    w_q: np.ndarray
+    w_k: np.ndarray
+    w_v: np.ndarray
+    w_o: np.ndarray
+    num_heads: int
+
+    @classmethod
+    def initialise(
+        cls,
+        d_model: int,
+        num_heads: int,
+        *,
+        seed: int = 0,
+        dtype=np.float32,
+    ) -> "AttentionLayer":
+        """Xavier-style random initialisation of the projection matrices."""
+        require(d_model % num_heads == 0, "d_model must be divisible by num_heads")
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(d_model)
+        draw = lambda: (rng.standard_normal((d_model, d_model)) * scale).astype(dtype)  # noqa: E731
+        return cls(w_q=draw(), w_k=draw(), w_v=draw(), w_o=draw(), num_heads=num_heads)
+
+    @property
+    def d_model(self) -> int:
+        return int(self.w_q.shape[0])
+
+    def __call__(self, x: np.ndarray, kernel: HeadKernel) -> np.ndarray:
+        """Project ``x`` to Q/K/V, apply the kernel per head, project the output."""
+        require(x.ndim == 2 and x.shape[1] == self.d_model, "input must be (L, d_model)")
+        q = x @ self.w_q
+        k = x @ self.w_k
+        v = x @ self.w_v
+        attended = multi_head_attention(q, k, v, kernel, num_heads=self.num_heads)
+        return attended.output @ self.w_o

@@ -1,0 +1,132 @@
+"""Result and operation-count containers shared by every attention kernel.
+
+Each kernel returns an :class:`AttentionResult` carrying the output matrix,
+the final online-softmax statistics (needed to merge sequentially executed
+kernels, Section V-F) and an :class:`OpCounts` record used by the work model
+to verify the work-optimality claim of Section IV-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation counts of one kernel invocation.
+
+    Attributes
+    ----------
+    dot_products:
+        Number of query-key dot products evaluated — for a truly sparse kernel
+        this equals the mask's nnz; for dense kernels it is ``L^2`` regardless
+        of the mask.
+    flops:
+        Floating point operations: ``2 d`` per dot product plus ``2 d`` per
+        value accumulation plus softmax bookkeeping.
+    exp_evaluations:
+        Number of exponentials evaluated by the (online) softmax.
+    search_steps:
+        Binary-search probes used to locate row bounds (non-zero only for the
+        COO kernel, whose in-kernel search the paper identifies as its
+        bottleneck).
+    wasted_dot_products:
+        Dot products spent on mask zeros (non-zero for dense and block-sparse
+        baselines; always 0 for the graph kernels).
+    """
+
+    dot_products: int = 0
+    flops: int = 0
+    exp_evaluations: int = 0
+    search_steps: int = 0
+    wasted_dot_products: int = 0
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            dot_products=self.dot_products + other.dot_products,
+            flops=self.flops + other.flops,
+            exp_evaluations=self.exp_evaluations + other.exp_evaluations,
+            search_steps=self.search_steps + other.search_steps,
+            wasted_dot_products=self.wasted_dot_products + other.wasted_dot_products,
+        )
+
+    @classmethod
+    def for_edges(
+        cls,
+        num_edges: int,
+        head_dim: int,
+        value_dim: Optional[int] = None,
+        *,
+        search_steps: int = 0,
+        wasted_dot_products: int = 0,
+    ) -> "OpCounts":
+        """Op counts of a truly sparse kernel touching ``num_edges`` mask non-zeros."""
+        value_dim = head_dim if value_dim is None else value_dim
+        computed = num_edges + wasted_dot_products
+        return cls(
+            dot_products=computed,
+            flops=2 * computed * head_dim + 2 * computed * value_dim,
+            exp_evaluations=computed,
+            search_steps=search_steps,
+            wasted_dot_products=wasted_dot_products,
+        )
+
+    @classmethod
+    def for_dense(cls, length: int, head_dim: int, nnz: Optional[int] = None) -> "OpCounts":
+        """Op counts of a dense kernel on an ``L x L`` score matrix.
+
+        ``nnz`` (if given) is the number of mask non-zeros, used to report how
+        much of the dense work was wasted on masked-out entries.
+        """
+        total = length * length
+        wasted = 0 if nnz is None else total - nnz
+        return cls(
+            dot_products=total,
+            flops=2 * total * head_dim + 2 * total * head_dim,
+            exp_evaluations=total,
+            search_steps=0,
+            wasted_dot_products=wasted,
+        )
+
+
+@dataclass
+class AttentionResult:
+    """Output of one attention kernel invocation.
+
+    ``row_max`` / ``row_sum`` are the final online-softmax statistics (``m``
+    and ``l`` of Algorithm 1); together with ``output`` they are sufficient to
+    merge this result with another kernel's result over a disjoint mask.
+    """
+
+    output: np.ndarray
+    row_max: np.ndarray
+    row_sum: np.ndarray
+    ops: OpCounts = field(default_factory=OpCounts)
+    algorithm: str = ""
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        return int(self.output.shape[0])
+
+    @property
+    def value_dim(self) -> int:
+        return int(self.output.shape[1])
+
+    def empty_rows(self) -> np.ndarray:
+        """Rows that received no attention mass (fully masked queries)."""
+        return np.flatnonzero(self.row_sum == 0)
+
+    def cast(self, dtype) -> "AttentionResult":
+        """Return a copy with the output cast to ``dtype`` (stats keep full precision)."""
+        return AttentionResult(
+            output=self.output.astype(dtype),
+            row_max=self.row_max,
+            row_sum=self.row_sum,
+            ops=self.ops,
+            algorithm=self.algorithm,
+            meta=dict(self.meta),
+        )

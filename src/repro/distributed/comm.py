@@ -1,0 +1,158 @@
+"""In-process simulated communicator.
+
+Real distributed runs (mpi4py, NCCL) are unavailable in this environment, so
+the distributed extension executes all ranks inside one process in a
+bulk-synchronous fashion while routing every data exchange through
+:class:`SimulatedWorld`.  Collectives take the per-rank shards as a list (the
+driver owns all ranks' data anyway) and return what every rank would receive;
+point-to-point messages flow through per-(source, dest, tag) mailboxes on
+:class:`SimulatedComm` handles.  All exchanges are counted in
+:class:`CommunicationStats`, using the standard cost models (an all-gather
+moves ``(p-1)/p`` of the gathered payload per rank, an all-reduce twice that),
+because communication *volume* per attention invocation is the quantity a real
+multi-node deployment of the paper's kernels would need to budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+@dataclass
+class CommunicationStats:
+    """Message and byte counters for one simulated world."""
+
+    messages: int = 0
+    bytes_moved: int = 0
+    collectives: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, payload_bytes: int, messages: int = 1) -> None:
+        self.messages += messages
+        self.bytes_moved += int(payload_bytes)
+        self.collectives[kind] = self.collectives.get(kind, 0) + 1
+
+    def merge(self, other: "CommunicationStats") -> "CommunicationStats":
+        """Combine counters from two worlds (e.g. per-layer communicators)."""
+        merged = CommunicationStats(
+            messages=self.messages + other.messages,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            collectives=dict(self.collectives),
+        )
+        for kind, count in other.collectives.items():
+            merged.collectives[kind] = merged.collectives.get(kind, 0) + count
+        return merged
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_moved = 0
+        self.collectives.clear()
+
+
+class SimulatedWorld:
+    """A fixed set of ranks with bulk-synchronous collectives and p2p mailboxes."""
+
+    def __init__(self, num_ranks: int):
+        require(num_ranks >= 1, "need at least one rank")
+        self.num_ranks = num_ranks
+        self._mailbox: Dict[tuple, List[np.ndarray]] = {}
+        self.stats = CommunicationStats()
+
+    # ------------------------------------------------------------------ #
+    # Collectives (driver-level, bulk synchronous)
+    # ------------------------------------------------------------------ #
+    def _check_shards(self, shards: Sequence[np.ndarray]) -> List[np.ndarray]:
+        require(len(shards) == self.num_ranks, "need exactly one shard per rank")
+        return [np.asarray(s) for s in shards]
+
+    def allgather(self, shards: Sequence[np.ndarray], *, axis: int = 0) -> np.ndarray:
+        """Concatenate per-rank shards; every rank receives the full buffer."""
+        arrays = self._check_shards(shards)
+        total_bytes = sum(a.nbytes for a in arrays)
+        # each rank receives everything except what it already holds
+        moved = sum(total_bytes - a.nbytes for a in arrays)
+        self.stats.record("allgather", moved, messages=self.num_ranks * (self.num_ranks - 1))
+        return np.concatenate(arrays, axis=axis)
+
+    def allreduce(self, shards: Sequence[np.ndarray], op: str = "sum") -> np.ndarray:
+        """Element-wise reduction of equally shaped per-rank buffers."""
+        require(op in ("sum", "max", "min"), "op must be 'sum', 'max' or 'min'")
+        arrays = self._check_shards(shards)
+        shapes = {a.shape for a in arrays}
+        require(len(shapes) == 1, "allreduce requires identically shaped buffers")
+        moved = int(2 * arrays[0].nbytes * (self.num_ranks - 1))
+        self.stats.record("allreduce", moved, messages=2 * self.num_ranks * (self.num_ranks - 1))
+        stacked = np.stack(arrays, axis=0)
+        if op == "sum":
+            return stacked.sum(axis=0)
+        if op == "max":
+            return stacked.max(axis=0)
+        return stacked.min(axis=0)
+
+    def broadcast(self, payload: np.ndarray, root: int = 0) -> List[np.ndarray]:
+        """Send ``payload`` from ``root`` to every rank; returns one copy per rank."""
+        require(0 <= root < self.num_ranks, "root rank out of range")
+        data = np.asarray(payload)
+        self.stats.record("bcast", data.nbytes * (self.num_ranks - 1), messages=self.num_ranks - 1)
+        return [np.array(data, copy=True) for _ in range(self.num_ranks)]
+
+    def scatter_rows(self, full: np.ndarray, bounds: Sequence[tuple], root: int = 0) -> List[np.ndarray]:
+        """Row-scatter ``full`` according to per-rank ``(start, stop)`` bounds."""
+        require(len(bounds) == self.num_ranks, "need one bound per rank")
+        shards = [np.array(full[start:stop], copy=True) for start, stop in bounds]
+        moved = sum(s.nbytes for i, s in enumerate(shards) if i != root)
+        self.stats.record("scatter", moved, messages=self.num_ranks - 1)
+        return shards
+
+    # ------------------------------------------------------------------ #
+    # Point to point
+    # ------------------------------------------------------------------ #
+    def comm(self, rank: int) -> "SimulatedComm":
+        require(0 <= rank < self.num_ranks, "rank out of range")
+        return SimulatedComm(world=self, rank=rank)
+
+    def comms(self) -> List["SimulatedComm"]:
+        return [self.comm(r) for r in range(self.num_ranks)]
+
+    def _post(self, source: int, dest: int, tag: int, payload: np.ndarray) -> None:
+        self._mailbox.setdefault((source, dest, tag), []).append(np.array(payload, copy=True))
+        self.stats.record("send", np.asarray(payload).nbytes)
+
+    def _collect(self, source: int, dest: int, tag: int) -> np.ndarray:
+        queue = self._mailbox.get((source, dest, tag))
+        require(bool(queue), f"no message from rank {source} to rank {dest} with tag {tag}")
+        return queue.pop(0)
+
+    def pending_messages(self) -> int:
+        """Number of sent but not yet received point-to-point messages."""
+        return sum(len(q) for q in self._mailbox.values())
+
+
+@dataclass(frozen=True)
+class SimulatedComm:
+    """Per-rank handle for point-to-point communication."""
+
+    world: SimulatedWorld
+    rank: int
+
+    @property
+    def size(self) -> int:
+        return self.world.num_ranks
+
+    def send(self, payload: np.ndarray, dest: int, tag: int = 0) -> None:
+        require(0 <= dest < self.size, "destination rank out of range")
+        require(dest != self.rank, "cannot send to self")
+        self.world._post(self.rank, dest, tag, np.asarray(payload))
+
+    def recv(self, source: int, tag: int = 0) -> np.ndarray:
+        require(0 <= source < self.size, "source rank out of range")
+        return self.world._collect(source, self.rank, tag)
+
+    def sendrecv(self, payload: np.ndarray, dest: int, source: int, tag: int = 0) -> np.ndarray:
+        """Combined send/receive, as used by ring exchanges."""
+        self.send(payload, dest, tag)
+        return self.recv(source, tag)

@@ -1,0 +1,86 @@
+"""Load-balance analysis of row-partitioning strategies.
+
+The paper's future-work section motivates graph partitioning for distributed
+execution: a plain equal-row split leaves ranks with wildly different edge
+counts on skewed masks (Longformer's handful of fully-dense global rows),
+whereas edge-balanced or greedy partitioners even the work out at the cost of
+contiguity.  :func:`evaluate_partitions` quantifies that trade-off for any
+mask so the ablation benchmark can report it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.graph.attention_graph import AttentionGraph
+from repro.graph.partition import (
+    balanced_edge_partition,
+    contiguous_partition,
+    greedy_bin_partition,
+    partition_edge_cut,
+)
+from repro.masks.base import MaskSpec
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Balance and communication metrics of one partitioning strategy."""
+
+    strategy: str
+    num_parts: int
+    max_edges: int
+    mean_edges: float
+    balance: float
+    edge_cut: int
+    contiguous: bool
+
+    @property
+    def imbalance_percent(self) -> float:
+        """How much slower the critical rank is than the average, in percent."""
+        return (self.balance - 1.0) * 100.0
+
+
+def evaluate_partitions(
+    mask: Union[MaskSpec, CSRMatrix],
+    num_parts: int,
+    *,
+    length: Optional[int] = None,
+) -> Dict[str, PartitionQuality]:
+    """Evaluate the three built-in partitioners on one mask.
+
+    Returns quality records keyed by strategy name: ``"contiguous"`` (equal
+    rows), ``"balanced_edges"`` (contiguous, equal work) and ``"greedy"``
+    (non-contiguous longest-processing-time).
+    """
+    require(num_parts >= 1, "num_parts must be >= 1")
+    if isinstance(mask, CSRMatrix):
+        csr = mask
+    else:
+        require(length is not None, "length required when passing a MaskSpec")
+        csr = mask.to_csr(length)
+    degrees = csr.row_degrees()
+    graph = AttentionGraph(csr)
+
+    strategies = {
+        "contiguous": (contiguous_partition(csr.shape[0], num_parts), True),
+        "balanced_edges": (balanced_edge_partition(degrees, num_parts), True),
+        "greedy": (greedy_bin_partition(degrees, num_parts), False),
+    }
+    results: Dict[str, PartitionQuality] = {}
+    for name, (partition, contiguous) in strategies.items():
+        edges = partition.edge_counts(degrees)
+        results[name] = PartitionQuality(
+            strategy=name,
+            num_parts=num_parts,
+            max_edges=int(edges.max()),
+            mean_edges=float(edges.mean()),
+            balance=partition.balance(degrees),
+            edge_cut=partition_edge_cut(graph, partition),
+            contiguous=contiguous,
+        )
+    return results

@@ -1,0 +1,33 @@
+"""Graph-computing view of attention (Section IV-A of the paper).
+
+Tokens are vertices, mask non-zeros are directed edges from a query vertex to
+the key vertices it attends.  :class:`AttentionGraph` holds that adjacency
+structure in CSR form plus the vertex attributes (Q, K, V rows) the kernels
+pull from; :mod:`repro.graph.stats` quantifies degree distribution and load
+imbalance (the effect that slows the Global kernel in Fig. 3);
+:mod:`repro.graph.partition` provides the 1-D partitioners used by the
+distributed (sequence-parallel) extension.
+"""
+
+from repro.graph.attention_graph import AttentionGraph
+from repro.graph.partition import (
+    Partition,
+    balanced_edge_partition,
+    contiguous_partition,
+    greedy_bin_partition,
+    partition_edge_cut,
+)
+from repro.graph.stats import DegreeStats, degree_stats, load_imbalance, work_per_block
+
+__all__ = [
+    "AttentionGraph",
+    "DegreeStats",
+    "Partition",
+    "balanced_edge_partition",
+    "contiguous_partition",
+    "degree_stats",
+    "greedy_bin_partition",
+    "load_imbalance",
+    "partition_edge_cut",
+    "work_per_block",
+]

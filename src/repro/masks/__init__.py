@@ -1,0 +1,73 @@
+"""Attention-mask specifications (explicit and implicit).
+
+This package implements the mask zoo of the paper's Fig. 2 plus the mask
+algebra and solvers the experiments need:
+
+* ordered-sparsity patterns with implicit ``Get_Neighbors`` support —
+  :class:`LocalMask`, :class:`Dilated1DMask`, :class:`Dilated2DMask`,
+  :class:`GlobalMask` / :class:`GlobalNonLocalMask`;
+* stochastic and structured patterns — :class:`RandomMask`,
+  :class:`CausalMask`, :class:`BlockDiagonalMask`, :class:`StridedMask`,
+  :class:`DenseMask`;
+* composites (:class:`UnionMask`, ...) and the Longformer / BigBird / LongNet
+  presets of Section V-F;
+* solvers converting a target sparsity factor into window / block parameters
+  (Section V-C) and the LongNet sparsity schedule (Section II-D).
+"""
+
+from repro.masks.base import MaskSpec, TranslationInvariantMask, as_mask_spec
+from repro.masks.composite import DifferenceMask, IntersectionMask, UnionMask
+from repro.masks.dilated2d import Dilated2DMask
+from repro.masks.explicit import ExplicitMask
+from repro.masks.global_ import GlobalMask, GlobalNonLocalMask
+from repro.masks.presets import (
+    LongNetSchedule,
+    bigbird_block_mask,
+    bigbird_mask,
+    default_global_tokens,
+    longformer_dilated_mask,
+    longformer_mask,
+)
+from repro.masks.random_ import RandomMask
+from repro.masks.solvers import (
+    achieved_sparsity,
+    dilated1d_window_for_sparsity,
+    dilated2d_block_for_sparsity,
+    local_window_for_sparsity,
+    longnet_sparsity_factor,
+    longnet_window_for_length,
+)
+from repro.masks.structured import BlockDiagonalMask, CausalMask, DenseMask, StridedMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+
+__all__ = [
+    "BlockDiagonalMask",
+    "CausalMask",
+    "DenseMask",
+    "Dilated1DMask",
+    "Dilated2DMask",
+    "DifferenceMask",
+    "ExplicitMask",
+    "GlobalMask",
+    "GlobalNonLocalMask",
+    "IntersectionMask",
+    "LocalMask",
+    "LongNetSchedule",
+    "MaskSpec",
+    "RandomMask",
+    "StridedMask",
+    "TranslationInvariantMask",
+    "UnionMask",
+    "achieved_sparsity",
+    "as_mask_spec",
+    "bigbird_block_mask",
+    "bigbird_mask",
+    "default_global_tokens",
+    "dilated1d_window_for_sparsity",
+    "dilated2d_block_for_sparsity",
+    "local_window_for_sparsity",
+    "longformer_dilated_mask",
+    "longformer_mask",
+    "longnet_sparsity_factor",
+    "longnet_window_for_length",
+]

@@ -1,0 +1,113 @@
+"""Solvers mapping a target sparsity factor to mask parameters (and back).
+
+The microbenchmarks of Section V-C sweep the *sparsity factor* and derive the
+window / block size that realises it ("The local, 1D dilation, and 2D dilation
+masks calculated window/block size to fit the associated sparsity factor"),
+and Table III / Fig. 5 derive window sizes from the LongNet sparsity schedule
+of Section II-D.  These helpers perform those conversions exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.masks.dilated2d import Dilated2DMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+from repro.utils.validation import require
+
+
+def _check_target(length: int, sparsity: float) -> None:
+    require(length > 0, "context length must be positive")
+    require(0.0 < sparsity <= 1.0, "sparsity factor must lie in (0, 1]")
+
+
+def local_window_for_sparsity(length: int, sparsity: float) -> int:
+    """Smallest window ``w`` whose :class:`LocalMask` reaches ``Sf >= sparsity``.
+
+    Uses the closed-form edge count ``L(2w-1) - (w-1)w`` and a final exact
+    adjustment, so the returned mask's true sparsity factor is the tightest
+    value at or above the target.
+    """
+    _check_target(length, sparsity)
+    target_nnz = sparsity * length * length
+    # closed-form first guess ignoring boundary effects: L(2w-1) ~= target
+    guess = max(1, int(math.ceil((target_nnz / length + 1.0) / 2.0)))
+    w = min(guess, length)
+    while w < length and LocalMask(window=w).nnz(length) < target_nnz:
+        w += 1
+    while w > 1 and LocalMask(window=w - 1).nnz(length) >= target_nnz:
+        w -= 1
+    return w
+
+
+def dilated1d_window_for_sparsity(length: int, sparsity: float, dilation: int = 1) -> int:
+    """Window for :class:`Dilated1DMask` at dilation ``r`` reaching the target ``Sf``."""
+    _check_target(length, sparsity)
+    require(dilation >= 0, "dilation must be >= 0")
+    target_nnz = sparsity * length * length
+    stride = dilation + 1
+    # number of attended offsets ~= 2*(w-1)/stride + 1, each contributing ~L edges
+    guess_steps = max(0, int(math.ceil((target_nnz / length - 1.0) / 2.0)))
+    w = min(guess_steps * stride + 1, length)
+    w = max(w, 1)
+    while w < length and Dilated1DMask(window=w, dilation=dilation).nnz(length) < target_nnz:
+        w += stride
+    while (
+        w - stride >= 1
+        and Dilated1DMask(window=w - stride, dilation=dilation).nnz(length) >= target_nnz
+    ):
+        w -= stride
+    return min(w, length)
+
+
+def dilated2d_block_for_sparsity(length: int, sparsity: float, dilation: int = 1) -> int:
+    """Block size for :class:`Dilated2DMask` at dilation ``r`` reaching the target ``Sf``.
+
+    Each block of size ``b`` contributes ``ceil(b/(r+1))^2`` edges out of
+    ``b * L`` possible in its rows, so larger blocks are denser; a bisection
+    over ``b`` finds the smallest block size meeting the target.
+    """
+    _check_target(length, sparsity)
+    require(dilation >= 0, "dilation must be >= 0")
+    target_nnz = sparsity * length * length
+    lo, hi = 1, length
+    if Dilated2DMask(block_size=length, dilation=dilation).nnz(length) < target_nnz:
+        return length
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if Dilated2DMask(block_size=mid, dilation=dilation).nnz(length) >= target_nnz:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def achieved_sparsity(mask_spec, length: int) -> float:
+    """Sparsity factor a mask spec actually realises at context length ``length``."""
+    return mask_spec.nnz(length) / float(length * length)
+
+
+def longnet_sparsity_factor(length: int, *, w0: int = 2048, alpha: float = 2.0) -> float:
+    """LongNet's dot-product budget as a sparsity factor (paper Section II-D).
+
+    The paper states the budget formula as ``2 alpha / (alpha - 1) * w0 * L``
+    but evaluates it to ``2730 L`` for ``alpha = 2`` and ``w0 = 2048``, which
+    corresponds to ``alpha^2 / (alpha^2 - 1) * w0 * L`` (= 4/3 * 2048 * L).
+    The numeric value is the one the paper's sparsity table (Sf = 0.17 at 16k,
+    1.7e-5 at 160M) and the Table III sparsity schedule are derived from, so we
+    follow it; the formula discrepancy is noted in EXPERIMENTS.md.  The result
+    is clamped to 1 for short sequences where the budget exceeds ``L^2``.
+    """
+    require(length > 0, "context length must be positive")
+    require(alpha > 1.0, "alpha must exceed 1")
+    budget = alpha * alpha / (alpha * alpha - 1.0) * w0 * length
+    return min(1.0, budget / float(length * length))
+
+
+def longnet_window_for_length(length: int, *, w0: int = 2048, alpha: float = 2.0) -> int:
+    """Local-window size realising the LongNet sparsity schedule at length ``L``.
+
+    Used by the Table III reproduction, where the local kernel's window is
+    chosen so its sparsity matches Section II-D at each context length.
+    """
+    return local_window_for_sparsity(length, longnet_sparsity_factor(length, w0=w0, alpha=alpha))

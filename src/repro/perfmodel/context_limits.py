@@ -1,0 +1,107 @@
+"""Theoretical context-length limit tables and sweeps (Fig. 4 and Table II).
+
+Thin drivers over :mod:`repro.perfmodel.memory` that produce exactly the rows
+the paper prints: Table II's maximum context length per (dtype, Sf, d_k,
+heads, algorithm) on an 80 GB A100, and Fig. 4's limit-vs-sparsity curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.perfmodel.devices import A100_SXM4_80GB, DeviceSpec
+from repro.perfmodel.memory import max_context_length
+
+#: Column order of Table II.
+TABLE2_ALGORITHMS = ("sdp", "csr", "coo", "flash", "local", "global", "dilated1d", "dilated2d")
+
+#: The (dtype, Sf, d_k, heads) rows of Table II.  The 4,096 / 32-head rows use
+#: the Llama-3-8B attention shape the paper cites.
+TABLE2_CONFIGS = (
+    {"dtype": "fp32", "sparsity_factor": 1e-4, "head_dim": 64, "heads": 1},
+    {"dtype": "fp32", "sparsity_factor": 1e-4, "head_dim": 128, "heads": 1},
+    {"dtype": "fp32", "sparsity_factor": 1e-4, "head_dim": 128, "heads": 32, "label": "dk=4096, 32 heads"},
+    {"dtype": "fp16", "sparsity_factor": 1e-4, "head_dim": 64, "heads": 1},
+    {"dtype": "fp16", "sparsity_factor": 1e-4, "head_dim": 128, "heads": 1},
+    {"dtype": "fp16", "sparsity_factor": 1e-4, "head_dim": 128, "heads": 32, "label": "dk=4096, 32 heads"},
+)
+
+
+@dataclass(frozen=True)
+class ContextLimitRow:
+    """One row of Table II: the per-algorithm maximum context lengths."""
+
+    dtype: str
+    sparsity_factor: float
+    head_dim: int
+    heads: int
+    limits: Dict[str, Optional[int]]
+    label: str = ""
+
+    @property
+    def model_dim(self) -> int:
+        return self.head_dim * self.heads
+
+    def limit(self, algorithm: str) -> Optional[int]:
+        return self.limits[algorithm]
+
+
+def context_limit_table(
+    device: DeviceSpec = A100_SXM4_80GB,
+    *,
+    configs: Sequence[dict] = TABLE2_CONFIGS,
+    algorithms: Sequence[str] = TABLE2_ALGORITHMS,
+    accounting: str = "paper",
+) -> List[ContextLimitRow]:
+    """Reproduce Table II: max context length per algorithm and configuration."""
+    rows: List[ContextLimitRow] = []
+    for config in configs:
+        limits = {
+            algorithm: max_context_length(
+                algorithm,
+                device,
+                dtype=config["dtype"],
+                head_dim=config["head_dim"],
+                heads=config["heads"],
+                sparsity_factor=config["sparsity_factor"],
+                accounting=accounting,
+            )
+            for algorithm in algorithms
+        }
+        rows.append(
+            ContextLimitRow(
+                dtype=config["dtype"],
+                sparsity_factor=config["sparsity_factor"],
+                head_dim=config["head_dim"],
+                heads=config["heads"],
+                limits=limits,
+                label=config.get("label", ""),
+            )
+        )
+    return rows
+
+
+def context_limit_sweep(
+    algorithm: str,
+    sparsity_factors: Sequence[float],
+    *,
+    device: DeviceSpec = A100_SXM4_80GB,
+    dtype: str = "fp32",
+    head_dim: int = 64,
+    heads: int = 1,
+    accounting: str = "paper",
+) -> List[Optional[int]]:
+    """Reproduce one curve of Fig. 4: max context length as sparsity varies."""
+    return [
+        max_context_length(
+            algorithm,
+            device,
+            dtype=dtype,
+            head_dim=head_dim,
+            heads=heads,
+            sparsity_factor=sf,
+            accounting=accounting,
+        )
+        for sf in sparsity_factors
+    ]

@@ -1,0 +1,145 @@
+"""GPU device specifications (paper Table I).
+
+The paper measures on three systems, identified by their GPU: an NVIDIA A100
+(SXM4 80 GB), an L40 (48 GB) and a V100 (SXM2 32 GB).  :class:`DeviceSpec`
+captures the characteristics the analytical models need — memory capacity,
+memory bandwidth, peak arithmetic rates, SM count — plus the per-algorithm
+*effective throughput* constants calibrated against the runtimes the paper
+reports (see :mod:`repro.perfmodel.runtime` for how they are used).
+
+Published peak numbers are used for capacity/bandwidth/FLOPs; the calibrated
+constants are documented inline as being fit to the paper's Table III and
+Fig. 3 observations rather than taken from datasheets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.utils.validation import require
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one accelerator.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, matching the paper's labels.
+    memory_bytes:
+        Usable device memory capacity (the context-length limits of Table II
+        assume the full capacity is available to the attention tensors).
+    memory_bandwidth:
+        Peak DRAM bandwidth in bytes/second.
+    peak_flops:
+        Peak arithmetic throughput in FLOP/s keyed by dtype name
+        (``"fp16"`` = tensor-core half precision, ``"fp32"`` = CUDA-core
+        single precision, ``"tf32"`` = tensor-core TF32 as used by cuBLAS for
+        float32 matmuls).
+    sm_count:
+        Number of streaming multiprocessors; the runtime model uses it as the
+        number of concurrently executing row blocks when evaluating load
+        imbalance.
+    kernel_launch_overhead:
+        Fixed per-kernel-invocation overhead in seconds.
+    effective_throughput:
+        Calibrated sustained FLOP/s of the *naive* graph-processing kernels on
+        this device (they use neither tensor cores nor coalesced access, so
+        their sustained rate is far below peak).  Fit to the paper's Table III
+        and Fig. 3 runtimes.
+    dense_efficiency:
+        Fraction of peak the dense library baselines (cuBLAS SDP,
+        FlashAttention) sustain on this device.
+    search_throughput:
+        COO in-kernel search steps per second (the linear row-bound scan the
+        paper blames for COO's runtime).
+    """
+
+    name: str
+    memory_bytes: int
+    memory_bandwidth: float
+    peak_flops: Dict[str, float]
+    sm_count: int
+    kernel_launch_overhead: float = 5e-4
+    effective_throughput: float = 8.0e10
+    dense_efficiency: float = 0.55
+    search_throughput: float = 1.0e9
+
+    def __post_init__(self) -> None:
+        require(self.memory_bytes > 0, "memory_bytes must be positive")
+        require(self.memory_bandwidth > 0, "memory_bandwidth must be positive")
+        require(self.sm_count > 0, "sm_count must be positive")
+        require(bool(self.peak_flops), "peak_flops must not be empty")
+
+    def peak_for(self, dtype: str) -> float:
+        """Peak FLOP/s for a dtype name (``fp16``/``fp32``/``tf32``)."""
+        key = dtype.lower()
+        require(key in self.peak_flops, f"device {self.name} has no peak entry for {dtype!r}")
+        return self.peak_flops[key]
+
+    @property
+    def memory_gib(self) -> float:
+        return self.memory_bytes / GIB
+
+
+#: NVIDIA A100 SXM4 80 GB (Ampere) — the GPU used for Table II/III and Figs. 4-6.
+A100_SXM4_80GB = DeviceSpec(
+    name="NVIDIA A100 (SXM4 80GB)",
+    memory_bytes=80 * GIB,
+    memory_bandwidth=2.039e12,
+    peak_flops={"fp16": 312e12, "tf32": 156e12, "fp32": 19.5e12},
+    sm_count=108,
+    # calibrated: the paper's local kernel sustains ~89 GFLOP/s and CSR ~80
+    # GFLOP/s on the A100 across Table III's context lengths
+    effective_throughput=8.7e10,
+    dense_efficiency=0.56,
+    search_throughput=1.0e9,
+)
+
+#: NVIDIA L40 48 GB (Ada) — newest GPU tested; fastest graph-kernel runtimes.
+L40_48GB = DeviceSpec(
+    name="NVIDIA L40 (48GB)",
+    memory_bytes=48 * GIB,
+    memory_bandwidth=8.64e11,
+    peak_flops={"fp16": 181e12, "tf32": 90.5e12, "fp32": 90.5e12},
+    sm_count=142,
+    # calibrated: Fig. 3 shows substantially larger graph-kernel speedups on
+    # the L40 (its naive-kernel clocks are higher, its SDP baseline slower)
+    effective_throughput=1.6e11,
+    dense_efficiency=0.35,
+    search_throughput=1.4e9,
+)
+
+#: NVIDIA V100 SXM2 32 GB (Volta) — oldest GPU; lacks memory for L = 24,576 dense runs.
+V100_SXM2_32GB = DeviceSpec(
+    name="NVIDIA V100 (SXM2 32GB)",
+    memory_bytes=32 * GIB,
+    memory_bandwidth=9.0e11,
+    peak_flops={"fp16": 112e12, "tf32": 15.7e12, "fp32": 15.7e12},
+    sm_count=80,
+    effective_throughput=6.0e10,
+    dense_efficiency=0.45,
+    search_throughput=7.0e8,
+)
+
+#: Registry of the paper's three systems keyed by short name.
+DEVICES: Dict[str, DeviceSpec] = {
+    "a100": A100_SXM4_80GB,
+    "l40": L40_48GB,
+    "v100": V100_SXM2_32GB,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device by short name (``"a100"``, ``"l40"``, ``"v100"``) or full name."""
+    key = name.strip().lower()
+    if key in DEVICES:
+        return DEVICES[key]
+    for device in DEVICES.values():
+        if device.name.lower() == key:
+            return device
+    raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")

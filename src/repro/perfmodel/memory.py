@@ -1,0 +1,243 @@
+"""Per-algorithm memory-footprint model and maximum-context-length solver.
+
+Section V-D derives the theoretical context-length limit of each algorithm by
+"solving inequalities that relate the total GPU memory to the amount of memory
+occupied by tensors during runtime".  This module reproduces that accounting:
+
+* every algorithm stores Q, K, V and O — ``4 · L · d_model`` elements;
+* **SDP (masked)** additionally materialises the dense score matrix
+  (``heads · L²`` elements);
+* **CSR** stores the row-offset vector (``L + 1`` entries) plus, per head, the
+  column-index and score vectors (``Sf · L²`` entries each);
+* **COO** stores row-index, column-index and score vectors
+  (``Sf · L²`` entries each, per head);
+* **FlashAttention, Local, Dilated-1D, Dilated-2D** store only the two online
+  softmax statistics vectors (``heads · L`` each) — their limits are
+  independent of sparsity;
+* **Global** adds the global-token index buffer.
+
+Two accounting presets are provided.  ``"consistent"`` (default) prices all
+index vectors at 4 bytes (int32) and all floating-point vectors at the data
+dtype.  ``"paper"`` reproduces Table II's printed numbers exactly, which
+requires pricing the CSR column indices at the *data* dtype width (2 bytes in
+FP16) while COO keeps int32 indices — an inconsistency in the paper's
+arithmetic that EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor, isqrt, sqrt
+from typing import Dict, Optional
+
+from repro.perfmodel.devices import DeviceSpec
+from repro.utils.dtypes import dtype_bytes
+from repro.utils.validation import require
+
+#: Algorithms the memory model (and Table II) covers.
+ALGORITHMS_WITH_MEMORY_MODEL = (
+    "sdp",
+    "csr",
+    "coo",
+    "flash",
+    "local",
+    "dilated1d",
+    "dilated2d",
+    "global",
+)
+
+#: Size of the global-token index buffer assumed by the Global kernel's
+#: footprint (the paper reports its limit a hair below Local's, consistent
+#: with a small fixed index buffer rather than a full-length one).
+DEFAULT_GLOBAL_INDEX_ENTRIES = 16 * 1024
+
+_ACCOUNTING_MODES = ("consistent", "paper")
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bytes resident per tensor family for one algorithm at one configuration."""
+
+    qkvo: int
+    score_matrix: int
+    sparse_structure: int
+    statistics: int
+    extra: int
+
+    @property
+    def total(self) -> int:
+        return self.qkvo + self.score_matrix + self.sparse_structure + self.statistics + self.extra
+
+
+@dataclass(frozen=True)
+class AttentionMemoryModel:
+    """Byte accounting for one algorithm / dtype / head configuration.
+
+    Parameters
+    ----------
+    algorithm:
+        One of :data:`ALGORITHMS_WITH_MEMORY_MODEL`.
+    dtype:
+        Storage dtype of Q/K/V/O and the floating-point sparse vectors
+        (``"fp16"``, ``"fp32"``...).
+    head_dim:
+        Per-head embedded dimension ``d_k``.
+    heads:
+        Number of attention heads (Q/K/V/O are ``L x heads*head_dim``).
+    index_bytes:
+        Width of integer index vectors (int32 by default).
+    accounting:
+        ``"consistent"`` or ``"paper"`` (see module docstring).
+    """
+
+    algorithm: str
+    dtype: str = "fp32"
+    head_dim: int = 64
+    heads: int = 1
+    index_bytes: int = 4
+    accounting: str = "consistent"
+    global_index_entries: int = DEFAULT_GLOBAL_INDEX_ENTRIES
+
+    def __post_init__(self) -> None:
+        require(
+            self.algorithm in ALGORITHMS_WITH_MEMORY_MODEL,
+            f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS_WITH_MEMORY_MODEL}",
+        )
+        require(self.head_dim > 0 and self.heads > 0, "head_dim and heads must be positive")
+        require(self.index_bytes in (2, 4, 8), "index_bytes must be 2, 4 or 8")
+        require(self.accounting in _ACCOUNTING_MODES, f"accounting must be one of {_ACCOUNTING_MODES}")
+        if self.algorithm == "flash":
+            require(
+                dtype_bytes(self.dtype) <= 2,
+                "FlashAttention does not operate on FP32 data (paper Table II)",
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def element_bytes(self) -> int:
+        return dtype_bytes(self.dtype)
+
+    @property
+    def model_dim(self) -> int:
+        return self.head_dim * self.heads
+
+    def supports_sparsity(self) -> bool:
+        """Whether the footprint depends on the sparsity factor (COO/CSR/SDP score matrix)."""
+        return self.algorithm in ("csr", "coo")
+
+    # ------------------------------------------------------------------ #
+    def breakdown(self, length: int, sparsity_factor: float = 1.0) -> MemoryBreakdown:
+        """Byte breakdown at context length ``length`` and mask sparsity ``Sf``."""
+        require(length > 0, "length must be positive")
+        require(0.0 <= sparsity_factor <= 1.0, "sparsity factor must lie in [0, 1]")
+        e = self.element_bytes
+        qkvo = 4 * length * self.model_dim * e
+        nnz_per_head = sparsity_factor * float(length) * float(length)
+        score_matrix = 0
+        sparse_structure = 0
+        statistics = 0
+        extra = 0
+
+        if self.algorithm == "sdp":
+            score_matrix = int(self.heads * float(length) * float(length) * e)
+        elif self.algorithm == "csr":
+            if self.accounting == "paper":
+                per_edge = 2 * e  # column indices priced at the data dtype width
+            else:
+                per_edge = self.index_bytes + e
+            sparse_structure = (length + 1) * self.index_bytes + int(
+                self.heads * nnz_per_head * per_edge
+            )
+        elif self.algorithm == "coo":
+            per_edge = 2 * self.index_bytes + e
+            sparse_structure = int(self.heads * nnz_per_head * per_edge)
+        else:  # flash, local, dilated1d, dilated2d, global
+            statistics = 2 * self.heads * length * e
+            if self.algorithm == "global":
+                extra = self.global_index_entries * self.index_bytes
+
+        return MemoryBreakdown(
+            qkvo=qkvo,
+            score_matrix=score_matrix,
+            sparse_structure=sparse_structure,
+            statistics=statistics,
+            extra=extra,
+        )
+
+    def bytes_required(self, length: int, sparsity_factor: float = 1.0) -> int:
+        return self.breakdown(length, sparsity_factor).total
+
+    # ------------------------------------------------------------------ #
+    def quadratic_coefficients(self, sparsity_factor: float = 1.0) -> Dict[str, float]:
+        """Coefficients (a, b, c) of ``bytes(L) = a L² + b L + c``."""
+        e = self.element_bytes
+        a = 0.0
+        b = 4.0 * self.model_dim * e
+        c = 0.0
+        if self.algorithm == "sdp":
+            a = float(self.heads) * e
+        elif self.algorithm == "csr":
+            per_edge = 2 * e if self.accounting == "paper" else self.index_bytes + e
+            a = self.heads * sparsity_factor * per_edge
+            b += self.index_bytes
+            c += self.index_bytes
+        elif self.algorithm == "coo":
+            a = self.heads * sparsity_factor * (2 * self.index_bytes + e)
+        else:
+            b += 2.0 * self.heads * e
+            if self.algorithm == "global":
+                c += self.global_index_entries * self.index_bytes
+        return {"a": a, "b": b, "c": c}
+
+    def max_context_length(
+        self, capacity_bytes: int, sparsity_factor: float = 1.0
+    ) -> int:
+        """Largest ``L`` whose footprint fits in ``capacity_bytes``.
+
+        Solves the quadratic byte inequality in closed form, then adjusts by a
+        few integer steps to undo floating-point slack.
+        """
+        require(capacity_bytes > 0, "capacity must be positive")
+        coeffs = self.quadratic_coefficients(sparsity_factor)
+        a, b, c = coeffs["a"], coeffs["b"], coeffs["c"]
+        budget = capacity_bytes - c
+        if budget <= 0:
+            return 0
+        if a == 0.0:
+            guess = int(budget // b)
+        else:
+            guess = int(floor((-b + sqrt(b * b + 4.0 * a * budget)) / (2.0 * a)))
+        guess = max(guess, 0)
+        # integer refinement around the closed-form root
+        while guess > 0 and self.bytes_required(guess, sparsity_factor) > capacity_bytes:
+            guess -= 1
+        while self.bytes_required(guess + 1, sparsity_factor) <= capacity_bytes:
+            guess += 1
+        return guess
+
+
+def max_context_length(
+    algorithm: str,
+    device: DeviceSpec,
+    *,
+    dtype: str = "fp32",
+    head_dim: int = 64,
+    heads: int = 1,
+    sparsity_factor: float = 1.0,
+    accounting: str = "consistent",
+) -> Optional[int]:
+    """Maximum context length of ``algorithm`` on ``device`` (``None`` if unsupported).
+
+    FlashAttention returns ``None`` for FP32 (it "does not operate on FP32
+    data", Table II).
+    """
+    if algorithm == "flash" and dtype_bytes(dtype) > 2:
+        return None
+    model = AttentionMemoryModel(
+        algorithm=algorithm,
+        dtype=dtype,
+        head_dim=head_dim,
+        heads=heads,
+        accounting=accounting,
+    )
+    return model.max_context_length(device.memory_bytes, sparsity_factor)

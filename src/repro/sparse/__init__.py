@@ -1,0 +1,36 @@
+"""Sparse matrix containers used as explicit attention-mask representations.
+
+The paper's explicit-mask kernels take either a COO (row indices, column
+indices, values) or a CSR (row offsets, column indices, values) description of
+the attention graph.  :class:`~repro.sparse.coo.COOMatrix` and
+:class:`~repro.sparse.csr.CSRMatrix` are purpose-built containers for those
+kernels: int32 index vectors, dtype-typed value vectors, canonical ordering
+(rows grouped, columns sorted within a row) and cheap row slicing.
+
+They interoperate with ``scipy.sparse`` (:mod:`repro.sparse.conversions`) but
+are deliberately independent of it so that the memory accounting in
+:mod:`repro.perfmodel` matches the bytes the kernels actually touch.
+"""
+
+from repro.sparse.block import BlockSparseMatrix, blockify
+from repro.sparse.conversions import (
+    coo_from_scipy,
+    csr_from_scipy,
+    from_dense,
+    to_scipy_coo,
+    to_scipy_csr,
+)
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "BlockSparseMatrix",
+    "COOMatrix",
+    "CSRMatrix",
+    "blockify",
+    "coo_from_scipy",
+    "csr_from_scipy",
+    "from_dense",
+    "to_scipy_coo",
+    "to_scipy_csr",
+]

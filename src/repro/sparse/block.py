@@ -1,0 +1,117 @@
+"""Block-sparse mask representation (related-work baseline).
+
+The related work the paper contrasts against (Section III) partitions the
+attention mask into ``B x B`` tiles and runs a dense kernel on every tile that
+contains *at least one* non-zero — paying ``O(d)`` wasted work for every zero
+inside a touched tile.  :class:`BlockSparseMatrix` captures that representation
+so the work model (:mod:`repro.work`) can quantify the excess computation and
+the ablation benchmarks can compare block-sparse against the truly-sparse
+graph kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import require
+from repro.sparse.coo import COOMatrix
+
+
+@dataclass(frozen=True)
+class BlockSparseMatrix:
+    """Tiling of an attention mask into fixed-size blocks.
+
+    Attributes
+    ----------
+    shape:
+        Dense shape ``(L, L)``.
+    block_size:
+        Edge length ``B`` of the square tiles.
+    block_rows, block_cols:
+        Coordinates (in block units) of tiles containing at least one non-zero.
+    nnz_per_block:
+        Count of true non-zeros inside each touched tile.
+    """
+
+    shape: Tuple[int, int]
+    block_size: int
+    block_rows: np.ndarray
+    block_cols: np.ndarray
+    nnz_per_block: np.ndarray
+
+    def __post_init__(self) -> None:
+        require(self.block_size > 0, "block_size must be positive")
+        block_rows = np.asarray(self.block_rows, dtype=np.int64).ravel()
+        block_cols = np.asarray(self.block_cols, dtype=np.int64).ravel()
+        nnz = np.asarray(self.nnz_per_block, dtype=np.int64).ravel()
+        require(block_rows.shape == block_cols.shape == nnz.shape, "block vectors must align")
+        object.__setattr__(self, "block_rows", block_rows)
+        object.__setattr__(self, "block_cols", block_cols)
+        object.__setattr__(self, "nnz_per_block", nnz)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of touched (computed) tiles."""
+        return int(self.block_rows.size)
+
+    @property
+    def true_nnz(self) -> int:
+        """Number of genuine mask non-zeros inside the touched tiles."""
+        return int(self.nnz_per_block.sum())
+
+    @property
+    def computed_elements(self) -> int:
+        """Elements a block-sparse kernel computes: every cell of every touched tile."""
+        return self.num_blocks * self.block_size * self.block_size
+
+    @property
+    def wasted_elements(self) -> int:
+        """Computed elements that correspond to mask zeros (excess work)."""
+        return self.computed_elements - self.true_nnz
+
+    @property
+    def block_density(self) -> float:
+        """Fraction of computed elements that are genuine non-zeros."""
+        return self.true_nnz / self.computed_elements if self.computed_elements else 0.0
+
+    def effective_sparsity_factor(self) -> float:
+        """Sparsity factor *as seen by a block kernel* (computed / total)."""
+        total = self.shape[0] * self.shape[1]
+        return self.computed_elements / total if total else 0.0
+
+    def waste_ratio(self) -> float:
+        """Wasted work relative to the work a truly-sparse kernel performs."""
+        if self.true_nnz == 0:
+            return 0.0
+        return self.wasted_elements / self.true_nnz
+
+
+def blockify(mask: COOMatrix, block_size: int) -> BlockSparseMatrix:
+    """Tile a COO mask into ``block_size``-sized blocks.
+
+    Any tile containing at least one non-zero becomes a computed block, which
+    is exactly how the block-sparse FlashAttention variants dispatch work.
+    """
+    require(block_size > 0, "block_size must be positive")
+    n_rows, n_cols = mask.shape
+    if mask.nnz == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return BlockSparseMatrix(
+            shape=mask.shape, block_size=block_size,
+            block_rows=empty, block_cols=empty, nnz_per_block=empty,
+        )
+    brow = mask.rows.astype(np.int64) // block_size
+    bcol = mask.cols.astype(np.int64) // block_size
+    blocks_per_row = -(-n_cols // block_size)
+    keys = brow * blocks_per_row + bcol
+    unique_keys, counts = np.unique(keys, return_counts=True)
+    return BlockSparseMatrix(
+        shape=mask.shape,
+        block_size=block_size,
+        block_rows=unique_keys // blocks_per_row,
+        block_cols=unique_keys % blocks_per_row,
+        nnz_per_block=counts,
+    )

@@ -1,0 +1,44 @@
+"""Shared utilities: dtype handling, seeded RNG, validation and timing.
+
+These helpers back every other subpackage.  They intentionally contain no
+attention- or graph-specific logic so that the substrates (``repro.sparse``,
+``repro.masks``) and the core kernels (``repro.core``) can depend on them
+without circular imports.
+"""
+
+from repro.utils.dtypes import (
+    DTYPE_BYTES,
+    INDEX_DTYPE,
+    as_float_dtype,
+    dtype_bytes,
+    resolve_dtype,
+)
+from repro.utils.rng import default_rng, derive_seed, random_qkv
+from repro.utils.timing import Timer, benchmark_callable
+from repro.utils.validation import (
+    PAPER_ATOL,
+    PAPER_RTOL,
+    allclose_report,
+    assert_allclose_paper,
+    check_finite,
+    require,
+)
+
+__all__ = [
+    "DTYPE_BYTES",
+    "INDEX_DTYPE",
+    "PAPER_ATOL",
+    "PAPER_RTOL",
+    "Timer",
+    "allclose_report",
+    "as_float_dtype",
+    "assert_allclose_paper",
+    "benchmark_callable",
+    "check_finite",
+    "default_rng",
+    "derive_seed",
+    "dtype_bytes",
+    "random_qkv",
+    "require",
+    "resolve_dtype",
+]

@@ -1,0 +1,90 @@
+"""Floating point and index dtype handling.
+
+The paper evaluates FP32 and FP16 storage (Table II, Fig. 4) and uses int32
+index vectors for the sparse formats.  All byte-accounting in
+:mod:`repro.perfmodel.memory` goes through :data:`DTYPE_BYTES` so that the
+memory model and the concrete containers stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: Index dtype used by the COO/CSR containers.  The paper's CUDA kernels use
+#: 32-bit indices; context lengths above ``2**31 - 1`` are only reachable by
+#: the analytical memory model (which can be told to use 64-bit indices).
+INDEX_DTYPE = np.dtype(np.int32)
+
+#: Bytes per element for the dtypes the paper considers.
+DTYPE_BYTES = {
+    np.dtype(np.float16): 2,
+    np.dtype(np.float32): 4,
+    np.dtype(np.float64): 8,
+    np.dtype(np.int32): 4,
+    np.dtype(np.int64): 8,
+    np.dtype(np.bool_): 1,
+}
+
+_ALIASES = {
+    "fp16": np.float16,
+    "half": np.float16,
+    "float16": np.float16,
+    "fp32": np.float32,
+    "float": np.float32,
+    "float32": np.float32,
+    "fp64": np.float64,
+    "double": np.float64,
+    "float64": np.float64,
+}
+
+
+def resolve_dtype(dtype: DTypeLike) -> np.dtype:
+    """Resolve a dtype-like value (``"fp16"``, ``np.float32`` ...) to a numpy dtype.
+
+    Raises ``TypeError`` for values that are not floating point dtypes since
+    the attention kernels only operate on floats.
+    """
+    if isinstance(dtype, str):
+        key = dtype.strip().lower()
+        if key in _ALIASES:
+            return np.dtype(_ALIASES[key])
+        resolved = np.dtype(key)
+    else:
+        resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise TypeError(f"expected a floating point dtype, got {resolved!r}")
+    return resolved
+
+
+def as_float_dtype(array: np.ndarray, dtype: DTypeLike) -> np.ndarray:
+    """Return ``array`` converted to ``dtype`` without copying when possible."""
+    resolved = resolve_dtype(dtype)
+    return np.asarray(array, dtype=resolved)
+
+
+def dtype_bytes(dtype: DTypeLike) -> int:
+    """Bytes per element for a dtype, accepting the paper's ``"fp16"`` aliases."""
+    if isinstance(dtype, str) and dtype.strip().lower() in _ALIASES:
+        resolved = np.dtype(_ALIASES[dtype.strip().lower()])
+    else:
+        resolved = np.dtype(dtype)
+    try:
+        return DTYPE_BYTES[resolved]
+    except KeyError:
+        return resolved.itemsize
+
+
+def accumulation_dtype(dtype: DTypeLike) -> np.dtype:
+    """Accumulator dtype used inside kernels for a given storage dtype.
+
+    Online softmax statistics are held in float32 for float16 inputs (as the
+    CUDA kernels do) and in the native dtype otherwise.
+    """
+    resolved = resolve_dtype(dtype)
+    if resolved == np.dtype(np.float16):
+        return np.dtype(np.float32)
+    return resolved

@@ -1,0 +1,84 @@
+"""Seeded random number helpers.
+
+The verification protocol in the paper (Section V-A) draws Q, K and V from the
+uniform distribution on ``[0, 1)`` — :func:`random_qkv` reproduces that setup.
+All randomness in the library flows through explicit ``numpy.random.Generator``
+objects so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.dtypes import resolve_dtype
+
+GeneratorLike = Union[int, np.random.Generator, None]
+
+
+def default_rng(seed: GeneratorLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_seed(seed: int, *streams: Union[int, str]) -> int:
+    """Derive a deterministic child seed from a base seed and stream labels.
+
+    Used to give every (algorithm, L, dk, Sf) benchmark cell its own
+    independent but reproducible stream.
+    """
+    ss = np.random.SeedSequence(seed, spawn_key=tuple(abs(hash(s)) % (2**31) for s in streams))
+    return int(ss.generate_state(1)[0])
+
+
+def random_qkv(
+    length: int,
+    dim: int,
+    *,
+    dtype: Union[str, np.dtype] = np.float32,
+    heads: Optional[int] = None,
+    batch: Optional[int] = None,
+    seed: GeneratorLike = 0,
+    distribution: str = "uniform",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Draw query/key/value matrices matching the paper's verification setup.
+
+    Parameters
+    ----------
+    length:
+        Context length ``L``.
+    dim:
+        Per-head embedded dimension ``dk``.
+    heads, batch:
+        Optional leading dimensions.  ``None`` produces 2-D ``(L, dk)``
+        matrices, matching the single-batch / single-head kernels of the paper.
+    distribution:
+        ``"uniform"`` (paper verification, ``[0, 1)``) or ``"normal"``.
+    """
+    if length <= 0 or dim <= 0:
+        raise ValueError("length and dim must be positive")
+    rng = default_rng(seed)
+    resolved = resolve_dtype(dtype)
+    shape: Tuple[int, ...] = (length, dim)
+    if heads is not None:
+        shape = (heads,) + shape
+    if batch is not None:
+        shape = (batch,) + shape
+
+    def draw() -> np.ndarray:
+        if distribution == "uniform":
+            data = rng.random(shape, dtype=np.float64)
+        elif distribution == "normal":
+            data = rng.standard_normal(shape)
+        else:
+            raise ValueError(f"unknown distribution {distribution!r}")
+        return data.astype(resolved)
+
+    return draw(), draw(), draw()

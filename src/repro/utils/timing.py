@@ -1,0 +1,88 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+The paper's protocol is 10 warm-up iterations followed by 15 timed iterations
+with the mean reported (Sections V-C through V-F).  :func:`benchmark_callable`
+implements that protocol; :class:`Timer` is a small context-manager stopwatch
+used for coarse phase timing inside experiment drivers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Timer:
+    """Context-manager stopwatch based on ``time.perf_counter``."""
+
+    label: str = ""
+    elapsed: float = 0.0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is None:  # pragma: no cover - defensive
+            return
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.label or 'timer'}: {self.elapsed:.6f}s"
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Summary statistics of repeated timed runs of one callable."""
+
+    label: str
+    warmup: int
+    iterations: int
+    times: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.times) / len(self.times) if self.times else float("nan")
+
+    @property
+    def minimum(self) -> float:
+        return min(self.times) if self.times else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        return max(self.times) if self.times else float("nan")
+
+    @property
+    def stddev(self) -> float:
+        if len(self.times) < 2:
+            return 0.0
+        mu = self.mean
+        return (sum((t - mu) ** 2 for t in self.times) / (len(self.times) - 1)) ** 0.5
+
+
+def benchmark_callable(
+    func: Callable[[], object],
+    *,
+    warmup: int = 10,
+    iterations: int = 15,
+    label: str = "",
+) -> TimingResult:
+    """Run ``func`` with warm-up then timed iterations, as the paper does.
+
+    ``warmup`` calls are executed and discarded, then ``iterations`` calls are
+    individually timed with ``time.perf_counter``.
+    """
+    if warmup < 0 or iterations <= 0:
+        raise ValueError("warmup must be >= 0 and iterations >= 1")
+    for _ in range(warmup):
+        func()
+    times: List[float] = []
+    for _ in range(iterations):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return TimingResult(label=label, warmup=warmup, iterations=iterations, times=times)

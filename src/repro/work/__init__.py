@@ -1,0 +1,37 @@
+"""Work and cost models (paper Section IV-B).
+
+Quantifies the central claim of the paper: the graph kernels are *work
+optimal* — they perform exactly the ``O(Sf · L² · d)`` operations the masked
+attention requires — whereas dense-then-invalidate implementations pay the
+full ``O(L² · d)`` regardless of the mask, and block-sparse implementations
+pay for every zero inside a touched block.
+"""
+
+from repro.work.counting import (
+    dense_dot_products,
+    dense_flops,
+    expected_dot_products,
+    serial_complexity,
+    sparse_flops,
+)
+from repro.work.optimality import (
+    WorkOptimalityReport,
+    check_work_optimality,
+    work_efficiency,
+)
+from repro.work.pram import PRAMCostModel, block_sparse_cost, dense_invalidate_cost, graph_cost
+
+__all__ = [
+    "PRAMCostModel",
+    "WorkOptimalityReport",
+    "block_sparse_cost",
+    "check_work_optimality",
+    "dense_dot_products",
+    "dense_flops",
+    "dense_invalidate_cost",
+    "expected_dot_products",
+    "graph_cost",
+    "serial_complexity",
+    "sparse_flops",
+    "work_efficiency",
+]

@@ -1,0 +1,58 @@
+"""Operation-count formulas for masked attention.
+
+The serial complexity of masked attention is ``O(Sf · L² · d)`` (Section IV-B):
+``Sf · L²`` mask non-zeros, each requiring one ``d``-dimensional query-key dot
+product and one ``d``-dimensional value accumulation.  Dense implementations
+perform ``L²`` dot products regardless of ``Sf``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.masks.base import MaskSpec
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import require
+
+MaskLike = Union[MaskSpec, COOMatrix, CSRMatrix, int]
+
+
+def expected_dot_products(mask: MaskLike, length: int = 0) -> int:
+    """Dot products a work-optimal kernel must perform for ``mask``.
+
+    Accepts a mask spec (requires ``length``), a concrete sparse matrix, or a
+    raw non-zero count.
+    """
+    if isinstance(mask, int):
+        require(mask >= 0, "nnz must be non-negative")
+        return mask
+    if isinstance(mask, (COOMatrix, CSRMatrix)):
+        return mask.nnz
+    require(length > 0, "length required when passing a MaskSpec")
+    return mask.nnz(length)
+
+
+def serial_complexity(sparsity_factor: float, length: int, head_dim: int) -> float:
+    """``Sf · L² · d`` — the serial cost of masked attention (dot-product work)."""
+    require(0.0 <= sparsity_factor <= 1.0, "sparsity factor must lie in [0, 1]")
+    require(length > 0 and head_dim > 0, "length and head_dim must be positive")
+    return sparsity_factor * float(length) * float(length) * float(head_dim)
+
+
+def dense_dot_products(length: int) -> int:
+    """Dot products of a dense (unmasked or dense-then-invalidate) kernel: ``L²``."""
+    require(length > 0, "length must be positive")
+    return length * length
+
+
+def sparse_flops(nnz: int, head_dim: int, value_dim: int | None = None) -> int:
+    """FLOPs of a work-optimal kernel: ``2 d`` per score plus ``2 d_v`` per accumulation."""
+    require(nnz >= 0 and head_dim > 0, "invalid nnz or head_dim")
+    value_dim = head_dim if value_dim is None else value_dim
+    return 2 * nnz * head_dim + 2 * nnz * value_dim
+
+
+def dense_flops(length: int, head_dim: int, value_dim: int | None = None) -> int:
+    """FLOPs of a dense kernel (both matrix products, every entry computed)."""
+    return sparse_flops(dense_dot_products(length), head_dim, value_dim)

@@ -1,0 +1,86 @@
+"""PRAM cost model (paper Section IV-B).
+
+The paper argues work optimality in a CRCW PRAM model: with ``p`` processors,
+a parallel algorithm is cost (work) optimal when ``p x parallel time`` equals
+the serial complexity.  Dense-then-invalidate implementations cost
+``O(L² d + Sf L² d)`` — not optimal — while the graph kernels cost
+``O(Sf L² d)``.  :class:`PRAMCostModel` evaluates those formulas so the
+benchmarks can report the modelled work alongside measured runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require
+from repro.work.counting import serial_complexity
+
+
+def dense_invalidate_cost(length: int, head_dim: int, sparsity_factor: float) -> float:
+    """Work of dense-multiply-then-invalidate-then-SpMM: ``L² d + Sf L² d``."""
+    require(0.0 <= sparsity_factor <= 1.0, "sparsity factor must lie in [0, 1]")
+    dense_part = float(length) * length * head_dim
+    sparse_part = serial_complexity(sparsity_factor, length, head_dim)
+    return dense_part + sparse_part
+
+
+def graph_cost(length: int, head_dim: int, sparsity_factor: float) -> float:
+    """Work of the graph kernels: ``Sf L² d`` (the serial complexity)."""
+    return serial_complexity(sparsity_factor, length, head_dim)
+
+
+def block_sparse_cost(
+    length: int, head_dim: int, sparsity_factor: float, *, block_density: float
+) -> float:
+    """Work of a block-sparse kernel: the sparse work inflated by block fill-in.
+
+    ``block_density`` is the fraction of entries inside touched blocks that are
+    genuine non-zeros (see :class:`repro.sparse.block.BlockSparseMatrix`); the
+    kernel computes ``nnz / block_density`` entries.
+    """
+    require(0.0 < block_density <= 1.0, "block_density must lie in (0, 1]")
+    return serial_complexity(sparsity_factor, length, head_dim) / block_density
+
+
+@dataclass(frozen=True)
+class PRAMCostModel:
+    """CRCW PRAM accounting for a fixed problem size.
+
+    ``parallel_time(work, p)`` is the idealised ``work / p`` (Brent bound with
+    negligible depth, as the attention rows are independent); ``cost`` is
+    ``p x parallel_time`` which the optimality criterion compares to the serial
+    complexity.
+    """
+
+    length: int
+    head_dim: int
+    sparsity_factor: float
+
+    def __post_init__(self) -> None:
+        require(self.length > 0 and self.head_dim > 0, "invalid dimensions")
+        require(0.0 <= self.sparsity_factor <= 1.0, "sparsity factor must lie in [0, 1]")
+
+    @property
+    def serial_work(self) -> float:
+        return serial_complexity(self.sparsity_factor, self.length, self.head_dim)
+
+    def parallel_time(self, work: float, processors: int) -> float:
+        require(processors >= 1, "processors must be >= 1")
+        return work / processors
+
+    def cost(self, work: float, processors: int) -> float:
+        return processors * self.parallel_time(work, processors)
+
+    def is_cost_optimal(self, work: float, processors: int, *, slack: float = 1.0) -> bool:
+        """Cost optimality: parallel cost within ``slack`` x serial complexity."""
+        if self.serial_work == 0:
+            return work == 0
+        return self.cost(work, processors) <= slack * self.serial_work
+
+    def graph_kernel_cost(self, processors: int) -> float:
+        return self.cost(graph_cost(self.length, self.head_dim, self.sparsity_factor), processors)
+
+    def dense_invalidate_kernel_cost(self, processors: int) -> float:
+        return self.cost(
+            dense_invalidate_cost(self.length, self.head_dim, self.sparsity_factor), processors
+        )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite.
+
+The fixtures mirror the paper's verification setup (Section V-A): Q/K/V drawn
+from the uniform distribution on [0, 1), context length 256, embedded
+dimension 32, compared against the dense masked SDP reference with
+``atol=1e-8``, ``rtol=1e-5``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import random_qkv
+
+
+@pytest.fixture(scope="session")
+def paper_qkv():
+    """The paper's verification inputs: L=256, dk=32, uniform [0,1), float32."""
+    return random_qkv(256, 32, dtype=np.float32, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def small_qkv():
+    """Small float64 inputs for exact-math tests: L=64, dk=8."""
+    return random_qkv(64, 8, dtype=np.float64, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_qkv():
+    """Medium inputs for composition / engine tests: L=512, dk=16."""
+    return random_qkv(512, 16, dtype=np.float32, seed=99)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

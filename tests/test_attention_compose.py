@@ -1,0 +1,131 @@
+"""Tests for composing sequentially executed kernels (Section V-F strategies)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compose import (
+    bigbird_attention,
+    composed_attention,
+    longformer_attention,
+    merge_results,
+)
+from repro.core.dense import sdp_attention
+from repro.core.explicit_kernels import csr_attention
+from repro.core.implicit_kernels import global_attention, local_attention
+from repro.masks.presets import bigbird_mask, default_global_tokens, longformer_mask
+from repro.utils.validation import assert_allclose_paper
+
+
+class TestMergeResults:
+    def test_merge_of_disjoint_masks_equals_union_mask(self, medium_qkv):
+        q, k, v = medium_qkv
+        length = q.shape[0]
+        window, tokens = 9, (0, 256)
+        local = local_attention(q, k, v, window)
+        global_ = global_attention(q, k, v, tokens, window)
+        merged = merge_results([local, global_])
+        expected = sdp_attention(q, k, v, longformer_mask(reach=window - 1, global_tokens=tokens)).output
+        assert_allclose_paper(merged.output, expected, context="merged local+global")
+
+    def test_merge_is_order_independent(self, medium_qkv):
+        q, k, v = medium_qkv
+        a = local_attention(q, k, v, 5)
+        b = global_attention(q, k, v, [0], 5)
+        ab = merge_results([a, b]).output
+        ba = merge_results([b, a]).output
+        np.testing.assert_allclose(ab, ba, atol=1e-10)
+
+    def test_merge_single_result_is_identity(self, medium_qkv):
+        q, k, v = medium_qkv
+        result = local_attention(q, k, v, 5)
+        merged = merge_results([result])
+        np.testing.assert_allclose(merged.output, result.output, atol=1e-12)
+
+    def test_ops_are_summed(self, medium_qkv):
+        q, k, v = medium_qkv
+        a = local_attention(q, k, v, 5)
+        b = global_attention(q, k, v, [0], 5)
+        merged = merge_results([a, b])
+        assert merged.ops.dot_products == a.ops.dot_products + b.ops.dot_products
+
+    def test_empty_rows_stay_zero(self, medium_qkv):
+        q, k, v = medium_qkv
+        # the global-only partial leaves the global token rows with content but
+        # a huge window empties everything
+        empty = global_attention(q, k, v, [0], window=q.shape[0])
+        merged = merge_results([empty, empty])
+        np.testing.assert_array_equal(merged.output, np.zeros_like(v))
+
+    def test_mismatched_lengths_rejected(self, medium_qkv, small_qkv):
+        q1, k1, v1 = medium_qkv
+        q2, k2, v2 = small_qkv
+        with pytest.raises(ValueError):
+            merge_results([local_attention(q1, k1, v1, 3), local_attention(q2, k2, v2, 3)])
+
+    def test_requires_at_least_one_result(self):
+        with pytest.raises(ValueError):
+            merge_results([])
+
+
+class TestComposedAttention:
+    def test_thunks_executed_and_merged(self, medium_qkv):
+        q, k, v = medium_qkv
+        result = composed_attention(
+            [lambda: local_attention(q, k, v, 7), lambda: global_attention(q, k, v, [0, 100], 7)],
+            algorithm="loc+glo",
+        )
+        assert result.algorithm == "loc+glo"
+        assert result.meta["components"] == ["local", "global"]
+
+
+class TestLongformerComposition:
+    def test_double_kernel_call_matches_sdp(self, medium_qkv):
+        q, k, v = medium_qkv
+        tokens = default_global_tokens(q.shape[0], 3)
+        mask = longformer_mask(reach=20, global_tokens=tokens)
+        reference = sdp_attention(q, k, v, mask).output
+        result = longformer_attention(q, k, v, reach=20, global_tokens=tokens)
+        assert_allclose_paper(result.output, reference, context="Longformer Loc+Glo")
+
+    def test_double_kernel_call_matches_single_csr_call(self, medium_qkv):
+        # Fig. 6 compares exactly these two execution strategies
+        q, k, v = medium_qkv
+        tokens = default_global_tokens(q.shape[0], 3)
+        mask = longformer_mask(reach=20, global_tokens=tokens).to_csr(q.shape[0])
+        composed = longformer_attention(q, k, v, reach=20, global_tokens=tokens)
+        single = csr_attention(q, k, v, mask)
+        np.testing.assert_allclose(composed.output, single.output, atol=1e-8)
+
+    def test_streamed_executor_supported(self, small_qkv):
+        q, k, v = small_qkv
+        tokens = (0, 32)
+        reference = sdp_attention(q, k, v, longformer_mask(reach=4, global_tokens=tokens)).output
+        result = longformer_attention(q, k, v, reach=4, global_tokens=tokens, executor="streamed")
+        np.testing.assert_allclose(result.output, reference, atol=1e-8)
+
+
+class TestBigBirdComposition:
+    def test_triple_kernel_call_matches_sdp(self, medium_qkv):
+        q, k, v = medium_qkv
+        tokens = default_global_tokens(q.shape[0], 3)
+        mask = bigbird_mask(reach=15, global_tokens=tokens, random_sparsity=0.01, seed=4)
+        reference = sdp_attention(q, k, v, mask).output
+        result = bigbird_attention(
+            q, k, v, reach=15, global_tokens=tokens, random_sparsity=0.01, seed=4
+        )
+        assert_allclose_paper(result.output, reference, context="BigBird Loc+Glo+CSR")
+
+    def test_triple_call_matches_single_csr_call(self, medium_qkv):
+        q, k, v = medium_qkv
+        tokens = default_global_tokens(q.shape[0], 3)
+        mask = bigbird_mask(reach=15, global_tokens=tokens, random_sparsity=0.01, seed=4).to_csr(q.shape[0])
+        composed = bigbird_attention(
+            q, k, v, reach=15, global_tokens=tokens, random_sparsity=0.01, seed=4
+        )
+        single = csr_attention(q, k, v, mask)
+        np.testing.assert_allclose(composed.output, single.output, atol=1e-8)
+
+    def test_component_count_in_metadata(self, medium_qkv):
+        q, k, v = medium_qkv
+        result = bigbird_attention(q, k, v, reach=5, global_tokens=(0,), random_sparsity=0.005)
+        assert result.meta["components"] == ["local", "global", "csr"]

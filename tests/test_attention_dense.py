@@ -1,0 +1,103 @@
+"""Tests for the dense masked SDP baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense import reference_attention, resolve_scale, sdp_attention
+from repro.core.online_softmax import stable_softmax
+from repro.masks.windowed import LocalMask
+from repro.sparse.csr import CSRMatrix
+
+
+class TestUnmaskedAttention:
+    def test_matches_textbook_formula(self, small_qkv):
+        q, k, v = small_qkv
+        result = sdp_attention(q, k, v)
+        scores = (q @ k.T) / np.sqrt(q.shape[1])
+        expected = stable_softmax(scores, axis=1) @ v
+        np.testing.assert_allclose(result.output, expected, atol=1e-12)
+
+    def test_rows_are_convex_combinations_of_values(self, small_qkv):
+        q, k, v = small_qkv
+        out = sdp_attention(q, k, v).output
+        assert out.min() >= v.min() - 1e-9
+        assert out.max() <= v.max() + 1e-9
+
+    def test_custom_scale(self, small_qkv):
+        q, k, v = small_qkv
+        default = sdp_attention(q, k, v).output
+        scaled = sdp_attention(q, k, v, scale=1.0).output
+        assert not np.allclose(default, scaled)
+        assert resolve_scale(None, 16) == pytest.approx(0.25)
+        assert resolve_scale(2.0, 16) == 2.0
+
+    def test_output_dtype_follows_input(self, paper_qkv):
+        q, k, v = paper_qkv
+        assert sdp_attention(q, k, v).output.dtype == np.float32
+
+
+class TestMaskedAttention:
+    def test_accepts_all_mask_representations(self, small_qkv):
+        q, k, v = small_qkv
+        spec = LocalMask(window=4)
+        dense = spec.to_dense(q.shape[0])
+        csr = spec.to_csr(q.shape[0])
+        outputs = [
+            sdp_attention(q, k, v, m).output for m in (spec, dense, dense.astype(bool), csr, csr.to_coo())
+        ]
+        for out in outputs[1:]:
+            np.testing.assert_allclose(out, outputs[0], atol=1e-12)
+
+    def test_masked_entries_do_not_influence_output(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        mask = LocalMask(window=3).to_dense(length).astype(bool)
+        base = sdp_attention(q, k, v, mask).output
+        # perturb the values of tokens outside every row's window: no effect
+        v_perturbed = v.copy()
+        v_perturbed[~mask.any(axis=0)] += 100.0
+        np.testing.assert_allclose(sdp_attention(q, k, v_perturbed, mask).output, base, atol=1e-12)
+
+    def test_fully_masked_rows_zeroed_by_default(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        mask = np.zeros((length, length), dtype=bool)
+        mask[0, :3] = True
+        result = sdp_attention(q, k, v, mask)
+        np.testing.assert_array_equal(result.output[1], np.zeros(v.shape[1]))
+        assert 1 in result.empty_rows()
+
+    def test_fully_masked_rows_nan_when_requested(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        mask = np.zeros((length, length), dtype=bool)
+        mask[0, 0] = True
+        result = sdp_attention(q, k, v, mask, zero_fully_masked=False)
+        assert np.isnan(result.output[1]).all()
+
+    def test_wrong_mask_shape_rejected(self, small_qkv):
+        q, k, v = small_qkv
+        with pytest.raises(ValueError):
+            sdp_attention(q, k, v, np.ones((4, 4)))
+
+    def test_op_counts_are_dense_regardless_of_sparsity(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        sparse_result = sdp_attention(q, k, v, LocalMask(window=2))
+        dense_result = sdp_attention(q, k, v)
+        assert sparse_result.ops.dot_products == length * length
+        assert sparse_result.ops.dot_products == dense_result.ops.dot_products
+        assert sparse_result.ops.wasted_dot_products > 0
+
+    def test_shape_validation(self, small_qkv):
+        q, k, v = small_qkv
+        with pytest.raises(ValueError):
+            sdp_attention(q[:10], k, v)
+        with pytest.raises(ValueError):
+            sdp_attention(q, k[:, :4], v)
+
+    def test_reference_attention_returns_array(self, small_qkv):
+        q, k, v = small_qkv
+        out = reference_attention(q, k, v, LocalMask(window=3))
+        assert isinstance(out, np.ndarray)
+        assert out.shape == v.shape

@@ -1,0 +1,121 @@
+"""Tests for the explicit-mask graph kernels (COO and CSR)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense import sdp_attention
+from repro.core.explicit_kernels import coo_attention, coo_search_steps, csr_attention
+from repro.masks.random_ import RandomMask
+from repro.masks.structured import CausalMask
+from repro.masks.windowed import LocalMask
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import assert_allclose_paper
+
+
+@pytest.fixture(scope="module")
+def random_mask_csr():
+    return RandomMask(sparsity=0.08, seed=11).to_csr(256)
+
+
+class TestCSRKernel:
+    def test_matches_dense_reference(self, paper_qkv, random_mask_csr):
+        q, k, v = paper_qkv
+        expected = sdp_attention(q, k, v, random_mask_csr).output
+        assert_allclose_paper(csr_attention(q, k, v, random_mask_csr).output, expected)
+
+    def test_streamed_executor_matches_vectorized(self, small_qkv):
+        q, k, v = small_qkv
+        mask = RandomMask(sparsity=0.2, seed=3).to_csr(q.shape[0])
+        vec = csr_attention(q, k, v, mask, executor="vectorized")
+        streamed = csr_attention(q, k, v, mask, executor="streamed")
+        np.testing.assert_allclose(streamed.output, vec.output, atol=1e-10)
+
+    def test_accepts_spec_dense_and_coo_inputs(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        spec = CausalMask()
+        reference = csr_attention(q, k, v, spec.to_csr(length)).output
+        for mask in (spec, spec.to_dense(length), spec.to_coo(length)):
+            np.testing.assert_allclose(csr_attention(q, k, v, mask).output, reference, atol=1e-12)
+
+    def test_work_optimal_op_counts(self, small_qkv):
+        q, k, v = small_qkv
+        mask = LocalMask(window=3).to_csr(q.shape[0])
+        result = csr_attention(q, k, v, mask)
+        assert result.ops.dot_products == mask.nnz
+        assert result.ops.wasted_dot_products == 0
+        assert result.ops.search_steps == 0
+
+    def test_empty_rows_produce_zero_output(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        csr = CSRMatrix.from_row_lists((length, length), [[0, 1]] + [[] for _ in range(length - 1)])
+        result = csr_attention(q, k, v, csr)
+        np.testing.assert_array_equal(result.output[1:], np.zeros((length - 1, v.shape[1])))
+        assert result.empty_rows().size == length - 1
+
+    def test_completely_empty_mask(self, small_qkv):
+        q, k, v = small_qkv
+        result = csr_attention(q, k, v, CSRMatrix.empty((q.shape[0], q.shape[0])))
+        np.testing.assert_array_equal(result.output, np.zeros_like(v))
+
+    def test_wrong_mask_size_rejected(self, small_qkv):
+        q, k, v = small_qkv
+        with pytest.raises(ValueError):
+            csr_attention(q, k, v, CSRMatrix.empty((8, 8)))
+
+    def test_unknown_executor_rejected(self, small_qkv):
+        q, k, v = small_qkv
+        with pytest.raises(ValueError):
+            csr_attention(q, k, v, LocalMask(window=2), executor="gpu")
+
+    def test_result_metadata(self, small_qkv):
+        q, k, v = small_qkv
+        mask = LocalMask(window=3).to_csr(q.shape[0])
+        result = csr_attention(q, k, v, mask)
+        assert result.algorithm == "csr"
+        assert result.meta["nnz"] == mask.nnz
+
+
+class TestCOOKernel:
+    def test_matches_dense_reference(self, paper_qkv, random_mask_csr):
+        q, k, v = paper_qkv
+        coo = random_mask_csr.to_coo()
+        expected = sdp_attention(q, k, v, coo).output
+        assert_allclose_paper(coo_attention(q, k, v, coo).output, expected)
+
+    def test_matches_csr_kernel_exactly(self, small_qkv):
+        q, k, v = small_qkv
+        mask = RandomMask(sparsity=0.15, seed=5).to_csr(q.shape[0])
+        np.testing.assert_allclose(
+            coo_attention(q, k, v, mask.to_coo()).output,
+            csr_attention(q, k, v, mask).output,
+            atol=1e-12,
+        )
+
+    def test_streamed_executor(self, small_qkv):
+        q, k, v = small_qkv
+        coo = LocalMask(window=2).to_coo(q.shape[0])
+        streamed = coo_attention(q, k, v, coo, executor="streamed")
+        vectorized = coo_attention(q, k, v, coo)
+        np.testing.assert_allclose(streamed.output, vectorized.output, atol=1e-10)
+
+    def test_search_penalty_reported(self, small_qkv):
+        q, k, v = small_qkv
+        coo = LocalMask(window=3).to_coo(q.shape[0])
+        result = coo_attention(q, k, v, coo)
+        assert result.ops.search_steps == coo_search_steps(coo)
+        assert result.ops.search_steps > 0
+        # the matching CSR call pays no search cost
+        assert csr_attention(q, k, v, coo.to_csr()).ops.search_steps == 0
+
+    def test_search_steps_grow_with_row_position(self):
+        # rows later in the sequence scan farther: total cost is the sum of row
+        # start offsets, which grows quadratically for a fixed-degree mask
+        short = coo_search_steps(LocalMask(window=2).to_coo(32))
+        long = coo_search_steps(LocalMask(window=2).to_coo(64))
+        assert long > 3 * short
+
+    def test_empty_mask_has_zero_search(self):
+        assert coo_search_steps(COOMatrix.empty((16, 16))) == 0

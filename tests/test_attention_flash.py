@@ -1,0 +1,89 @@
+"""Tests for the FlashAttention-style tiled dense baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense import sdp_attention
+from repro.core.flash import flash_attention
+from repro.masks.windowed import LocalMask
+from repro.sparse.block import blockify
+from repro.utils.validation import assert_allclose_paper
+
+
+class TestFlashAttention:
+    def test_matches_dense_reference(self, paper_qkv):
+        q, k, v = paper_qkv
+        assert_allclose_paper(flash_attention(q, k, v).output, sdp_attention(q, k, v).output)
+
+    @pytest.mark.parametrize("block_q,block_k", [(16, 16), (64, 32), (7, 13), (256, 256), (1000, 1000)])
+    def test_tile_size_does_not_change_result(self, small_qkv, block_q, block_k):
+        q, k, v = small_qkv
+        reference = sdp_attention(q, k, v).output
+        out = flash_attention(q, k, v, block_q=block_q, block_k=block_k).output
+        np.testing.assert_allclose(out, reference, atol=1e-10)
+
+    def test_statistics_match_dense_softmax(self, small_qkv):
+        q, k, v = small_qkv
+        result = flash_attention(q, k, v, block_q=16, block_k=16)
+        dense = sdp_attention(q, k, v)
+        np.testing.assert_allclose(result.row_max, dense.row_max, atol=1e-10)
+        np.testing.assert_allclose(result.row_sum, dense.row_sum, atol=1e-8)
+
+    def test_work_is_quadratic_like_dense(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        assert flash_attention(q, k, v).ops.dot_products == length * length
+
+    def test_fp16_supported(self):
+        from repro.utils.rng import random_qkv
+
+        q, k, v = random_qkv(64, 16, dtype=np.float16, seed=0)
+        result = flash_attention(q, k, v)
+        reference = sdp_attention(q, k, v)
+        np.testing.assert_allclose(
+            result.output.astype(np.float64), reference.output.astype(np.float64), atol=5e-3
+        )
+
+    def test_invalid_tile_sizes(self, small_qkv):
+        q, k, v = small_qkv
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, block_q=0)
+
+
+class TestBlockSparseFlash:
+    def test_matches_masked_reference_when_blocks_cover_mask(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        mask = LocalMask(window=8)
+        coo = mask.to_coo(length)
+        blocks = blockify(coo, block_size=8)
+        result = flash_attention(q, k, v, block_q=8, block_k=8, block_mask=blocks)
+        # computing every touched tile densely equals dense attention restricted
+        # to the union of touched tiles
+        dense_mask = np.zeros((length, length), dtype=bool)
+        for br, bc in zip(blocks.block_rows, blocks.block_cols):
+            dense_mask[br * 8 : (br + 1) * 8, bc * 8 : (bc + 1) * 8] = True
+        expected = sdp_attention(q, k, v, dense_mask).output
+        np.testing.assert_allclose(result.output, expected, atol=1e-10)
+
+    def test_skips_untouched_tiles(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        blocks = blockify(LocalMask(window=2).to_coo(length), block_size=8)
+        result = flash_attention(q, k, v, block_q=8, block_k=8, block_mask=blocks)
+        total_tiles = (length // 8) ** 2
+        assert result.meta["computed_tiles"] == blocks.num_blocks < total_tiles
+
+    def test_reports_wasted_work(self, small_qkv):
+        q, k, v = small_qkv
+        length = q.shape[0]
+        blocks = blockify(LocalMask(window=2).to_coo(length), block_size=8)
+        result = flash_attention(q, k, v, block_q=8, block_k=8, block_mask=blocks)
+        assert result.ops.wasted_dot_products == blocks.wasted_elements
+        assert result.ops.wasted_dot_products > 0  # not truly sparse
+
+    def test_block_size_mismatch_rejected(self, small_qkv):
+        q, k, v = small_qkv
+        blocks = blockify(LocalMask(window=2).to_coo(q.shape[0]), block_size=8)
+        with pytest.raises(ValueError):
+            flash_attention(q, k, v, block_q=16, block_k=16, block_mask=blocks)

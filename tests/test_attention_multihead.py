@@ -1,0 +1,112 @@
+"""Tests for the multi-head / batched wrappers and the minimal attention layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense import sdp_attention
+from repro.core.implicit_kernels import local_attention
+from repro.core.multihead import (
+    AttentionLayer,
+    batched_attention,
+    merge_heads,
+    multi_head_attention,
+    split_heads,
+)
+from repro.masks.windowed import LocalMask
+from repro.utils.rng import random_qkv
+
+
+class TestHeadReshaping:
+    def test_split_merge_roundtrip(self, rng):
+        x = rng.standard_normal((32, 24)).astype(np.float32)
+        heads = split_heads(x, 4)
+        assert heads.shape == (4, 32, 6)
+        np.testing.assert_array_equal(merge_heads(heads), x)
+
+    def test_head_slices_are_contiguous_feature_blocks(self, rng):
+        x = rng.standard_normal((8, 12))
+        heads = split_heads(x, 3)
+        np.testing.assert_array_equal(heads[1], x[:, 4:8])
+
+    def test_indivisible_dimension_rejected(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(rng.standard_normal((8, 10)), 3)
+
+
+class TestMultiHeadAttention:
+    def test_equivalent_to_per_head_dense_attention(self):
+        q, k, v = random_qkv(64, 32, dtype=np.float64, seed=0)
+        num_heads = 4
+        mask = LocalMask(window=5)
+        result = multi_head_attention(
+            q, k, v, lambda a, b, c: local_attention(a, b, c, 5), num_heads=num_heads
+        )
+        # reference: run dense masked attention independently per head slice
+        for h in range(num_heads):
+            sl = slice(h * 8, (h + 1) * 8)
+            expected = sdp_attention(q[:, sl], k[:, sl], v[:, sl], mask).output
+            np.testing.assert_allclose(result.output[:, sl], expected, atol=1e-10)
+
+    def test_head_results_exposed(self):
+        q, k, v = random_qkv(32, 16, seed=1)
+        result = multi_head_attention(q, k, v, lambda a, b, c: local_attention(a, b, c, 3), num_heads=2)
+        assert result.num_heads == 2
+        assert result.output.shape == (32, 16)
+
+    def test_total_ops_scale_with_heads(self):
+        q, k, v = random_qkv(32, 16, seed=1)
+        single = local_attention(q[:, :8], k[:, :8], v[:, :8], 3).ops.dot_products
+        result = multi_head_attention(q, k, v, lambda a, b, c: local_attention(a, b, c, 3), num_heads=2)
+        assert result.ops.dot_products == 2 * single
+
+
+class TestBatchedAttention:
+    def test_batches_processed_independently(self):
+        q, k, v = random_qkv(16, 8, batch=3, dtype=np.float64, seed=2)
+        out = batched_attention(q, k, v, lambda a, b, c: local_attention(a, b, c, 3))
+        assert out.shape == (3, 16, 8)
+        for b in range(3):
+            np.testing.assert_allclose(
+                out[b], local_attention(q[b], k[b], v[b], 3).output, atol=1e-12
+            )
+
+    def test_batch_size_mismatch_rejected(self):
+        q, k, v = random_qkv(16, 8, batch=3, seed=2)
+        with pytest.raises(ValueError):
+            batched_attention(q[:2], k, v, lambda a, b, c: local_attention(a, b, c, 3))
+
+    def test_requires_3d_inputs(self):
+        q, k, v = random_qkv(16, 8, seed=2)
+        with pytest.raises(ValueError):
+            batched_attention(q, k, v, lambda a, b, c: local_attention(a, b, c, 3))
+
+
+class TestAttentionLayer:
+    def test_forward_shape_and_determinism(self):
+        layer = AttentionLayer.initialise(32, 4, seed=0)
+        x = np.random.default_rng(1).standard_normal((20, 32)).astype(np.float32)
+        kernel = lambda a, b, c: local_attention(a, b, c, 5)  # noqa: E731
+        out1 = layer(x, kernel)
+        out2 = layer(x, kernel)
+        assert out1.shape == (20, 32)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_mask_restricts_information_flow(self):
+        # with local window 1 each token only re-mixes its own value projection,
+        # so changing a distant token must not change token 0's output
+        layer = AttentionLayer.initialise(16, 2, seed=0)
+        x = np.random.default_rng(2).standard_normal((12, 16)).astype(np.float64)
+        kernel = lambda a, b, c: local_attention(a, b, c, 1)  # noqa: E731
+        base = layer(x, kernel)
+        x2 = x.copy()
+        x2[11] += 10.0
+        perturbed = layer(x2, kernel)
+        np.testing.assert_allclose(perturbed[0], base[0], atol=1e-10)
+        assert not np.allclose(perturbed[11], base[11])
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionLayer.initialise(30, 4)
+        layer = AttentionLayer.initialise(16, 2)
+        with pytest.raises(ValueError):
+            layer(np.zeros((4, 8)), lambda a, b, c: local_attention(a, b, c, 1))

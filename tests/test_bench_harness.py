@@ -1,0 +1,86 @@
+"""Tests for the benchmark harness, sweeps and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import BenchmarkProtocol, measure
+from repro.bench.reporting import format_series, format_table, speedup_summary
+from repro.bench.sweeps import cells_as_list, sweep_grid
+
+
+class TestProtocol:
+    def test_paper_protocol(self):
+        protocol = BenchmarkProtocol.paper()
+        assert protocol.warmup == 10 and protocol.iterations == 15
+
+    def test_quick_protocol(self):
+        protocol = BenchmarkProtocol.quick()
+        assert protocol.iterations == 3
+
+    def test_measure_runs_callable(self):
+        calls = []
+        cell = measure(
+            lambda: calls.append(1),
+            label="noop",
+            params={"L": 8},
+            protocol=BenchmarkProtocol(warmup=1, iterations=2),
+            extra={"Sf": 0.5},
+        )
+        assert len(calls) == 3
+        assert cell.mean_seconds >= 0
+        row = cell.as_row()
+        assert row["label"] == "noop" and row["L"] == 8 and row["Sf"] == 0.5
+
+
+class TestSweeps:
+    def test_cartesian_product(self):
+        cells = cells_as_list({"L": [1, 2], "d": [3, 4, 5]})
+        assert len(cells) == 6
+        assert {"L", "d", "seed"} <= set(cells[0])
+
+    def test_seeds_deterministic_and_distinct(self):
+        a = cells_as_list({"L": [1, 2], "d": [3]})
+        b = cells_as_list({"L": [1, 2], "d": [3]})
+        assert [c["seed"] for c in a] == [c["seed"] for c in b]
+        assert a[0]["seed"] != a[1]["seed"]
+
+    def test_skip_configurations(self):
+        # mirror the paper's exclusions: no L=24576 on the V100, COO only at L=8192
+        cells = cells_as_list(
+            {"device": ["v100", "a100"], "L": [8192, 24576]},
+            skip=[{"device": "v100", "L": 24576}],
+        )
+        assert len(cells) == 3
+        assert {"device": "v100", "L": 24576} not in [
+            {"device": c["device"], "L": c["L"]} for c in cells
+        ]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_values(self):
+        rows = [{"alg": "csr", "time_s": 0.001234}, {"alg": "sdp", "time_s": 1.5}]
+        text = format_table(rows, title="Fig 3")
+        assert "Fig 3" in text
+        assert "csr" in text and "sdp" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series(self):
+        text = format_series([1, 2, 4], {"flash": [0.1, 0.2, 0.4], "local": [0.05, 0.1, 0.2]}, x_label="L")
+        assert text.startswith("L:")
+        assert "flash" in text and "local" in text
+
+    def test_none_rendering(self):
+        text = format_table([{"x": None}])
+        assert "-" in text
+
+    def test_speedup_summary(self):
+        speedups = speedup_summary({"sdp": 1.0, "csr": 0.1}, baseline="sdp")
+        assert speedups["csr"] == pytest.approx(10.0)
+        assert speedups["sdp"] == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Tests for the partition-quality analysis of the distributed extension."""
+
+import pytest
+
+from repro.distributed.partition_balance import evaluate_partitions
+from repro.masks.global_ import GlobalNonLocalMask
+from repro.masks.presets import longformer_mask
+from repro.masks.windowed import LocalMask
+
+
+class TestEvaluatePartitions:
+    def test_three_strategies_reported(self):
+        results = evaluate_partitions(LocalMask(window=4), 4, length=128)
+        assert set(results) == {"contiguous", "balanced_edges", "greedy"}
+
+    def test_uniform_mask_all_strategies_balanced(self):
+        results = evaluate_partitions(LocalMask(window=4), 4, length=256)
+        for quality in results.values():
+            assert quality.balance < 1.1
+            assert quality.imbalance_percent < 10
+
+    def test_skewed_mask_ranking(self):
+        # Longformer-style mask: greedy <= balanced_edges <= contiguous
+        mask = longformer_mask(reach=2, global_tokens=(0, 1, 2))
+        results = evaluate_partitions(mask.to_csr(256), 8)
+        assert results["greedy"].balance <= results["balanced_edges"].balance + 1e-9
+        assert results["balanced_edges"].balance <= results["contiguous"].balance + 1e-9
+        assert results["contiguous"].balance > 1.5
+
+    def test_edge_cut_reported(self):
+        results = evaluate_partitions(GlobalNonLocalMask([0], window=1), 4, length=64)
+        for quality in results.values():
+            assert quality.edge_cut > 0
+
+    def test_contiguity_flags(self):
+        results = evaluate_partitions(LocalMask(window=2), 2, length=64)
+        assert results["contiguous"].contiguous
+        assert results["balanced_edges"].contiguous
+        assert not results["greedy"].contiguous
+
+    def test_total_edges_preserved(self):
+        mask = LocalMask(window=3)
+        results = evaluate_partitions(mask, 4, length=100)
+        for quality in results.values():
+            assert quality.mean_edges * quality.num_parts == pytest.approx(mask.nnz(100))
+
+    def test_mask_spec_requires_length(self):
+        with pytest.raises(ValueError):
+            evaluate_partitions(LocalMask(window=3), 4)
+
+    def test_invalid_part_count(self):
+        with pytest.raises(ValueError):
+            evaluate_partitions(LocalMask(window=3), 0, length=32)

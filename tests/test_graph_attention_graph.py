@@ -1,0 +1,99 @@
+"""Tests for the AttentionGraph (Section IV-A modelling)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph.attention_graph import AttentionGraph
+from repro.masks.global_ import GlobalMask
+from repro.masks.windowed import LocalMask
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import random_qkv
+
+
+class TestConstruction:
+    def test_from_mask_spec(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=3), length=32)
+        assert graph.num_vertices == 32
+        assert graph.num_edges == LocalMask(window=3).nnz(32)
+
+    def test_from_csr_and_coo(self, rng):
+        dense = (rng.random((16, 16)) < 0.2).astype(np.float32)
+        csr = CSRMatrix.from_dense(dense)
+        for source in (csr, csr.to_coo(), dense):
+            graph = AttentionGraph.from_mask(source)
+            assert graph.num_edges == csr.nnz
+
+    def test_length_inferred_from_queries(self):
+        q, k, v = random_qkv(24, 4, seed=0)
+        graph = AttentionGraph.from_mask(LocalMask(window=2), queries=q, keys=k, values=v)
+        assert graph.num_vertices == 24
+
+    def test_mask_spec_without_length_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionGraph.from_mask(LocalMask(window=2))
+
+    def test_attribute_shape_checked(self):
+        with pytest.raises(ValueError):
+            AttentionGraph.from_mask(LocalMask(window=2), length=8, queries=np.zeros((4, 2)))
+
+    def test_non_square_mask_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionGraph.from_mask(np.ones((3, 5), dtype=np.float32))
+
+
+class TestGraphQueries:
+    def test_neighbors_equal_mask_row(self):
+        mask = LocalMask(window=4)
+        graph = AttentionGraph.from_mask(mask, length=20)
+        for i in (0, 7, 19):
+            np.testing.assert_array_equal(graph.neighbors(i), mask.neighbors(i, 20))
+
+    def test_degrees_and_sparsity(self):
+        graph = AttentionGraph.from_mask(GlobalMask([0]), length=16)
+        assert graph.out_degrees()[0] == 16
+        assert graph.in_degrees()[0] == 16
+        assert graph.sparsity_factor == pytest.approx(GlobalMask([0]).sparsity_factor(16))
+
+    def test_has_edge(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=2), length=8)
+        assert graph.has_edge(3, 4)
+        assert not graph.has_edge(0, 5)
+
+    def test_symmetry_detection(self):
+        assert AttentionGraph.from_mask(LocalMask(window=3), length=12).is_symmetric()
+        causal = np.tril(np.ones((6, 6), dtype=np.float32))
+        assert not AttentionGraph.from_mask(causal).is_symmetric()
+
+    def test_empty_rows(self):
+        dense = np.zeros((6, 6), dtype=np.float32)
+        dense[0, 1] = 1
+        graph = AttentionGraph.from_mask(dense)
+        np.testing.assert_array_equal(graph.empty_rows(), [1, 2, 3, 4, 5])
+
+    def test_vertex_attributes(self):
+        q, k, v = random_qkv(8, 4, seed=1)
+        graph = AttentionGraph.from_mask(LocalMask(window=2), length=8).attach_qkv(q, k, v)
+        qi, ki, vi = graph.vertex_attributes(3)
+        np.testing.assert_array_equal(qi, q[3])
+        np.testing.assert_array_equal(vi, v[3])
+
+    def test_subgraph_rows(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=3), length=20)
+        sub = graph.subgraph_rows(5, 12)
+        assert sub.num_vertices == 7
+        np.testing.assert_array_equal(sub.neighbors(0), graph.neighbors(5))
+
+
+class TestNetworkxExport:
+    def test_export_matches_edges(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=2), length=10)
+        nx_graph = graph.to_networkx()
+        assert isinstance(nx_graph, nx.DiGraph)
+        assert nx_graph.number_of_nodes() == 10
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_export_size_guard(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=1), length=64)
+        with pytest.raises(ValueError):
+            graph.to_networkx(max_vertices=10)

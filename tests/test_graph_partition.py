@@ -1,0 +1,119 @@
+"""Tests for the row partitioners used by the distributed extension."""
+
+import numpy as np
+import pytest
+
+from repro.graph.attention_graph import AttentionGraph
+from repro.graph.partition import (
+    Partition,
+    balanced_edge_partition,
+    contiguous_partition,
+    greedy_bin_partition,
+    partition_edge_cut,
+)
+from repro.masks.global_ import GlobalNonLocalMask
+from repro.masks.windowed import LocalMask
+
+
+@pytest.fixture
+def skewed_degrees():
+    degrees = np.ones(128, dtype=np.int64)
+    degrees[:4] = 128  # a few global-style heavy rows at the front
+    return degrees
+
+
+class TestPartitionContainer:
+    def test_rows_of_and_sizes(self):
+        part = contiguous_partition(10, 3)
+        assert part.num_parts == 3
+        assert part.part_sizes().sum() == 10
+        assert set(np.concatenate([part.rows_of(p) for p in range(3)]).tolist()) == set(range(10))
+
+    def test_edge_counts_and_balance(self, skewed_degrees):
+        part = contiguous_partition(skewed_degrees.size, 4)
+        counts = part.edge_counts(skewed_degrees)
+        assert counts.sum() == skewed_degrees.sum()
+        assert part.balance(skewed_degrees) > 1.5
+
+    def test_invalid_assignments_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(num_parts=2, assignments=np.array([0, 2]))
+        with pytest.raises(ValueError):
+            Partition(num_parts=2, assignments=np.array([-1]))
+
+    def test_degree_length_mismatch(self):
+        part = contiguous_partition(8, 2)
+        with pytest.raises(ValueError):
+            part.edge_counts(np.ones(5))
+
+
+class TestContiguousPartition:
+    def test_bounds_cover_all_rows(self):
+        part = contiguous_partition(100, 7)
+        assert part.bounds[0][0] == 0
+        assert part.bounds[-1][1] == 100
+        for (a, b), (c, d) in zip(part.bounds[:-1], part.bounds[1:]):
+            assert b == c
+
+    def test_roughly_equal_rows(self):
+        sizes = contiguous_partition(100, 4).part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+
+class TestBalancedEdgePartition:
+    def test_improves_balance_on_skewed_degrees(self, skewed_degrees):
+        naive = contiguous_partition(skewed_degrees.size, 4).balance(skewed_degrees)
+        balanced = balanced_edge_partition(skewed_degrees, 4).balance(skewed_degrees)
+        assert balanced <= naive
+
+    def test_stays_contiguous(self, skewed_degrees):
+        part = balanced_edge_partition(skewed_degrees, 4)
+        assert len(part.bounds) == 4
+        for p in range(4):
+            rows = part.rows_of(p)
+            if rows.size:
+                assert np.all(np.diff(rows) == 1)
+
+    def test_uniform_degrees_equal_split(self):
+        part = balanced_edge_partition(np.full(60, 5), 6)
+        assert part.balance(np.full(60, 5)) == pytest.approx(1.0)
+
+
+class TestGreedyBinPartition:
+    def test_near_perfect_balance(self, skewed_degrees):
+        part = greedy_bin_partition(skewed_degrees, 4)
+        assert part.balance(skewed_degrees) < 1.2
+
+    def test_all_rows_assigned(self, skewed_degrees):
+        part = greedy_bin_partition(skewed_degrees, 4)
+        assert part.part_sizes().sum() == skewed_degrees.size
+
+    def test_beats_contiguous_on_global_mask(self):
+        length = 256
+        degrees = GlobalNonLocalMask([0, 1, 2], window=1).row_degrees(length)
+        greedy = greedy_bin_partition(degrees, 8).balance(degrees)
+        naive = contiguous_partition(length, 8).balance(degrees)
+        assert greedy < naive
+
+
+class TestEdgeCut:
+    def test_local_mask_has_small_cut(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=2), length=64)
+        part = contiguous_partition(64, 4)
+        cut = partition_edge_cut(graph, part)
+        # only edges crossing the 3 internal boundaries are cut
+        assert 0 < cut <= 3 * 2 * 2
+
+    def test_single_part_has_zero_cut(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=3), length=32)
+        assert partition_edge_cut(graph, contiguous_partition(32, 1)) == 0
+
+    def test_global_mask_has_large_cut(self):
+        graph = AttentionGraph.from_mask(GlobalNonLocalMask([0], window=1), length=64)
+        cut = partition_edge_cut(graph, contiguous_partition(64, 4))
+        assert cut > 64  # the global row/column crosses every boundary
+
+    def test_size_mismatch_rejected(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=2), length=16)
+        with pytest.raises(ValueError):
+            partition_edge_cut(graph, contiguous_partition(8, 2))

@@ -1,0 +1,78 @@
+"""Tests for degree statistics and load-imbalance metrics (Section V-C analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.attention_graph import AttentionGraph
+from repro.graph.stats import degree_stats, load_imbalance, work_per_block
+from repro.masks.global_ import GlobalNonLocalMask
+from repro.masks.windowed import LocalMask
+
+
+class TestDegreeStats:
+    def test_uniform_mask_is_balanced(self):
+        stats = degree_stats(LocalMask(window=3), length=64)
+        assert stats.num_vertices == 64
+        assert stats.num_edges == LocalMask(window=3).nnz(64)
+        assert stats.imbalance < 1.3  # only boundary rows deviate
+
+    def test_global_mask_is_skewed(self):
+        stats = degree_stats(GlobalNonLocalMask([0], window=1), length=256)
+        assert stats.max_degree == 255
+        assert stats.imbalance > 50
+
+    def test_accepts_graph_and_degree_vector(self):
+        graph = AttentionGraph.from_mask(LocalMask(window=2), length=16)
+        from_graph = degree_stats(graph)
+        from_vector = degree_stats(graph.out_degrees())
+        assert from_graph == from_vector
+
+    def test_mask_spec_requires_length(self):
+        with pytest.raises(ValueError):
+            degree_stats(LocalMask(window=2))
+
+    def test_empty_rows_counted(self):
+        degrees = np.array([0, 3, 0, 2])
+        assert degree_stats(degrees).empty_rows == 2
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            degree_stats(np.array([], dtype=np.int64))
+
+
+class TestWorkPerBlock:
+    def test_partitions_sum_to_total(self):
+        degrees = np.arange(100)
+        blocks = work_per_block(degrees, 7)
+        assert blocks.sum() == degrees.sum()
+        assert blocks.size == 7
+
+    def test_single_block(self):
+        degrees = np.array([1, 2, 3])
+        np.testing.assert_array_equal(work_per_block(degrees, 1), [6])
+
+    def test_invalid_block_count(self):
+        with pytest.raises(ValueError):
+            work_per_block(np.array([1]), 0)
+
+
+class TestLoadImbalance:
+    def test_balanced_workload(self):
+        degrees = np.full(128, 10)
+        assert load_imbalance(degrees, 8) == pytest.approx(1.0)
+
+    def test_skewed_workload(self):
+        degrees = np.ones(128, dtype=np.int64)
+        degrees[0] = 1000
+        assert load_imbalance(degrees, 8) > 5
+
+    def test_zero_work(self):
+        assert load_imbalance(np.zeros(16, dtype=np.int64), 4) == 1.0
+
+    def test_global_mask_worse_than_local_mask(self):
+        # the Fig. 3 explanation: global's skew means its runtime decreases
+        # slower with sparsity than CSR/local
+        length = 512
+        local = LocalMask(window=3).row_degrees(length)
+        global_ = GlobalNonLocalMask([0, 256], window=3).row_degrees(length)
+        assert load_imbalance(global_, 16) > load_imbalance(local, 16)

@@ -1,0 +1,87 @@
+"""Tests for mask algebra (union / intersection / difference) and composites."""
+
+import numpy as np
+import pytest
+
+from repro.masks.composite import DifferenceMask, IntersectionMask, UnionMask
+from repro.masks.global_ import GlobalNonLocalMask
+from repro.masks.random_ import RandomMask
+from repro.masks.structured import CausalMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+
+
+class TestUnionMask:
+    def test_union_matches_dense_or(self):
+        length = 32
+        a, b = LocalMask(window=3), GlobalNonLocalMask([0, 16], window=3)
+        union = UnionMask([a, b])
+        expected = (a.to_dense(length) > 0) | (b.to_dense(length) > 0)
+        np.testing.assert_array_equal(union.to_dense(length) > 0, expected)
+
+    def test_operator_overload(self):
+        combined = LocalMask(window=2) | CausalMask()
+        assert isinstance(combined, UnionMask)
+        assert len(combined.components) == 2
+
+    def test_nested_unions_flattened(self):
+        three = (LocalMask(window=2) | CausalMask()) | RandomMask(keys_per_row=2, seed=0)
+        assert len(three.components) == 3
+
+    def test_neighbors_are_sorted_unique(self):
+        union = LocalMask(window=4) | GlobalNonLocalMask([5], window=4)
+        cols = union.neighbors(5, 20)
+        assert np.all(np.diff(cols) > 0)
+
+    def test_nnz_accounts_for_overlap(self):
+        length = 16
+        a, b = LocalMask(window=4), LocalMask(window=2)  # b subset of a
+        union = UnionMask([a, b])
+        assert union.nnz(length) == a.nnz(length)
+        assert union.upper_bound_nnz(length) == a.nnz(length) + b.nnz(length)
+
+    def test_single_component_passthrough(self):
+        mask = UnionMask([LocalMask(window=3)])
+        assert mask.nnz(10) == LocalMask(window=3).nnz(10)
+
+    def test_requires_component(self):
+        with pytest.raises(ValueError):
+            UnionMask([])
+
+
+class TestIntersectionMask:
+    def test_matches_dense_and(self):
+        length = 24
+        a, b = LocalMask(window=6), Dilated1DMask(window=6, dilation=1)
+        inter = IntersectionMask([a, b])
+        expected = (a.to_dense(length) > 0) & (b.to_dense(length) > 0)
+        np.testing.assert_array_equal(inter.to_dense(length) > 0, expected)
+
+    def test_operator_overload(self):
+        assert isinstance(LocalMask(window=2) & CausalMask(), IntersectionMask)
+
+    def test_intersection_with_subset(self):
+        # a dilated window intersected with its undilated version is the dilated one
+        length = 20
+        dilated = Dilated1DMask(window=7, dilation=1)
+        inter = IntersectionMask([LocalMask(window=7), dilated])
+        np.testing.assert_array_equal(inter.to_dense(length), dilated.to_dense(length))
+
+
+class TestDifferenceMask:
+    def test_matches_dense_difference(self):
+        length = 24
+        a, b = LocalMask(window=6), LocalMask(window=3)
+        diff = DifferenceMask(a, b)
+        expected = (a.to_dense(length) > 0) & ~(b.to_dense(length) > 0)
+        np.testing.assert_array_equal(diff.to_dense(length) > 0, expected)
+
+    def test_operator_overload(self):
+        assert isinstance(LocalMask(window=4) - LocalMask(window=2), DifferenceMask)
+
+    def test_self_difference_is_empty(self):
+        mask = LocalMask(window=3)
+        assert (mask - mask).nnz(16) == 0
+
+    def test_describe_mentions_components(self):
+        text = DifferenceMask(LocalMask(window=4), LocalMask(window=2)).describe()
+        assert "window=4" in text and "window=2" in text

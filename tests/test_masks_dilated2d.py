@@ -1,0 +1,66 @@
+"""Tests for the 2-D dilated (blocked) mask."""
+
+import numpy as np
+import pytest
+
+from repro.masks.dilated2d import Dilated2DMask
+
+
+class TestDilated2DMask:
+    def test_block_membership(self):
+        mask = Dilated2DMask(block_size=4, dilation=0)
+        dense = mask.to_dense(8)
+        # dilation 0: full block-diagonal structure
+        expected = np.zeros((8, 8), dtype=np.float32)
+        expected[:4, :4] = 1.0
+        expected[4:, 4:] = 1.0
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_dilation_grid_inside_block(self):
+        mask = Dilated2DMask(block_size=4, dilation=1)
+        dense = mask.to_dense(4)
+        # only intra-block positions 0 and 2 participate
+        expected = np.zeros((4, 4), dtype=np.float32)
+        for i in (0, 2):
+            for j in (0, 2):
+                expected[i, j] = 1.0
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_off_grid_rows_are_empty(self):
+        mask = Dilated2DMask(block_size=6, dilation=2)
+        assert mask.neighbors(1, 12).size == 0
+        assert mask.neighbors(3, 12).size > 0
+
+    def test_active_rows(self):
+        mask = Dilated2DMask(block_size=4, dilation=1)
+        np.testing.assert_array_equal(mask.active_rows(8), [0, 2, 4, 6])
+
+    def test_nnz_closed_form_matches_materialised(self):
+        for block, dilation, length in [(4, 1, 16), (5, 2, 23), (8, 0, 32), (6, 1, 10)]:
+            mask = Dilated2DMask(block_size=block, dilation=dilation)
+            assert mask.nnz(length) == int(mask.to_dense(length).sum())
+
+    def test_row_degrees_match_materialised(self):
+        mask = Dilated2DMask(block_size=5, dilation=1)
+        dense = mask.to_dense(17)
+        np.testing.assert_array_equal(mask.row_degrees(17), dense.sum(axis=1).astype(np.int64))
+
+    def test_remainder_block_handled(self):
+        mask = Dilated2DMask(block_size=8, dilation=1)
+        # length not a multiple of block size
+        assert mask.nnz(20) == int(mask.to_dense(20).sum())
+
+    def test_larger_block_is_denser(self):
+        length = 64
+        small = Dilated2DMask(block_size=8, dilation=1).sparsity_factor(length)
+        large = Dilated2DMask(block_size=32, dilation=1).sparsity_factor(length)
+        assert large > small
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Dilated2DMask(block_size=0)
+        with pytest.raises(ValueError):
+            Dilated2DMask(block_size=4, dilation=-1)
+
+    def test_kernel_hint(self):
+        assert Dilated2DMask(block_size=4).kernel_hint == "dilated2d"

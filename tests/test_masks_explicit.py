@@ -1,0 +1,63 @@
+"""Tests for the ExplicitMask adapter."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.masks.base import as_mask_spec
+from repro.masks.explicit import ExplicitMask
+from repro.masks.windowed import LocalMask
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture
+def dense(rng):
+    return (rng.random((16, 16)) < 0.3).astype(np.float32)
+
+
+class TestExplicitMask:
+    def test_wraps_csr(self, dense):
+        mask = ExplicitMask(CSRMatrix.from_dense(dense))
+        np.testing.assert_array_equal(mask.to_dense(16), dense)
+        assert mask.length == 16
+
+    def test_from_any_accepts_dense_scipy_and_containers(self, dense):
+        for source in (dense, sp.csr_matrix(dense), CSRMatrix.from_dense(dense)):
+            mask = ExplicitMask.from_any(source)
+            np.testing.assert_array_equal(mask.to_dense(16), dense)
+
+    def test_length_mismatch_rejected(self, dense):
+        mask = ExplicitMask.from_any(dense)
+        with pytest.raises(ValueError):
+            mask.neighbors(0, 32)
+        with pytest.raises(ValueError):
+            mask.to_csr(8)
+
+    def test_neighbors_and_degrees(self, dense):
+        mask = ExplicitMask.from_any(dense)
+        for i in range(16):
+            np.testing.assert_array_equal(mask.neighbors(i, 16), np.flatnonzero(dense[i]))
+        np.testing.assert_array_equal(mask.row_degrees(16), dense.sum(axis=1).astype(np.int64))
+
+    def test_nnz_and_sparsity_without_length(self, dense):
+        mask = ExplicitMask.from_any(dense)
+        assert mask.nnz() == int(dense.sum())
+        assert mask.sparsity_factor() == pytest.approx(dense.sum() / dense.size)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            ExplicitMask(CSRMatrix.from_dense(np.ones((4, 6), dtype=np.float32)))
+
+    def test_as_mask_spec_coercion(self, dense):
+        spec = as_mask_spec(dense)
+        assert isinstance(spec, ExplicitMask)
+        # already-spec objects pass through unchanged
+        local = LocalMask(window=2)
+        assert as_mask_spec(local) is local
+
+    def test_algebra_with_pattern_masks(self, dense):
+        explicit = ExplicitMask.from_any(dense)
+        union = explicit | LocalMask(window=2)
+        combined = union.to_dense(16)
+        expected = (dense > 0) | (LocalMask(window=2).to_dense(16) > 0)
+        np.testing.assert_array_equal(combined > 0, expected)

@@ -1,0 +1,88 @@
+"""Tests for the global and global-non-local masks."""
+
+import numpy as np
+import pytest
+
+from repro.masks.global_ import GlobalMask, GlobalNonLocalMask
+from repro.masks.windowed import LocalMask
+
+
+class TestGlobalMask:
+    def test_rows_and_columns_of_global_tokens(self):
+        mask = GlobalMask([0, 5])
+        dense = mask.to_dense(8)
+        np.testing.assert_array_equal(dense[0], np.ones(8))
+        np.testing.assert_array_equal(dense[5], np.ones(8))
+        np.testing.assert_array_equal(dense[:, 0], np.ones(8))
+        np.testing.assert_array_equal(dense[:, 5], np.ones(8))
+        # a non-global pair is not connected
+        assert dense[2, 3] == 0
+
+    def test_nnz_closed_form(self):
+        for tokens, length in [([0], 10), ([0, 3, 7], 16), ([1, 2], 4)]:
+            mask = GlobalMask(tokens)
+            assert mask.nnz(length) == int(mask.to_dense(length).sum())
+
+    def test_duplicate_tokens_deduplicated(self):
+        assert GlobalMask([2, 2, 2]).num_global == 1
+
+    def test_out_of_range_token_rejected_at_materialisation(self):
+        mask = GlobalMask([10])
+        with pytest.raises(ValueError):
+            mask.to_dense(5)
+
+    def test_needs_at_least_one_token(self):
+        with pytest.raises(ValueError):
+            GlobalMask([])
+
+    def test_row_degrees(self):
+        mask = GlobalMask([0, 4])
+        degrees = mask.row_degrees(8)
+        assert degrees[0] == 8 and degrees[4] == 8
+        assert degrees[1] == 2
+
+
+class TestGlobalNonLocalMask:
+    def test_subtracts_local_window(self):
+        length, window = 12, 3
+        tokens = [0, 6]
+        combined = GlobalNonLocalMask(tokens, window=window).to_dense(length)
+        local = LocalMask(window=window).to_dense(length)
+        pure_global = GlobalMask(tokens).to_dense(length)
+        np.testing.assert_array_equal(combined > 0, (pure_global > 0) & ~(local > 0))
+
+    def test_disjoint_from_local(self):
+        length, window = 16, 4
+        non_local = GlobalNonLocalMask([0, 8], window=window).to_csr(length)
+        local = LocalMask(window=window).to_csr(length)
+        assert non_local.to_coo().intersection(local.to_coo()).nnz == 0
+
+    def test_union_with_local_is_longformer_pattern(self):
+        length, window = 16, 4
+        tokens = [0, 8]
+        union = (
+            GlobalNonLocalMask(tokens, window=window).to_csr(length)
+            .union(LocalMask(window=window).to_csr(length))
+        )
+        expected = GlobalMask(tokens).to_csr(length).union(LocalMask(window=window).to_csr(length))
+        assert union == expected
+
+    def test_row_degrees_match_materialised(self):
+        mask = GlobalNonLocalMask([0, 5, 11], window=2)
+        dense = mask.to_dense(20)
+        np.testing.assert_array_equal(mask.row_degrees(20), dense.sum(axis=1).astype(np.int64))
+
+    def test_nnz_matches_materialised(self):
+        mask = GlobalNonLocalMask([2, 9], window=3)
+        assert mask.nnz(24) == int(mask.to_dense(24).sum())
+
+    def test_window_one_keeps_only_diagonal_out(self):
+        # window=1 removes only the self edge of each global token
+        mask = GlobalNonLocalMask([4], window=1)
+        dense = mask.to_dense(8)
+        assert dense[4, 4] == 0
+        assert dense[4, 3] == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalNonLocalMask([0], window=0)

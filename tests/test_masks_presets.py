@@ -1,0 +1,124 @@
+"""Tests for the Longformer / BigBird / LongNet preset masks (Fig. 2, Section V-F)."""
+
+import numpy as np
+import pytest
+
+from repro.masks.presets import (
+    LongNetSchedule,
+    bigbird_block_mask,
+    bigbird_mask,
+    default_global_tokens,
+    longformer_dilated_mask,
+    longformer_mask,
+)
+from repro.masks.composite import UnionMask
+from repro.masks.global_ import GlobalMask
+from repro.masks.windowed import LocalMask
+
+
+class TestDefaultGlobalTokens:
+    def test_count_and_range(self):
+        tokens = default_global_tokens(1000, 3)
+        assert len(tokens) == 3
+        assert tokens[0] == 0
+        assert all(0 <= t < 1000 for t in tokens)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            default_global_tokens(2, 5)
+        with pytest.raises(ValueError):
+            default_global_tokens(10, 0)
+
+
+class TestLongformerMask:
+    def test_is_union_of_local_and_global(self):
+        mask = longformer_mask(reach=5, global_tokens=(0, 32))
+        assert isinstance(mask, UnionMask)
+        assert len(mask.components) == 2
+
+    def test_covers_local_and_global_edges(self):
+        length = 64
+        mask = longformer_mask(reach=5, global_tokens=(0, 32))
+        dense = mask.to_dense(length)
+        local = LocalMask(window=6).to_dense(length)
+        global_ = GlobalMask([0, 32]).to_dense(length)
+        np.testing.assert_array_equal(dense > 0, (local > 0) | (global_ > 0))
+
+    def test_components_are_edge_disjoint(self):
+        # crucial for the sequential Loc + Glo execution not to double count
+        length = 64
+        mask = longformer_mask(reach=5, global_tokens=(0, 32))
+        a, b = (c.to_csr(length).to_coo() for c in mask.components)
+        assert a.intersection(b).nnz == 0
+        assert mask.upper_bound_nnz(length) == mask.nnz(length)
+
+    def test_fig6_configuration(self):
+        # reach 50 in each direction, 3 global tokens
+        length = 512
+        tokens = default_global_tokens(length, 3)
+        mask = longformer_mask(reach=50, global_tokens=tokens)
+        degrees = mask.row_degrees(length)
+        # interior non-global rows see 101 local neighbours plus the global columns
+        interior = [i for i in range(60, length - 60) if i not in tokens]
+        assert degrees[interior[0]] == 101 + sum(1 for t in tokens if abs(t - interior[0]) > 50)
+
+
+class TestLongformerDilatedMask:
+    def test_effective_reach_doubles_with_dilation_two(self):
+        mask = longformer_dilated_mask(reach=10, global_tokens=(0,), dilation=2)
+        local = mask.components[0]
+        # farthest attended offset is reach * dilation ... at least as wide as 2x reach
+        assert local.effective_reach >= 20
+
+    def test_requires_dilation(self):
+        with pytest.raises(ValueError):
+            longformer_dilated_mask(reach=5, global_tokens=(0,), dilation=0)
+
+
+class TestBigBirdMask:
+    def test_three_components(self):
+        mask = bigbird_mask(reach=4, global_tokens=(0,), random_sparsity=0.05, seed=0)
+        assert len(mask.components) == 3
+
+    def test_contains_local_global_and_random_edges(self):
+        length = 128
+        mask = bigbird_mask(reach=4, global_tokens=(0,), random_sparsity=0.05, seed=0)
+        dense = mask.to_dense(length)
+        assert dense[10, 9] == 1  # local
+        assert dense[100, 0] == 1  # global column
+        assert dense.sum() > LocalMask(window=5).nnz(length) + 2 * length  # random adds extra
+
+    def test_deterministic(self):
+        a = bigbird_mask(reach=4, global_tokens=(0,), random_sparsity=0.05, seed=3).to_csr(64)
+        b = bigbird_mask(reach=4, global_tokens=(0,), random_sparsity=0.05, seed=3).to_csr(64)
+        assert a == b
+
+    def test_block_variant(self):
+        mask = bigbird_block_mask(block_size=16, global_tokens=(0,), random_sparsity=0.01, seed=0)
+        assert len(mask.components) == 3
+        assert mask.nnz(64) > 0
+
+
+class TestLongNetSchedule:
+    def test_segment_lengths_geometric(self):
+        schedule = LongNetSchedule(w0=2048, alpha=2.0, levels=4)
+        assert schedule.segment_lengths() == [2048, 4096, 8192, 16384]
+        assert schedule.dilations() == [1, 2, 4, 8]
+
+    def test_dot_product_budget_matches_paper(self):
+        schedule = LongNetSchedule()
+        assert schedule.dot_product_budget(1000) == pytest.approx(2730 * 1000, rel=0.01)
+
+    def test_sparsity_clamped(self):
+        assert LongNetSchedule().sparsity_factor(100) == 1.0
+
+    def test_masks_materialise(self):
+        schedule = LongNetSchedule(w0=8, alpha=2.0, levels=2)
+        union = schedule.masks(64)
+        assert union.nnz(64) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LongNetSchedule(alpha=1.0)
+        with pytest.raises(ValueError):
+            LongNetSchedule(w0=0)

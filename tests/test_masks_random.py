@@ -1,0 +1,71 @@
+"""Tests for the uniform random attention mask (BigBird's random component)."""
+
+import numpy as np
+import pytest
+
+from repro.masks.random_ import RandomMask
+
+
+class TestRandomMask:
+    def test_requires_exactly_one_parameterisation(self):
+        with pytest.raises(ValueError):
+            RandomMask()
+        with pytest.raises(ValueError):
+            RandomMask(sparsity=0.1, keys_per_row=2)
+
+    def test_sparsity_bounds_checked(self):
+        with pytest.raises(ValueError):
+            RandomMask(sparsity=0.0)
+        with pytest.raises(ValueError):
+            RandomMask(sparsity=1.5)
+        with pytest.raises(ValueError):
+            RandomMask(keys_per_row=0)
+
+    def test_deterministic_given_seed(self):
+        a = RandomMask(sparsity=0.05, seed=7).to_csr(64)
+        b = RandomMask(sparsity=0.05, seed=7).to_csr(64)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomMask(sparsity=0.05, seed=1).to_csr(64)
+        b = RandomMask(sparsity=0.05, seed=2).to_csr(64)
+        assert a != b
+
+    def test_rows_are_independent_streams(self):
+        mask = RandomMask(keys_per_row=3, seed=0)
+        n0 = mask.neighbors(0, 128)
+        n1 = mask.neighbors(1, 128)
+        assert not np.array_equal(n0, n1)
+        # calling neighbours twice gives the same draw
+        np.testing.assert_array_equal(n0, mask.neighbors(0, 128))
+
+    def test_keys_per_row_exact(self):
+        mask = RandomMask(keys_per_row=4, seed=0)
+        degrees = mask.to_csr(50).row_degrees()
+        np.testing.assert_array_equal(degrees, np.full(50, 4))
+
+    def test_sparsity_target_approximately_met(self):
+        length = 200
+        target = 0.03
+        achieved = RandomMask(sparsity=target, seed=0).to_csr(length).sparsity_factor
+        assert achieved == pytest.approx(target, rel=0.2)
+
+    def test_include_diagonal(self):
+        mask = RandomMask(keys_per_row=2, seed=0, include_diagonal=True)
+        dense = mask.to_dense(32)
+        assert np.all(np.diag(dense) > 0)
+
+    def test_no_duplicate_columns_within_row(self):
+        mask = RandomMask(keys_per_row=10, seed=3)
+        for i in range(0, 64, 7):
+            cols = mask.neighbors(i, 64)
+            assert len(np.unique(cols)) == len(cols)
+
+    def test_nnz_accounting(self):
+        mask = RandomMask(keys_per_row=5, seed=0)
+        assert mask.nnz(40) == 200
+        assert mask.sparsity_factor(40) == pytest.approx(200 / 1600)
+
+    def test_keys_per_row_clamped_to_length(self):
+        mask = RandomMask(keys_per_row=100, seed=0)
+        assert mask.to_csr(16).row_degrees().max() == 16

@@ -1,0 +1,101 @@
+"""Tests for the sparsity-to-parameter solvers (Section V-C setup, Section II-D)."""
+
+import pytest
+
+from repro.masks.dilated2d import Dilated2DMask
+from repro.masks.solvers import (
+    achieved_sparsity,
+    dilated1d_window_for_sparsity,
+    dilated2d_block_for_sparsity,
+    local_window_for_sparsity,
+    longnet_sparsity_factor,
+    longnet_window_for_length,
+)
+from repro.masks.windowed import Dilated1DMask, LocalMask
+
+
+class TestLocalWindowSolver:
+    @pytest.mark.parametrize("length,sparsity", [(256, 0.01), (512, 0.05), (1024, 0.001), (128, 0.5)])
+    def test_window_meets_target_tightly(self, length, sparsity):
+        window = local_window_for_sparsity(length, sparsity)
+        mask = LocalMask(window=window)
+        assert mask.sparsity_factor(length) >= sparsity
+        if window > 1:
+            smaller = LocalMask(window=window - 1)
+            assert smaller.sparsity_factor(length) < sparsity
+
+    def test_full_sparsity_gives_full_window(self):
+        assert local_window_for_sparsity(64, 1.0) == 64
+
+    def test_tiny_sparsity_gives_window_one(self):
+        assert local_window_for_sparsity(1024, 1e-6) == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            local_window_for_sparsity(0, 0.1)
+        with pytest.raises(ValueError):
+            local_window_for_sparsity(16, 0.0)
+        with pytest.raises(ValueError):
+            local_window_for_sparsity(16, 1.5)
+
+
+class TestDilated1DSolver:
+    @pytest.mark.parametrize("length,sparsity,dilation", [(256, 0.02, 1), (512, 0.01, 2), (128, 0.3, 1)])
+    def test_target_met(self, length, sparsity, dilation):
+        window = dilated1d_window_for_sparsity(length, sparsity, dilation)
+        assert Dilated1DMask(window=window, dilation=dilation).sparsity_factor(length) >= sparsity
+
+    def test_dilation_increases_window_for_same_target(self):
+        length, sparsity = 512, 0.05
+        w0 = dilated1d_window_for_sparsity(length, sparsity, dilation=0)
+        w2 = dilated1d_window_for_sparsity(length, sparsity, dilation=2)
+        assert w2 >= w0
+
+
+class TestDilated2DSolver:
+    @pytest.mark.parametrize("length,sparsity,dilation", [(256, 0.05, 1), (200, 0.02, 1), (128, 0.2, 0)])
+    def test_target_met_and_tight(self, length, sparsity, dilation):
+        block = dilated2d_block_for_sparsity(length, sparsity, dilation)
+        assert Dilated2DMask(block_size=block, dilation=dilation).sparsity_factor(length) >= sparsity
+        if block > 1:
+            smaller = Dilated2DMask(block_size=block - 1, dilation=dilation)
+            assert smaller.sparsity_factor(length) < sparsity
+
+    def test_impossible_target_returns_full_block(self):
+        # with heavy dilation even a full-length block may miss the target
+        block = dilated2d_block_for_sparsity(16, 1.0, dilation=3)
+        assert block == 16
+
+
+class TestAchievedSparsity:
+    def test_matches_mask_method(self):
+        mask = LocalMask(window=5)
+        assert achieved_sparsity(mask, 64) == pytest.approx(mask.sparsity_factor(64))
+
+
+class TestLongNetSchedule:
+    def test_paper_constant_2730(self):
+        # alpha=2, w0=2048 -> 2730 dot products per token (Section II-D)
+        length = 1_000_000
+        sf = longnet_sparsity_factor(length)
+        assert sf * length == pytest.approx(2730, rel=0.01)
+
+    def test_paper_quoted_sparsity_values(self):
+        # Section II-D: Sf ~= 0.17 at 16k, 0.085 at 32k, 0.0027 at 1M, 1.7e-5 at 160M
+        assert longnet_sparsity_factor(16_384) == pytest.approx(0.17, rel=0.05)
+        assert longnet_sparsity_factor(32_768) == pytest.approx(0.085, rel=0.05)
+        assert longnet_sparsity_factor(1_000_000) == pytest.approx(0.0027, rel=0.05)
+        assert longnet_sparsity_factor(160_000_000) == pytest.approx(1.7e-5, rel=0.05)
+
+    def test_clamped_to_dense_for_short_sequences(self):
+        assert longnet_sparsity_factor(1024) == 1.0
+
+    def test_window_for_length_matches_schedule(self):
+        length = 100_000
+        window = longnet_window_for_length(length)
+        sf = longnet_sparsity_factor(length)
+        assert LocalMask(window=window).sparsity_factor(length) >= sf
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            longnet_sparsity_factor(1024, alpha=1.0)

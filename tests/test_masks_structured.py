@@ -1,0 +1,73 @@
+"""Tests for causal, dense, block-diagonal and strided masks."""
+
+import numpy as np
+import pytest
+
+from repro.masks.structured import BlockDiagonalMask, CausalMask, DenseMask, StridedMask
+
+
+class TestCausalMask:
+    def test_lower_triangular(self):
+        dense = CausalMask().to_dense(6)
+        np.testing.assert_array_equal(dense, np.tril(np.ones((6, 6), dtype=np.float32)))
+
+    def test_nnz_closed_form(self):
+        assert CausalMask().nnz(10) == 55
+
+    def test_row_degrees(self):
+        np.testing.assert_array_equal(CausalMask().row_degrees(5), [1, 2, 3, 4, 5])
+
+
+class TestDenseMask:
+    def test_all_ones(self):
+        dense = DenseMask().to_dense(4)
+        np.testing.assert_array_equal(dense, np.ones((4, 4), dtype=np.float32))
+
+    def test_sparsity_factor_is_one(self):
+        assert DenseMask().sparsity_factor(16) == 1.0
+
+
+class TestBlockDiagonalMask:
+    def test_structure(self):
+        dense = BlockDiagonalMask(block_size=3).to_dense(6)
+        expected = np.zeros((6, 6), dtype=np.float32)
+        expected[:3, :3] = 1.0
+        expected[3:, 3:] = 1.0
+        np.testing.assert_array_equal(dense, expected)
+
+    def test_remainder_block(self):
+        mask = BlockDiagonalMask(block_size=4)
+        assert mask.nnz(10) == 4 * 4 * 2 + 2 * 2
+        assert mask.nnz(10) == int(mask.to_dense(10).sum())
+
+    def test_row_degrees_match(self):
+        mask = BlockDiagonalMask(block_size=5)
+        dense = mask.to_dense(13)
+        np.testing.assert_array_equal(mask.row_degrees(13), dense.sum(axis=1).astype(np.int64))
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            BlockDiagonalMask(block_size=0)
+
+
+class TestStridedMask:
+    def test_attends_every_stride_back(self):
+        mask = StridedMask(stride=3)
+        np.testing.assert_array_equal(mask.neighbors(7, 12), [1, 4, 7])
+
+    def test_stride_one_is_causal(self):
+        np.testing.assert_array_equal(
+            StridedMask(stride=1).to_dense(8), CausalMask().to_dense(8)
+        )
+
+    def test_nnz_matches_materialised(self):
+        mask = StridedMask(stride=4)
+        assert mask.nnz(23) == int(mask.to_dense(23).sum())
+
+    def test_row_degrees(self):
+        mask = StridedMask(stride=2)
+        np.testing.assert_array_equal(mask.row_degrees(6), [1, 1, 2, 2, 3, 3])
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            StridedMask(stride=0)

@@ -1,0 +1,155 @@
+"""Tests for the online-softmax primitives shared by every kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.online_softmax import (
+    OnlineSoftmaxState,
+    accumulator_dtype,
+    segment_softmax_stats,
+    segment_weighted_sum,
+    stable_softmax,
+)
+
+
+def dense_softmax_reference(scores):
+    scores = np.asarray(scores, dtype=np.float64)
+    shifted = scores - scores.max()
+    weights = np.exp(shifted)
+    return weights / weights.sum()
+
+
+class TestAccumulatorDtype:
+    def test_half_uses_float32(self):
+        assert accumulator_dtype(np.float16) == np.float32
+
+    def test_single_and_double_use_float64(self):
+        assert accumulator_dtype(np.float32) == np.float64
+        assert accumulator_dtype(np.float64) == np.float64
+
+
+class TestStableSoftmax:
+    def test_matches_reference(self, rng):
+        scores = rng.standard_normal((6, 9))
+        result = stable_softmax(scores, axis=1)
+        for i in range(6):
+            np.testing.assert_allclose(result[i], dense_softmax_reference(scores[i]), atol=1e-12)
+
+    def test_rows_sum_to_one(self, rng):
+        result = stable_softmax(rng.standard_normal((5, 7)), axis=1)
+        np.testing.assert_allclose(result.sum(axis=1), np.ones(5), atol=1e-12)
+
+    def test_fully_masked_row_maps_to_zero(self):
+        scores = np.full((2, 4), -np.inf)
+        scores[0, 1] = 0.3
+        result = stable_softmax(scores, axis=1)
+        assert result[0, 1] == pytest.approx(1.0)
+        np.testing.assert_array_equal(result[1], np.zeros(4))
+
+    def test_large_scores_do_not_overflow(self):
+        result = stable_softmax(np.array([[1e4, 1e4 + 1.0]]), axis=1)
+        assert np.all(np.isfinite(result))
+        assert result[0, 1] > result[0, 0]
+
+
+class TestOnlineSoftmaxState:
+    def test_single_updates_match_dense_softmax(self, rng):
+        scores = rng.standard_normal(12)
+        values = rng.standard_normal((12, 5))
+        state = OnlineSoftmaxState.initialise(1, 5)
+        for s, val in zip(scores, values):
+            state.update_single(0, float(s), val)
+        expected = dense_softmax_reference(scores) @ values
+        np.testing.assert_allclose(state.finalize()[0], expected, atol=1e-12)
+
+    def test_order_independence(self, rng):
+        scores = rng.standard_normal(10)
+        values = rng.standard_normal((10, 3))
+        order = rng.permutation(10)
+        a = OnlineSoftmaxState.initialise(1, 3)
+        b = OnlineSoftmaxState.initialise(1, 3)
+        for idx in range(10):
+            a.update_single(0, float(scores[idx]), values[idx])
+        for idx in order:
+            b.update_single(0, float(scores[idx]), values[idx])
+        np.testing.assert_allclose(a.finalize(), b.finalize(), atol=1e-12)
+
+    def test_update_rows_batch(self, rng):
+        scores = rng.standard_normal(6)
+        values = rng.standard_normal((6, 4))
+        batched = OnlineSoftmaxState.initialise(6, 4)
+        batched.update_rows(np.arange(6), scores, values)
+        single = OnlineSoftmaxState.initialise(6, 4)
+        for i in range(6):
+            single.update_single(i, float(scores[i]), values[i])
+        np.testing.assert_allclose(batched.finalize(), single.finalize(), atol=1e-12)
+
+    def test_update_block_matches_flat_updates(self, rng):
+        # feeding a tile's pre-reduced stats must equal feeding its scores one by one
+        scores = rng.standard_normal((3, 8))
+        values = rng.standard_normal((8, 2))
+        tiled = OnlineSoftmaxState.initialise(3, 2)
+        tile_max = scores.max(axis=1)
+        weights = np.exp(scores - tile_max[:, None])
+        tiled.update_block(np.arange(3), tile_max, weights.sum(axis=1), weights @ values)
+        flat = OnlineSoftmaxState.initialise(3, 2)
+        for i in range(3):
+            for j in range(8):
+                flat.update_single(i, float(scores[i, j]), values[j])
+        np.testing.assert_allclose(tiled.finalize(), flat.finalize(), atol=1e-12)
+
+    def test_merge_of_disjoint_neighbour_sets(self, rng):
+        scores = rng.standard_normal(10)
+        values = rng.standard_normal((10, 3))
+        full = OnlineSoftmaxState.initialise(1, 3)
+        first = OnlineSoftmaxState.initialise(1, 3)
+        second = OnlineSoftmaxState.initialise(1, 3)
+        for j in range(10):
+            full.update_single(0, float(scores[j]), values[j])
+            (first if j < 4 else second).update_single(0, float(scores[j]), values[j])
+        merged = first.merge(second)
+        np.testing.assert_allclose(merged.finalize(), full.finalize(), atol=1e-12)
+
+    def test_merge_with_empty_state(self, rng):
+        state = OnlineSoftmaxState.initialise(2, 3)
+        state.update_single(0, 0.5, np.ones(3))
+        empty = OnlineSoftmaxState.initialise(2, 3)
+        merged = state.merge(empty)
+        np.testing.assert_allclose(merged.finalize(), state.finalize())
+
+    def test_empty_rows_finalize_to_fill_value(self):
+        state = OnlineSoftmaxState.initialise(3, 2)
+        state.update_single(1, 0.0, np.array([2.0, 4.0]))
+        out = state.finalize()
+        np.testing.assert_array_equal(out[0], [0.0, 0.0])
+        np.testing.assert_allclose(out[1], [2.0, 4.0])
+
+    def test_merge_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineSoftmaxState.initialise(2, 3).merge(OnlineSoftmaxState.initialise(3, 3))
+
+
+class TestSegmentReductions:
+    def test_segment_softmax_matches_dense(self, rng):
+        indptr = np.array([0, 3, 3, 7, 10])
+        scores = rng.standard_normal(10)
+        row_max, row_sum, weights = segment_softmax_stats(scores, indptr)
+        assert row_max[1] == -np.inf and row_sum[1] == 0.0
+        for row, (start, stop) in enumerate(zip(indptr[:-1], indptr[1:])):
+            if stop > start:
+                seg = scores[start:stop]
+                assert row_max[row] == pytest.approx(seg.max())
+                assert row_sum[row] == pytest.approx(np.exp(seg - seg.max()).sum())
+
+    def test_segment_weighted_sum(self, rng):
+        indptr = np.array([0, 2, 5])
+        weights = rng.random(5)
+        values = rng.standard_normal((5, 3))
+        acc = segment_weighted_sum(weights, values, indptr, 3)
+        np.testing.assert_allclose(acc[0], weights[:2] @ values[:2], atol=1e-12)
+        np.testing.assert_allclose(acc[1], weights[2:] @ values[2:], atol=1e-12)
+
+    def test_empty_edge_list(self):
+        row_max, row_sum, weights = segment_softmax_stats(np.zeros(0), np.zeros(4, dtype=np.int64))
+        assert weights.size == 0
+        assert np.all(row_sum == 0)

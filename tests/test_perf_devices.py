@@ -1,0 +1,47 @@
+"""Tests for the GPU device specifications (paper Table I)."""
+
+import pytest
+
+from repro.perfmodel.devices import (
+    A100_SXM4_80GB,
+    DEVICES,
+    L40_48GB,
+    V100_SXM2_32GB,
+    DeviceSpec,
+    get_device,
+)
+
+
+class TestRegistry:
+    def test_all_three_paper_gpus_present(self):
+        assert set(DEVICES) == {"a100", "l40", "v100"}
+
+    def test_lookup_by_short_and_full_name(self):
+        assert get_device("a100") is A100_SXM4_80GB
+        assert get_device("NVIDIA L40 (48GB)") is L40_48GB
+        assert get_device("V100") is V100_SXM2_32GB
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(KeyError):
+            get_device("h100")
+
+
+class TestSpecifications:
+    def test_memory_capacities_match_paper(self):
+        assert A100_SXM4_80GB.memory_gib == pytest.approx(80)
+        assert L40_48GB.memory_gib == pytest.approx(48)
+        assert V100_SXM2_32GB.memory_gib == pytest.approx(32)
+
+    def test_peak_lookup(self):
+        assert A100_SXM4_80GB.peak_for("fp16") > A100_SXM4_80GB.peak_for("fp32")
+        with pytest.raises(ValueError):
+            A100_SXM4_80GB.peak_for("int8")
+
+    def test_a100_has_most_memory(self):
+        assert A100_SXM4_80GB.memory_bytes > L40_48GB.memory_bytes > V100_SXM2_32GB.memory_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", memory_bytes=0, memory_bandwidth=1.0, peak_flops={"fp16": 1.0}, sm_count=1)
+        with pytest.raises(ValueError):
+            DeviceSpec(name="bad", memory_bytes=1, memory_bandwidth=1.0, peak_flops={}, sm_count=1)

@@ -1,0 +1,91 @@
+"""Tests for the per-algorithm memory model and context-length solver (Section V-D)."""
+
+import pytest
+
+from repro.perfmodel.devices import A100_SXM4_80GB
+from repro.perfmodel.memory import (
+    ALGORITHMS_WITH_MEMORY_MODEL,
+    AttentionMemoryModel,
+    max_context_length,
+)
+
+
+class TestBreakdown:
+    def test_every_algorithm_has_a_model(self):
+        for algorithm in ALGORITHMS_WITH_MEMORY_MODEL:
+            dtype = "fp16" if algorithm == "flash" else "fp32"
+            model = AttentionMemoryModel(algorithm=algorithm, dtype=dtype)
+            breakdown = model.breakdown(1024, 0.01)
+            assert breakdown.total > 0
+            assert breakdown.qkvo == 4 * 1024 * 64 * model.element_bytes
+
+    def test_sdp_stores_dense_score_matrix(self):
+        model = AttentionMemoryModel(algorithm="sdp", dtype="fp32")
+        breakdown = model.breakdown(1000, 0.001)
+        assert breakdown.score_matrix == 1000 * 1000 * 4
+        # independent of sparsity
+        assert model.breakdown(1000, 1.0).score_matrix == breakdown.score_matrix
+
+    def test_csr_and_coo_scale_with_sparsity(self):
+        csr = AttentionMemoryModel(algorithm="csr", dtype="fp32")
+        coo = AttentionMemoryModel(algorithm="coo", dtype="fp32")
+        assert csr.bytes_required(4096, 0.01) < csr.bytes_required(4096, 0.1)
+        # COO stores a third O(nnz) vector, so it is always at least as large
+        assert coo.bytes_required(4096, 0.1) > csr.bytes_required(4096, 0.1)
+
+    def test_implicit_kernels_independent_of_sparsity(self):
+        model = AttentionMemoryModel(algorithm="local", dtype="fp16")
+        assert model.bytes_required(10_000, 1e-4) == model.bytes_required(10_000, 0.5)
+        assert model.breakdown(10_000).statistics == 2 * 10_000 * 2
+
+    def test_global_adds_index_buffer(self):
+        local = AttentionMemoryModel(algorithm="local", dtype="fp16")
+        global_ = AttentionMemoryModel(algorithm="global", dtype="fp16")
+        assert global_.bytes_required(10_000) > local.bytes_required(10_000)
+
+    def test_heads_scale_model_dim(self):
+        single = AttentionMemoryModel(algorithm="local", dtype="fp16", head_dim=128, heads=1)
+        multi = AttentionMemoryModel(algorithm="local", dtype="fp16", head_dim=128, heads=32)
+        assert multi.bytes_required(1000) > 30 * single.bytes_required(1000)
+
+    def test_flash_rejects_fp32(self):
+        with pytest.raises(ValueError):
+            AttentionMemoryModel(algorithm="flash", dtype="fp32")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionMemoryModel(algorithm="ring")
+
+    def test_quadratic_coefficients_consistent_with_breakdown(self):
+        for algorithm in ("sdp", "csr", "coo", "local", "global"):
+            model = AttentionMemoryModel(algorithm=algorithm, dtype="fp32", head_dim=64)
+            coeffs = model.quadratic_coefficients(0.001)
+            length = 5000
+            predicted = coeffs["a"] * length**2 + coeffs["b"] * length + coeffs["c"]
+            assert predicted == pytest.approx(model.bytes_required(length, 0.001), rel=1e-6)
+
+
+class TestMaxContextLength:
+    def test_solution_is_maximal(self):
+        model = AttentionMemoryModel(algorithm="csr", dtype="fp32")
+        capacity = A100_SXM4_80GB.memory_bytes
+        best = model.max_context_length(capacity, 1e-4)
+        assert model.bytes_required(best, 1e-4) <= capacity
+        assert model.bytes_required(best + 1, 1e-4) > capacity
+
+    def test_sparsity_extends_explicit_format_limits(self):
+        dense_limit = max_context_length("csr", A100_SXM4_80GB, dtype="fp32", sparsity_factor=1.0)
+        sparse_limit = max_context_length("csr", A100_SXM4_80GB, dtype="fp32", sparsity_factor=1e-4)
+        assert sparse_limit > 10 * dense_limit
+
+    def test_fp16_doubles_reach_of_linear_algorithms(self):
+        fp32 = max_context_length("local", A100_SXM4_80GB, dtype="fp32")
+        fp16 = max_context_length("local", A100_SXM4_80GB, dtype="fp16")
+        assert fp16 == pytest.approx(2 * fp32, rel=0.01)
+
+    def test_flash_unsupported_on_fp32(self):
+        assert max_context_length("flash", A100_SXM4_80GB, dtype="fp32") is None
+
+    def test_tiny_capacity(self):
+        model = AttentionMemoryModel(algorithm="local", dtype="fp16")
+        assert model.max_context_length(10) in (0, 1)

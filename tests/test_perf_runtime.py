@@ -1,0 +1,130 @@
+"""Tests for the roofline runtime model: Table III values and Fig. 3/5 shapes."""
+
+import numpy as np
+import pytest
+
+from repro.bench.paper_reference import PAPER_TABLE3, PAPER_TABLE3_SPEEDUPS
+from repro.masks.global_ import GlobalNonLocalMask
+from repro.perfmodel.devices import A100_SXM4_80GB, L40_48GB, V100_SXM2_32GB
+from repro.perfmodel.runtime import RuntimeModel
+
+
+@pytest.fixture(scope="module")
+def a100():
+    return RuntimeModel(A100_SXM4_80GB)
+
+
+class TestTableIIIReproduction:
+    @pytest.mark.parametrize("length,entries", list(PAPER_TABLE3.items()))
+    def test_modeled_runtimes_within_15_percent(self, a100, length, entries):
+        for algorithm, (sparsity, paper_seconds) in entries.items():
+            if algorithm == "flash":
+                estimate = a100.estimate("flash", length, 64, dtype="fp16")
+            else:
+                estimate = a100.estimate(algorithm, length, 64, sparsity_factor=sparsity, dtype="fp16")
+            assert estimate.seconds == pytest.approx(paper_seconds, rel=0.15), (
+                f"{algorithm} at L={length}: modeled {estimate.seconds:.2f}s vs paper {paper_seconds}s"
+            )
+
+    def test_crossover_between_flash_and_local(self, a100):
+        # paper: local is slower at 1.6M (0.28x) but faster from 8M on (1.49x, 2.99x, 51x)
+        for length, paper_speedup in PAPER_TABLE3_SPEEDUPS.items():
+            sparsity = PAPER_TABLE3[length]["local"][0]
+            speedup = a100.speedup("local", "flash", length, 64, sparsity_factor=sparsity, dtype="fp16")
+            assert (speedup > 1.0) == (paper_speedup > 1.0)
+
+    def test_headline_160m_speedup_magnitude(self, a100):
+        speedup = a100.speedup("local", "flash", 160_000_000, 64, sparsity_factor=1e-5, dtype="fp16")
+        assert speedup == pytest.approx(51.06, rel=0.15)
+
+
+class TestFig3Shape:
+    def test_sdp_flat_in_sparsity(self, a100):
+        times = [
+            a100.estimate("sdp", 16_384, 64, sparsity_factor=sf, dtype="fp32").seconds
+            for sf in (1e-4, 1e-2, 1.0)
+        ]
+        assert max(times) == pytest.approx(min(times), rel=1e-6)
+
+    def test_graph_kernels_improve_with_sparsity(self, a100):
+        for algorithm in ("csr", "local", "dilated1d", "dilated2d"):
+            dense = a100.estimate(algorithm, 16_384, 64, sparsity_factor=0.5, dtype="fp32").seconds
+            sparse = a100.estimate(algorithm, 16_384, 64, sparsity_factor=1e-4, dtype="fp32").seconds
+            assert sparse < dense / 100
+
+    def test_crossover_with_sdp_exists_at_high_sparsity(self, a100):
+        sdp = a100.estimate("sdp", 16_384, 64, dtype="fp32").seconds
+        dense_graph = a100.estimate("csr", 16_384, 64, sparsity_factor=1.0, dtype="fp32").seconds
+        sparse_graph = a100.estimate("csr", 16_384, 64, sparsity_factor=1e-4, dtype="fp32").seconds
+        assert dense_graph > sdp  # dense masks: SDP wins
+        assert sparse_graph < sdp  # sparse masks: graph kernel wins
+
+    def test_dilated2d_fastest_dilated1d_slowest_ordered_kernel(self, a100):
+        times = {
+            algorithm: a100.estimate(algorithm, 16_384, 64, sparsity_factor=2e-4, dtype="fp32").seconds
+            for algorithm in ("local", "dilated1d", "dilated2d", "csr")
+        }
+        assert times["dilated2d"] < times["local"] <= times["dilated1d"]
+
+    def test_coo_orders_of_magnitude_slower(self, a100):
+        coo = a100.estimate("coo", 8_192, 64, sparsity_factor=0.1, dtype="fp32").seconds
+        csr = a100.estimate("csr", 8_192, 64, sparsity_factor=0.1, dtype="fp32").seconds
+        sdp = a100.estimate("sdp", 8_192, 64, dtype="fp32").seconds
+        assert coo > 30 * csr
+        assert coo > 50 * sdp  # matches the ~0.001x speedups of Section V-C
+
+    def test_global_kernel_penalised_by_imbalance(self, a100):
+        degrees = GlobalNonLocalMask([0, 1, 2], window=1).row_degrees(16_384)
+        balanced = a100.estimate("csr", 16_384, 64, sparsity_factor=4e-4, dtype="fp32")
+        skewed = a100.estimate(
+            "global", 16_384, 64, sparsity_factor=4e-4, dtype="fp32", degrees=degrees
+        )
+        assert skewed.imbalance_factor > 1.5
+        assert skewed.seconds > balanced.seconds
+
+    def test_l40_and_v100_also_modeled(self):
+        for device in (L40_48GB, V100_SXM2_32GB):
+            model = RuntimeModel(device)
+            est = model.estimate("local", 16_384, 64, sparsity_factor=1e-3, dtype="fp32")
+            assert est.seconds > 0
+            assert est.device == device.name
+
+
+class TestFig5Shape:
+    def test_constant_sparsity_speedup_grows_with_length(self, a100):
+        speedups = [
+            a100.speedup("local", "flash", length, 64, sparsity_factor=1e-4, dtype="fp16")
+            for length in (65_536, 262_144, 1_048_576, 2_097_152)
+        ]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] == pytest.approx(4.46, rel=0.25)
+
+    def test_constant_window_gap_grows_with_length(self, a100):
+        # fixed window => sparsity keeps dropping => the gap to flash widens
+        window_sf = lambda length: 101.0 / length  # noqa: E731
+        gaps = [
+            a100.estimate("flash", length, 64, dtype="fp16").seconds
+            / a100.estimate("local", length, 64, sparsity_factor=window_sf(length), dtype="fp16").seconds
+            for length in (131_072, 524_288, 2_097_152)
+        ]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+
+class TestValidation:
+    def test_invalid_arguments(self, a100):
+        with pytest.raises(ValueError):
+            a100.estimate("csr", 0, 64, sparsity_factor=0.1)
+        with pytest.raises(ValueError):
+            a100.estimate("csr", 128, 64, sparsity_factor=1.5)
+        with pytest.raises(ValueError):
+            a100.estimate("ring", 128, 64, sparsity_factor=0.5)
+
+    def test_estimate_components_consistent(self, a100):
+        est = a100.estimate("csr", 100_000, 64, sparsity_factor=1e-3, dtype="fp16")
+        assert est.seconds >= max(est.compute_seconds, est.memory_seconds)
+        assert est.flops == pytest.approx(4 * 1e-3 * 100_000**2 * 64)
+
+    def test_speedup_helper_symmetry(self, a100):
+        fwd = a100.speedup("local", "flash", 1_000_000, 64, sparsity_factor=1e-4, dtype="fp16")
+        rev = a100.speedup("flash", "local", 1_000_000, 64, sparsity_factor=1e-4, dtype="fp16")
+        assert fwd == pytest.approx(1.0 / rev)

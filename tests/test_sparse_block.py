@@ -1,0 +1,68 @@
+"""Tests for the block-sparse representation (related-work baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.masks.windowed import LocalMask
+from repro.sparse.block import BlockSparseMatrix, blockify
+from repro.sparse.coo import COOMatrix
+
+
+class TestBlockify:
+    def test_diagonal_mask_touches_diagonal_blocks(self):
+        dense = np.eye(16, dtype=np.float32)
+        blocks = blockify(COOMatrix.from_dense(dense), block_size=4)
+        assert blocks.num_blocks == 4
+        np.testing.assert_array_equal(blocks.block_rows, blocks.block_cols)
+        assert blocks.true_nnz == 16
+
+    def test_computed_and_wasted_elements(self):
+        dense = np.eye(16, dtype=np.float32)
+        blocks = blockify(COOMatrix.from_dense(dense), block_size=4)
+        assert blocks.computed_elements == 4 * 16
+        assert blocks.wasted_elements == 4 * 16 - 16
+        assert blocks.block_density == pytest.approx(16 / 64)
+
+    def test_single_nonzero_costs_full_block(self):
+        dense = np.zeros((8, 8), dtype=np.float32)
+        dense[5, 2] = 1.0
+        blocks = blockify(COOMatrix.from_dense(dense), block_size=4)
+        assert blocks.num_blocks == 1
+        assert blocks.computed_elements == 16
+        assert blocks.waste_ratio() == pytest.approx(15.0)
+
+    def test_empty_mask(self):
+        blocks = blockify(COOMatrix.empty((8, 8)), block_size=4)
+        assert blocks.num_blocks == 0
+        assert blocks.computed_elements == 0
+        assert blocks.waste_ratio() == 0.0
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            blockify(COOMatrix.empty((8, 8)), block_size=0)
+
+    def test_effective_sparsity_never_below_true_sparsity(self, rng):
+        dense = (rng.random((32, 32)) < 0.05).astype(np.float32)
+        coo = COOMatrix.from_dense(dense)
+        blocks = blockify(coo, block_size=8)
+        assert blocks.effective_sparsity_factor() >= coo.sparsity_factor
+
+    def test_local_mask_blocks_denser_than_random(self, rng):
+        # structured masks tile better than random ones: the related-work
+        # block approach wastes less on them, but still wastes something
+        local = LocalMask(window=4).to_coo(64)
+        random_dense = (rng.random((64, 64)) < local.sparsity_factor).astype(np.float32)
+        random_coo = COOMatrix.from_dense(random_dense)
+        local_blocks = blockify(local, block_size=8)
+        random_blocks = blockify(random_coo, block_size=8)
+        assert local_blocks.block_density >= random_blocks.block_density
+
+    def test_mismatched_vector_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSparseMatrix(
+                shape=(8, 8),
+                block_size=4,
+                block_rows=np.array([0]),
+                block_cols=np.array([0, 1]),
+                nnz_per_block=np.array([1]),
+            )

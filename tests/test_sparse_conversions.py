@@ -1,0 +1,76 @@
+"""Tests for scipy / dense / repro sparse container conversions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.conversions import (
+    coerce_mask,
+    coo_from_scipy,
+    csr_from_scipy,
+    from_dense,
+    to_scipy_coo,
+    to_scipy_csr,
+)
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+@pytest.fixture
+def dense(rng):
+    return (rng.random((12, 12)) < 0.3).astype(np.float32)
+
+
+class TestFromDense:
+    def test_csr_default(self, dense):
+        assert isinstance(from_dense(dense), CSRMatrix)
+
+    def test_coo_format(self, dense):
+        assert isinstance(from_dense(dense, fmt="coo"), COOMatrix)
+
+    def test_unknown_format_rejected(self, dense):
+        with pytest.raises(ValueError):
+            from_dense(dense, fmt="bsr")
+
+
+class TestScipyInterop:
+    def test_scipy_roundtrip_coo(self, dense):
+        ours = coo_from_scipy(sp.coo_matrix(dense))
+        np.testing.assert_array_equal(ours.to_dense(), dense)
+        back = to_scipy_coo(ours)
+        np.testing.assert_array_equal(back.toarray(), dense)
+
+    def test_scipy_roundtrip_csr(self, dense):
+        ours = csr_from_scipy(sp.csr_matrix(dense))
+        np.testing.assert_array_equal(ours.to_dense(), dense)
+        back = to_scipy_csr(ours)
+        np.testing.assert_array_equal(back.toarray(), dense)
+
+    def test_cross_format_exports(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_array_equal(to_scipy_csr(coo).toarray(), dense)
+        np.testing.assert_array_equal(to_scipy_coo(csr).toarray(), dense)
+
+    def test_accepts_any_scipy_format(self, dense):
+        lil = sp.lil_matrix(dense)
+        np.testing.assert_array_equal(csr_from_scipy(lil).to_dense(), dense)
+
+
+class TestCoerceMask:
+    def test_passthrough_same_format(self, dense):
+        csr = CSRMatrix.from_dense(dense)
+        assert coerce_mask(csr, fmt="csr") is csr
+
+    def test_converts_between_formats(self, dense):
+        coo = COOMatrix.from_dense(dense)
+        assert isinstance(coerce_mask(coo, fmt="csr"), CSRMatrix)
+        assert isinstance(coerce_mask(CSRMatrix.from_dense(dense), fmt="coo"), COOMatrix)
+
+    def test_accepts_dense_and_scipy(self, dense):
+        assert isinstance(coerce_mask(dense), CSRMatrix)
+        assert isinstance(coerce_mask(sp.csr_matrix(dense), fmt="coo"), COOMatrix)
+
+    def test_boolean_dense_input(self, dense):
+        result = coerce_mask(dense.astype(bool))
+        assert result.nnz == int(dense.sum())

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) on the sparse containers.
+
+Invariants exercised:
+* dense -> COO/CSR -> dense is the identity;
+* COO <-> CSR conversions commute and preserve nnz / sparsity factor;
+* set algebra (union / intersection / difference) matches boolean algebra on
+  the dense masks;
+* canonical ordering holds for arbitrary edge permutations.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+settings.register_profile("repro", deadline=None, max_examples=40)
+settings.load_profile("repro")
+
+
+def dense_masks(max_side=24):
+    side = st.integers(min_value=1, max_value=max_side)
+    return side.flatmap(
+        lambda n: arrays(np.int8, (n, n), elements=st.integers(0, 1)).map(
+            lambda a: a.astype(np.float32)
+        )
+    )
+
+
+@given(dense_masks())
+def test_coo_dense_roundtrip(dense):
+    np.testing.assert_array_equal(COOMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense_masks())
+def test_csr_dense_roundtrip(dense):
+    np.testing.assert_array_equal(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense_masks())
+def test_coo_csr_conversions_commute(dense):
+    coo = COOMatrix.from_dense(dense)
+    csr = CSRMatrix.from_dense(dense)
+    assert coo.to_csr() == csr
+    assert csr.to_coo() == coo
+    assert coo.nnz == csr.nnz
+    assert coo.sparsity_factor == csr.sparsity_factor
+
+
+@given(dense_masks())
+def test_row_degrees_sum_to_nnz(dense):
+    coo = COOMatrix.from_dense(dense)
+    csr = coo.to_csr()
+    assert int(coo.row_degrees().sum()) == coo.nnz
+    assert int(csr.row_degrees().sum()) == csr.nnz
+
+
+@given(dense_masks())
+def test_canonical_ordering_invariants(dense):
+    coo = COOMatrix.from_dense(dense)
+    assert np.all(np.diff(coo.rows) >= 0)
+    # within each row, columns strictly increase
+    same_row = np.diff(coo.rows) == 0
+    assert np.all(np.diff(coo.cols)[same_row] > 0)
+
+
+@given(dense_masks(), st.integers(0, 2**31 - 1))
+def test_union_intersection_difference_match_boolean_algebra(dense, seed):
+    rng = np.random.default_rng(seed)
+    other = (rng.random(dense.shape) < 0.3).astype(np.float32)
+    a, b = COOMatrix.from_dense(dense), COOMatrix.from_dense(other)
+    np.testing.assert_array_equal(a.union(b).to_dense() > 0, (dense > 0) | (other > 0))
+    np.testing.assert_array_equal(a.intersection(b).to_dense() > 0, (dense > 0) & (other > 0))
+    np.testing.assert_array_equal(a.difference(b).to_dense() > 0, (dense > 0) & ~(other > 0))
+
+
+@given(dense_masks())
+def test_transpose_involution(dense):
+    coo = COOMatrix.from_dense(dense)
+    assert coo.transpose().transpose() == coo
+
+
+@given(dense_masks(), st.integers(min_value=1, max_value=6))
+def test_row_slice_matches_dense_slice(dense, parts):
+    csr = CSRMatrix.from_dense(dense)
+    n = dense.shape[0]
+    bounds = np.linspace(0, n, parts + 1).astype(int)
+    for start, stop in zip(bounds[:-1], bounds[1:]):
+        np.testing.assert_array_equal(csr.row_slice(start, stop).to_dense(), dense[start:stop])

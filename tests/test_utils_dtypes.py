@@ -1,0 +1,80 @@
+"""Tests for dtype resolution and byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.utils.dtypes import (
+    DTYPE_BYTES,
+    INDEX_DTYPE,
+    accumulation_dtype,
+    as_float_dtype,
+    dtype_bytes,
+    resolve_dtype,
+)
+
+
+class TestResolveDtype:
+    def test_paper_aliases(self):
+        assert resolve_dtype("fp16") == np.float16
+        assert resolve_dtype("fp32") == np.float32
+        assert resolve_dtype("fp64") == np.float64
+
+    def test_common_aliases(self):
+        assert resolve_dtype("half") == np.float16
+        assert resolve_dtype("float") == np.float32
+        assert resolve_dtype("double") == np.float64
+
+    def test_numpy_dtypes_pass_through(self):
+        assert resolve_dtype(np.float32) == np.float32
+        assert resolve_dtype(np.dtype(np.float16)) == np.float16
+
+    def test_case_and_whitespace_insensitive(self):
+        assert resolve_dtype("  FP16 ") == np.float16
+
+    def test_rejects_integer_dtypes(self):
+        with pytest.raises(TypeError):
+            resolve_dtype(np.int32)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            resolve_dtype(np.bool_)
+
+
+class TestDtypeBytes:
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [("fp16", 2), ("fp32", 4), ("fp64", 8), (np.int32, 4), (np.int64, 8), (np.bool_, 1)],
+    )
+    def test_known_sizes(self, dtype, expected):
+        assert dtype_bytes(dtype) == expected
+
+    def test_table_matches_numpy_itemsize(self):
+        for dtype, size in DTYPE_BYTES.items():
+            assert np.dtype(dtype).itemsize == size
+
+    def test_index_dtype_is_int32(self):
+        assert INDEX_DTYPE == np.int32
+
+
+class TestAsFloatDtype:
+    def test_converts_dtype(self):
+        x = np.arange(4, dtype=np.float64)
+        y = as_float_dtype(x, "fp32")
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(y, x)
+
+    def test_no_copy_when_same_dtype(self):
+        x = np.arange(4, dtype=np.float32)
+        y = as_float_dtype(x, np.float32)
+        assert y is x or np.shares_memory(x, y)
+
+
+class TestAccumulationDtype:
+    def test_half_accumulates_in_float32(self):
+        assert accumulation_dtype(np.float16) == np.float32
+
+    def test_float32_keeps_native(self):
+        assert accumulation_dtype(np.float32) == np.float32
+
+    def test_float64_keeps_native(self):
+        assert accumulation_dtype("fp64") == np.float64

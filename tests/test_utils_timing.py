@@ -1,0 +1,55 @@
+"""Tests for the timing helpers and the paper's benchmark protocol."""
+
+import pytest
+
+from repro.utils.timing import Timer, benchmark_callable
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer("phase") as timer:
+            sum(range(10_000))
+        assert timer.elapsed > 0.0
+        assert timer.label == "phase"
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            sum(range(10_000))
+        assert timer.elapsed >= 0.0
+        assert timer.elapsed != first or timer.elapsed >= 0
+
+
+class TestBenchmarkCallable:
+    def test_counts_warmup_and_timed_calls(self):
+        calls = []
+        result = benchmark_callable(lambda: calls.append(1), warmup=3, iterations=5)
+        assert len(calls) == 8
+        assert len(result.times) == 5
+        assert result.warmup == 3
+        assert result.iterations == 5
+
+    def test_paper_protocol_defaults(self):
+        calls = []
+        result = benchmark_callable(lambda: calls.append(1))
+        assert result.warmup == 10
+        assert result.iterations == 15
+        assert len(calls) == 25
+
+    def test_statistics(self):
+        result = benchmark_callable(lambda: None, warmup=0, iterations=4)
+        assert result.minimum <= result.mean <= result.maximum
+        assert result.stddev >= 0.0
+
+    def test_rejects_invalid_counts(self):
+        with pytest.raises(ValueError):
+            benchmark_callable(lambda: None, warmup=-1, iterations=5)
+        with pytest.raises(ValueError):
+            benchmark_callable(lambda: None, warmup=0, iterations=0)
+
+    def test_single_iteration_stddev_zero(self):
+        result = benchmark_callable(lambda: None, warmup=0, iterations=1)
+        assert result.stddev == 0.0
