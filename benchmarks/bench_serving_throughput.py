@@ -1,0 +1,103 @@
+"""Serving throughput: warm plan-cache batches vs. per-request engine dispatch.
+
+The acceptance scenario for the serving subsystem: N repeated requests for one
+composed mask (Longformer Loc + Glo) served through an
+:class:`~repro.serve.scheduler.AttentionServer` with a warm plan cache,
+compared against N independent ``GraphAttentionEngine.run()`` calls, each of
+which re-materialises the mask components and re-runs the union/difference
+set algebra before touching a kernel.  The warm server pays that cost once,
+so its per-request time collapses to the kernel sequence alone.
+
+Run with ``pytest benchmarks/bench_serving_throughput.py`` (requires
+pytest-benchmark); set ``BENCH_SERVE_REQUESTS`` to scale the request count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.presets import default_global_tokens, longformer_mask
+from repro.serve.scheduler import AttentionServer
+from repro.serve.session import AttentionRequest
+from repro.utils.rng import random_qkv
+
+LENGTH = 1_024
+HEAD_DIM = 32
+REACH = 50
+NUM_REQUESTS = int(os.environ.get("BENCH_SERVE_REQUESTS", "1000"))
+
+
+@pytest.fixture(scope="module")
+def serving_data():
+    q, k, v = random_qkv(LENGTH, HEAD_DIM, seed=2026)
+    mask = longformer_mask(reach=REACH, global_tokens=default_global_tokens(LENGTH, 2))
+    return q, k, v, mask
+
+
+def _serve_warm(q, k, v, mask, n):
+    server = AttentionServer(cache_capacity=4)
+    server.plan_for(mask, LENGTH)  # warm the cache before traffic arrives
+    server.serve([AttentionRequest(q=q, k=k, v=v, mask=mask) for _ in range(n)])
+    return server
+
+
+def _engine_loop(q, k, v, mask, n):
+    engine = GraphAttentionEngine()
+    for _ in range(n):
+        engine.run(q, k, v, mask)
+    return engine
+
+
+def test_serving_warm_cache(benchmark, serving_data):
+    q, k, v, mask = serving_data
+    benchmark.group = f"serving throughput (N={NUM_REQUESTS}, Longformer Loc+Glo)"
+    benchmark.pedantic(_serve_warm, args=(q, k, v, mask, NUM_REQUESTS), rounds=1, iterations=1)
+
+
+def test_engine_run_per_request(benchmark, serving_data):
+    q, k, v, mask = serving_data
+    benchmark.group = f"serving throughput (N={NUM_REQUESTS}, Longformer Loc+Glo)"
+    benchmark.pedantic(_engine_loop, args=(q, k, v, mask, NUM_REQUESTS), rounds=1, iterations=1)
+
+
+def test_plan_compilation_cost(benchmark, serving_data):
+    """The one-off cost the warm cache amortises: compile one composed plan."""
+    _, _, _, mask = serving_data
+    engine = GraphAttentionEngine()
+    benchmark.group = "plan compilation (Longformer Loc+Glo)"
+    benchmark(engine.plan, mask, LENGTH)
+
+
+def test_warm_serving_faster_per_request(benchmark, serving_data):
+    """Acceptance: warm-cache serving beats per-request dispatch, same outputs."""
+    q, k, v, mask = serving_data
+    n = min(NUM_REQUESTS, 200)
+
+    start = time.perf_counter()
+    server = _serve_warm(q, k, v, mask, n)
+    warm_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    engine = _engine_loop(q, k, v, mask, n)
+    engine_seconds = time.perf_counter() - start
+
+    speedup = engine_seconds / warm_seconds
+    benchmark.group = "serving speedup summary"
+    benchmark.extra_info.update(
+        {
+            "requests": n,
+            "warm_per_request_s": warm_seconds / n,
+            "engine_per_request_s": engine_seconds / n,
+            "speedup": speedup,
+            "cache_hit_rate": server.cache.stats.hit_rate,
+        }
+    )
+    assert warm_seconds < engine_seconds, (
+        f"warm serving {warm_seconds:.3f}s vs engine loop {engine_seconds:.3f}s "
+        f"for {n} requests (speedup {speedup:.2f}x)"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

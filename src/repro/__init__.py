@@ -41,21 +41,38 @@ from repro.core import (
     sdp_attention,
 )
 from repro.graph import AttentionGraph
+from repro.serve import (
+    AttentionRequest,
+    AttentionResponse,
+    AttentionServer,
+    ExecutionPlan,
+    PlanCache,
+    ServingSession,
+    compile_plan,
+    plan_cache_key,
+)
 from repro.sparse import COOMatrix, CSRMatrix
 from repro.utils import random_qkv
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttentionGraph",
     "AttentionLayer",
+    "AttentionRequest",
+    "AttentionResponse",
     "AttentionResult",
+    "AttentionServer",
     "COOMatrix",
     "CSRMatrix",
+    "ExecutionPlan",
     "GraphAttentionEngine",
     "OpCounts",
+    "PlanCache",
+    "ServingSession",
     "__version__",
     "bigbird_attention",
+    "compile_plan",
     "coo_attention",
     "csr_attention",
     "dilated1d_attention",
@@ -66,6 +83,7 @@ __all__ = [
     "longformer_attention",
     "merge_results",
     "multi_head_attention",
+    "plan_cache_key",
     "random_qkv",
     "reference_attention",
     "sdp_attention",

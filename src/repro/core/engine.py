@@ -8,18 +8,25 @@ the explicit CSR/COO kernels for arbitrary masks — and returns the
 :class:`~repro.core.result.AttentionResult` together with the op counts the
 work model consumes.  The dense SDP and FlashAttention baselines are exposed
 through the same interface so experiments can swap algorithms by name.
+
+Dispatch itself is delegated to the execution-plan compiler in
+:mod:`repro.serve.plan`: :meth:`GraphAttentionEngine.plan` compiles a mask and
+length into an immutable :class:`~repro.serve.plan.ExecutionPlan` and
+:meth:`GraphAttentionEngine.run` executes it, so the engine and the serving
+layer (:class:`~repro.serve.scheduler.AttentionServer`) share one dispatch
+brain.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.compose import merge_results
 from repro.core.dense import sdp_attention
-from repro.core.explicit_kernels import coo_attention, csr_attention
+from repro.core.explicit_kernels import coo_attention, csr_attention, materialize_explicit
 from repro.core.flash import flash_attention
 from repro.core.implicit_kernels import (
     dilated1d_attention,
@@ -27,9 +34,8 @@ from repro.core.implicit_kernels import (
     global_attention,
     local_attention,
 )
-from repro.core.result import AttentionResult
-from repro.masks.base import MaskSpec, as_mask_spec
-from repro.masks.composite import UnionMask
+from repro.core.result import AttentionResult, OpCounts
+from repro.masks.base import MaskSpec
 from repro.masks.dilated2d import Dilated2DMask
 from repro.masks.global_ import GlobalMask, GlobalNonLocalMask
 from repro.masks.windowed import Dilated1DMask, LocalMask
@@ -52,6 +58,81 @@ ALGORITHMS = (
 )
 
 MaskInput = Union[MaskSpec, np.ndarray, COOMatrix, CSRMatrix, None]
+
+#: Single dispatch table for the implicit (ordered-sparsity) kernels: spec
+#: type -> runner extracting the spec's parameters.  The kernel *name* comes
+#: from the spec's own ``kernel_hint``, so adding a specialised mask type
+#: means adding one entry here and declaring the hint on the class.
+SPECIALISED_KERNELS = {
+    LocalMask: lambda q, k, v, s, scale, executor: local_attention(
+        q, k, v, s.window, scale=scale, executor=executor
+    ),
+    Dilated1DMask: lambda q, k, v, s, scale, executor: dilated1d_attention(
+        q, k, v, s.window, s.dilation, scale=scale, executor=executor
+    ),
+    Dilated2DMask: lambda q, k, v, s, scale, executor: dilated2d_attention(
+        q, k, v, s.block_size, s.dilation, scale=scale, executor=executor
+    ),
+    GlobalNonLocalMask: lambda q, k, v, s, scale, executor: global_attention(
+        q, k, v, s.global_tokens, s.window, scale=scale, executor=executor
+    ),
+    GlobalMask: lambda q, k, v, s, scale, executor: global_attention(
+        q, k, v, s.global_tokens, 1, scale=scale, executor=executor
+    ),
+}
+
+
+#: Spec types the planner may execute implicitly with numerics identical to
+#: the spec's own edge set.  GlobalMask is deliberately absent: the global
+#: kernel implements the *non-local* variant (``|i-j| >= window``), which
+#: drops the self-attention edges GlobalMask includes on its global rows, so
+#: auto dispatch and composed plans route GlobalMask through the exact CSR
+#: path instead.  The kernel stays reachable via ``algorithm="global"``.
+PLANNABLE_SPECS = (LocalMask, Dilated1DMask, Dilated2DMask, GlobalNonLocalMask)
+
+
+def _kernel_runner(spec: MaskSpec):
+    runner = SPECIALISED_KERNELS.get(type(spec))
+    if runner is not None:
+        return runner
+    for spec_type, candidate in SPECIALISED_KERNELS.items():
+        if isinstance(spec, spec_type):
+            return candidate
+    raise TypeError(f"no specialised kernel for {type(spec).__name__}")
+
+
+def has_specialised_kernel(spec: MaskSpec) -> bool:
+    """Whether the planner may run ``spec`` through an implicit ordered kernel."""
+    return isinstance(spec, PLANNABLE_SPECS)
+
+
+def composable_in_plan(spec: MaskSpec) -> bool:
+    """Whether a union component may join an auto-composed plan.
+
+    True for specs an implicit kernel executes exactly, and for
+    :class:`GlobalMask`, whose edges the composed CSR-remainder path computes
+    exactly even though its implicit kernel would drop self-edges.
+    """
+    return has_specialised_kernel(spec) or isinstance(spec, GlobalMask)
+
+
+def spec_kernel_name(spec: MaskSpec) -> str:
+    """Name of the implicit kernel that executes ``spec`` (its ``kernel_hint``)."""
+    _kernel_runner(spec)  # raises TypeError for specs without a kernel
+    return spec.kernel_hint
+
+
+def run_spec_kernel(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    spec: MaskSpec,
+    *,
+    scale: Optional[float] = None,
+    executor: str = "vectorized",
+) -> AttentionResult:
+    """Execute ``spec`` with its specialised implicit kernel."""
+    return _kernel_runner(spec)(q, k, v, spec, scale, executor)
 
 
 @dataclass
@@ -89,67 +170,59 @@ class GraphAttentionEngine:
         """Compute attention for ``mask`` using ``algorithm`` (or auto-dispatch)."""
         require(algorithm in ALGORITHMS, f"unknown algorithm {algorithm!r}")
         if algorithm == "auto":
-            result = self._dispatch(q, k, v, mask)
+            # one-shot dispatch: the plan is executed and discarded, so skip
+            # deriving a cache key (content-hashing an explicit mask is the
+            # only per-call cost plans would add over the old direct dispatch)
+            result = self.plan(mask, q.shape[0], compute_key=False).execute(q, k, v)
         else:
             result = self._run_named(q, k, v, mask, algorithm)
         self.history.append(result)
         return result
 
+    def plan(
+        self,
+        mask: MaskInput,
+        length: int,
+        *,
+        algorithm: str = "auto",
+        device=None,
+        head_dim: Optional[int] = None,
+        compute_key: bool = True,
+    ):
+        """Compile ``mask`` at ``length`` into an immutable execution plan.
+
+        The plan pins the kernel choice and precomputes any CSR remainders for
+        composed unions, so it can be cached and re-executed for many Q/K/V
+        batches without repeating the dispatch or mask-materialisation work
+        (see :mod:`repro.serve`).  ``device`` (a
+        :class:`~repro.perfmodel.devices.DeviceSpec`) enables the predicted
+        runtime attached to the plan; ``compute_key=False`` skips cache-key
+        derivation for plans that will never be cached.
+        """
+        from repro.serve.plan import compile_plan
+
+        extra = {} if compute_key else {"key": None}
+        return compile_plan(
+            mask,
+            length,
+            executor=self.executor,
+            scale=self.scale,
+            prefer_composition=self.prefer_composition,
+            algorithm=algorithm,
+            device=device,
+            head_dim=head_dim,
+            **extra,
+        )
+
     def op_counts(self) -> Dict[str, int]:
         """Aggregate op counts across every call made through this engine."""
-        totals = {"dot_products": 0, "flops": 0, "exp_evaluations": 0, "search_steps": 0, "wasted_dot_products": 0}
+        totals = {counter.name: 0 for counter in dataclasses.fields(OpCounts)}
         for result in self.history:
-            totals["dot_products"] += result.ops.dot_products
-            totals["flops"] += result.ops.flops
-            totals["exp_evaluations"] += result.ops.exp_evaluations
-            totals["search_steps"] += result.ops.search_steps
-            totals["wasted_dot_products"] += result.ops.wasted_dot_products
+            for name in totals:
+                totals[name] += getattr(result.ops, name)
         return totals
 
     # ------------------------------------------------------------------ #
-    def _dispatch(self, q, k, v, mask: MaskInput) -> AttentionResult:
-        if mask is None:
-            return flash_attention(q, k, v, scale=self.scale)
-        if isinstance(mask, (np.ndarray, COOMatrix, CSRMatrix)):
-            mask = as_mask_spec(mask)
-
-        if isinstance(mask, UnionMask) and self.prefer_composition:
-            if all(self._has_specialised_kernel(c) for c in mask.components):
-                return self._run_union_composed(q, k, v, mask)
-
-        if self._has_specialised_kernel(mask):
-            return self._run_spec(q, k, v, mask)
-        return csr_attention(
-            q, k, v, mask.to_csr(q.shape[0]), scale=self.scale, executor=self.executor
-        )
-
-    @staticmethod
-    def _has_specialised_kernel(spec: MaskSpec) -> bool:
-        return isinstance(
-            spec, (LocalMask, Dilated1DMask, Dilated2DMask, GlobalMask, GlobalNonLocalMask)
-        )
-
-    def _run_spec(self, q, k, v, spec: MaskSpec) -> AttentionResult:
-        if isinstance(spec, LocalMask):
-            return local_attention(q, k, v, spec.window, scale=self.scale, executor=self.executor)
-        if isinstance(spec, Dilated1DMask):
-            return dilated1d_attention(
-                q, k, v, spec.window, spec.dilation, scale=self.scale, executor=self.executor
-            )
-        if isinstance(spec, Dilated2DMask):
-            return dilated2d_attention(
-                q, k, v, spec.block_size, spec.dilation, scale=self.scale, executor=self.executor
-            )
-        if isinstance(spec, GlobalNonLocalMask):
-            return global_attention(
-                q, k, v, spec.global_tokens, spec.window, scale=self.scale, executor=self.executor
-            )
-        if isinstance(spec, GlobalMask):
-            return global_attention(
-                q, k, v, spec.global_tokens, 1, scale=self.scale, executor=self.executor
-            )
-        raise TypeError(f"no specialised kernel for {type(spec).__name__}")
-
     def _run_named(self, q, k, v, mask: MaskInput, algorithm: str) -> AttentionResult:
         length = q.shape[0]
         if algorithm == "sdp":
@@ -159,38 +232,19 @@ class GraphAttentionEngine:
             return flash_attention(q, k, v, scale=self.scale)
         if algorithm in ("coo", "csr"):
             require(mask is not None, f"{algorithm} kernel requires an explicit mask")
-            spec = mask if isinstance(mask, (COOMatrix, CSRMatrix)) else as_mask_spec(mask) if not isinstance(mask, MaskSpec) else mask
             kernel = coo_attention if algorithm == "coo" else csr_attention
-            return kernel(q, k, v, spec if not isinstance(spec, MaskSpec) else spec.to_csr(length), scale=self.scale, executor=self.executor)
+            return kernel(
+                q,
+                k,
+                v,
+                materialize_explicit(mask, length, fmt=algorithm),
+                scale=self.scale,
+                executor=self.executor,
+            )
         if algorithm == "composed":
-            require(isinstance(mask, UnionMask), "composed execution requires a UnionMask")
-            return self._run_union_composed(q, k, v, mask)
+            return self.plan(
+                mask, length, algorithm="composed", compute_key=False
+            ).execute(q, k, v)
         # implicit kernels: the mask must be (convertible to) the right spec type
         require(isinstance(mask, MaskSpec), f"{algorithm} kernel requires a MaskSpec input")
-        return self._run_spec(q, k, v, mask)
-
-    def _run_union_composed(self, q, k, v, mask: UnionMask) -> AttentionResult:
-        """Execute a union mask as sequential kernel calls over disjoint edge sets.
-
-        Online-softmax merging is only exact when no edge is processed twice,
-        so every component is reduced to the edges not already covered by the
-        components before it; a component left intact keeps its specialised
-        kernel, a trimmed component falls back to the CSR kernel on the
-        remaining edges.
-        """
-        length = q.shape[0]
-        covered = None
-        results = []
-        for component in mask.components:
-            component_csr = component.to_csr(length)
-            remainder = component_csr if covered is None else component_csr.difference(covered)
-            if remainder.nnz == component_csr.nnz and self._has_specialised_kernel(component):
-                results.append(self._run_spec(q, k, v, component))
-            elif remainder.nnz:
-                results.append(
-                    csr_attention(q, k, v, remainder, scale=self.scale, executor=self.executor)
-                )
-            covered = component_csr if covered is None else covered.union(component_csr)
-        if not results:
-            return csr_attention(q, k, v, mask.to_csr(length), scale=self.scale, executor=self.executor)
-        return merge_results(results)
+        return run_spec_kernel(q, k, v, mask, scale=self.scale, executor=self.executor)

@@ -57,6 +57,21 @@ def _as_coo(mask: MaskInput, length: int) -> COOMatrix:
     return coo
 
 
+def materialize_explicit(
+    mask: MaskInput, length: int, fmt: str = "csr"
+) -> Union[CSRMatrix, COOMatrix]:
+    """Coerce any mask input into the sparse container an explicit kernel wants.
+
+    Accepts a :class:`~repro.masks.base.MaskSpec`, a dense array, or an
+    already-materialised COO/CSR container, and returns a
+    ``(length, length)`` matrix in ``fmt`` (``"csr"`` or ``"coo"``).  This is
+    the single coercion path shared by the kernels themselves, the engine's
+    named coo/csr dispatch, and the plan compiler's CSR fallback.
+    """
+    require(fmt in ("csr", "coo"), f"unknown explicit format {fmt!r}")
+    return _as_csr(mask, length) if fmt == "csr" else _as_coo(mask, length)
+
+
 def coo_search_steps(coo: COOMatrix) -> int:
     """Search cost of the naive COO kernel.
 

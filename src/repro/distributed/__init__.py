@@ -21,7 +21,11 @@ from repro.distributed.sequence_parallel import (
     sequence_parallel_attention,
     shard_rows,
 )
-from repro.distributed.partition_balance import PartitionQuality, evaluate_partitions
+from repro.distributed.partition_balance import (
+    PartitionQuality,
+    balanced_worker_bins,
+    evaluate_partitions,
+)
 
 __all__ = [
     "CommunicationStats",
@@ -29,6 +33,7 @@ __all__ = [
     "SequenceParallelResult",
     "SimulatedComm",
     "SimulatedWorld",
+    "balanced_worker_bins",
     "evaluate_partitions",
     "sequence_parallel_attention",
     "shard_rows",

@@ -11,7 +11,7 @@ mask so the ablation benchmark can report it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -25,6 +25,25 @@ from repro.graph.partition import (
 from repro.masks.base import MaskSpec
 from repro.sparse.csr import CSRMatrix
 from repro.utils.validation import require
+
+
+def balanced_worker_bins(loads, num_workers: int) -> List[np.ndarray]:
+    """Assign weighted work items to workers with near-equal total load.
+
+    ``loads[i]`` is the cost of item ``i`` (edge counts, predicted dot
+    products, fractional runtime estimates, ...).  Items are distributed with
+    the same greedy longest-processing-time strategy
+    :func:`greedy_bin_partition` uses for query rows; the return value is one
+    sorted index array per worker.  Empty bins are possible when there are
+    fewer items than workers.  The serving scheduler uses this to spread
+    heterogeneous request batches across its thread pool.
+    """
+    require(num_workers >= 1, "num_workers must be >= 1")
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0:
+        return [np.empty(0, dtype=np.int64) for _ in range(num_workers)]
+    partition = greedy_bin_partition(loads, num_workers)
+    return [partition.rows_of(part) for part in range(partition.num_parts)]
 
 
 @dataclass(frozen=True)

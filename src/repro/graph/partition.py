@@ -113,16 +113,20 @@ def greedy_bin_partition(degrees: np.ndarray, num_parts: int) -> Partition:
     sacrifices contiguity (rows of a part are scattered) but achieves nearly
     perfect edge balance even for adversarial degree distributions; it is the
     "graph partitioning to load balance work across the nodes" ablation.
+
+    ``degrees`` may be fractional (e.g. predicted costs rather than edge
+    counts); weights are accumulated in float64 so sub-integer loads are not
+    truncated away.
     """
-    degrees = np.asarray(degrees, dtype=np.int64)
+    degrees = np.asarray(degrees, dtype=np.float64)
     require(degrees.size >= 1 and num_parts >= 1, "need rows and parts")
     order = np.argsort(degrees)[::-1]
-    loads = np.zeros(num_parts, dtype=np.int64)
+    loads = np.zeros(num_parts, dtype=np.float64)
     assignments = np.zeros(degrees.size, dtype=np.int64)
     for row in order:
         part = int(np.argmin(loads))
         assignments[row] = part
-        loads[part] += int(degrees[row])
+        loads[part] += float(degrees[row])
     return Partition(num_parts=num_parts, assignments=assignments)
 
 

@@ -29,7 +29,7 @@ from repro.perfmodel.memory import (
     MemoryBreakdown,
     max_context_length,
 )
-from repro.perfmodel.runtime import RuntimeEstimate, RuntimeModel
+from repro.perfmodel.runtime import RuntimeEstimate, RuntimeModel, combine_estimates
 from repro.perfmodel.context_limits import (
     ContextLimitRow,
     context_limit_table,
@@ -48,6 +48,7 @@ __all__ = [
     "RuntimeEstimate",
     "RuntimeModel",
     "V100_SXM2_32GB",
+    "combine_estimates",
     "context_limit_sweep",
     "context_limit_table",
     "get_device",

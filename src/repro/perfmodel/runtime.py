@@ -26,8 +26,9 @@ of magnitude.  EXPERIMENTS.md records modelled vs. reported numbers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -87,6 +88,40 @@ class RuntimeEstimate:
     def speedup_over(self, other: "RuntimeEstimate") -> float:
         """``other.seconds / self.seconds`` — how much faster this estimate is."""
         return other.seconds / self.seconds if self.seconds > 0 else float("inf")
+
+
+def combine_estimates(
+    estimates: Sequence["RuntimeEstimate"], *, algorithm: str = "composed"
+) -> "RuntimeEstimate":
+    """Total runtime of kernels executed back-to-back (a composed mask's plan).
+
+    Sequential execution adds the component times; the reported imbalance is
+    the worst component's, since each kernel launch waits for its own slowest
+    block.  All estimates must come from the same device.
+    """
+    estimates = list(estimates)
+    require(len(estimates) >= 1, "need at least one estimate to combine")
+    device = estimates[0].device
+    require(
+        all(e.device == device for e in estimates),
+        "cannot combine estimates from different devices",
+    )
+    if len(estimates) == 1:
+        single = estimates[0]
+        if single.algorithm == algorithm:
+            return single
+        return dataclasses.replace(single, algorithm=algorithm)
+    return RuntimeEstimate(
+        algorithm=algorithm,
+        device=device,
+        seconds=sum(e.seconds for e in estimates),
+        compute_seconds=sum(e.compute_seconds for e in estimates),
+        memory_seconds=sum(e.memory_seconds for e in estimates),
+        overhead_seconds=sum(e.overhead_seconds for e in estimates),
+        search_seconds=sum(e.search_seconds for e in estimates),
+        imbalance_factor=max(e.imbalance_factor for e in estimates),
+        flops=sum(e.flops for e in estimates),
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,60 @@
+"""Attention serving subsystem: plan compiler, plan cache, request scheduler.
+
+Three layers turn the paper's kernels into a serving stack:
+
+* :mod:`repro.serve.plan` — compile a mask + context length (+ optional
+  device) into an immutable :class:`ExecutionPlan`: the chosen kernel
+  sequence, precomputed CSR remainders for composed unions, a predicted
+  runtime from :mod:`repro.perfmodel`, and a canonical cache key.
+* :mod:`repro.serve.cache` — an LRU :class:`PlanCache` with hit/miss/eviction
+  statistics so repeated mask shapes skip compilation entirely.
+* :mod:`repro.serve.scheduler` / :mod:`repro.serve.session` — an
+  :class:`AttentionServer` that batches :class:`AttentionRequest`\\ s by plan
+  key, executes them (optionally on a load-balanced thread pool) and returns
+  per-request latencies plus aggregate throughput stats.
+
+Quick start::
+
+    from repro.serve import AttentionServer, AttentionRequest
+    from repro.masks import longformer_mask
+
+    server = AttentionServer(cache_capacity=16)
+    mask = longformer_mask(reach=16, global_tokens=(0,))
+    response = server.handle(q, k, v, mask)     # compiles + caches the plan
+    response = server.handle(q, k, v, mask)     # warm: kernels only
+    print(server.stats.throughput_rps, server.cache.stats.hit_rate)
+"""
+
+from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.plan import (
+    DEFAULT_HEAD_DIM,
+    ExecutionPlan,
+    PlanStep,
+    compile_plan,
+    mask_key,
+    plan_cache_key,
+)
+from repro.serve.scheduler import AttentionServer, RequestBatch
+from repro.serve.session import (
+    AttentionRequest,
+    AttentionResponse,
+    ServerStats,
+    ServingSession,
+)
+
+__all__ = [
+    "AttentionRequest",
+    "AttentionResponse",
+    "AttentionServer",
+    "CacheStats",
+    "DEFAULT_HEAD_DIM",
+    "ExecutionPlan",
+    "PlanCache",
+    "PlanStep",
+    "RequestBatch",
+    "ServerStats",
+    "ServingSession",
+    "compile_plan",
+    "mask_key",
+    "plan_cache_key",
+]

@@ -1,0 +1,279 @@
+"""Batched request scheduler: the attention serving front-end.
+
+:class:`AttentionServer` accepts :class:`~repro.serve.session.AttentionRequest`
+objects, groups compatible requests into batches keyed by their canonical plan
+key, compiles (or fetches from the :class:`~repro.serve.cache.PlanCache`) one
+:class:`~repro.serve.plan.ExecutionPlan` per batch, and executes every request
+against the shared plan — so the mask materialisation and dispatch work is
+paid once per mask shape per cache lifetime instead of once per request.
+
+Execution is serial by default; with ``max_workers > 1`` requests are spread
+over a thread pool using the greedy longest-processing-time balancing of
+:func:`repro.distributed.partition_balance.balanced_worker_bins`, with each
+request's plan edge count as its load — the same pick-work-by-expected-cost
+idea the distributed partitioners apply to query rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import MaskInput
+from repro.distributed.partition_balance import balanced_worker_bins
+from repro.masks.base import as_mask_spec
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.perfmodel.devices import DeviceSpec
+from repro.serve.cache import PlanCache
+from repro.serve.plan import ExecutionPlan, compile_plan, plan_cache_key
+from repro.serve.session import AttentionRequest, AttentionResponse, ServerStats
+from repro.utils.validation import require
+
+
+@dataclass
+class RequestBatch:
+    """Requests of one flush that share an execution plan."""
+
+    plan: ExecutionPlan
+    cache_hit: bool
+    requests: List[AttentionRequest] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class AttentionServer:
+    """Serves attention requests through cached execution plans.
+
+    Request intake (``submit``/``serve``/``flush``) is single-threaded: the
+    server parallelises kernel execution internally via ``max_workers``, but
+    its pending queue, plan cache and statistics are not synchronised, so
+    calls into one server must come from one client thread at a time.
+
+    Parameters
+    ----------
+    executor, scale, prefer_composition:
+        Kernel execution knobs, identical to
+        :class:`~repro.core.engine.GraphAttentionEngine`.
+    cache_capacity:
+        Maximum number of plans the LRU cache retains.
+    device:
+        Optional :class:`~repro.perfmodel.devices.DeviceSpec`; when given,
+        every compiled plan carries a predicted runtime for that device.
+    head_dim:
+        Head dimension assumed by runtime prediction (defaults to the plan
+        compiler's constant).
+    max_workers:
+        ``None`` or ``1`` executes serially; larger values execute each flush
+        on a thread pool with load-balanced request bins.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: str = "vectorized",
+        scale: Optional[float] = None,
+        prefer_composition: bool = True,
+        cache_capacity: int = 64,
+        device: Optional[DeviceSpec] = None,
+        head_dim: Optional[int] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        require(max_workers is None or max_workers >= 1, "max_workers must be >= 1")
+        self.executor = executor
+        self.scale = scale
+        self.prefer_composition = prefer_composition
+        self.device = device
+        self.head_dim = head_dim
+        self.max_workers = max_workers
+        self.cache = PlanCache(cache_capacity)
+        self.stats = ServerStats(cache=self.cache.stats)
+        self._pending: List[AttentionRequest] = []
+        self._ids = itertools.count()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def key_for(self, mask: MaskInput, length: int, *, algorithm: str = "auto") -> str:
+        """Canonical plan key a request with this mask/length resolves to."""
+        return plan_cache_key(
+            mask,
+            length,
+            executor=self.executor,
+            scale=self.scale,
+            prefer_composition=self.prefer_composition,
+            algorithm=algorithm,
+            device=self.device,
+            head_dim=self.head_dim,
+        )
+
+    def plan_for(
+        self, mask: MaskInput, length: int, *, algorithm: str = "auto"
+    ) -> Tuple[ExecutionPlan, bool]:
+        """Fetch or compile the plan for one mask shape; returns ``(plan, was_hit)``.
+
+        Useful for warming the cache ahead of a traffic burst.
+        """
+        key = self.key_for(mask, length, algorithm=algorithm)
+        return self._plan_for_key(key, mask, length, algorithm)
+
+    def _plan_for_key(
+        self, key: str, mask: MaskInput, length: int, algorithm: str
+    ) -> Tuple[ExecutionPlan, bool]:
+        def _compile() -> ExecutionPlan:
+            self.stats.plans_compiled += 1
+            return compile_plan(
+                mask,
+                length,
+                executor=self.executor,
+                scale=self.scale,
+                prefer_composition=self.prefer_composition,
+                algorithm=algorithm,
+                device=self.device,
+                head_dim=self.head_dim,
+                key=key,  # already derived for the cache lookup; don't re-hash
+            )
+
+        return self.cache.get_or_compile(key, _compile)
+
+    # ------------------------------------------------------------------ #
+    # Request intake
+    # ------------------------------------------------------------------ #
+    def next_request_id(self) -> int:
+        """Allocate a request id unique across everything this server serves."""
+        return next(self._ids)
+
+    def submit(self, request: AttentionRequest) -> int:
+        """Queue one request; returns its (possibly newly assigned) id."""
+        if request.request_id is None:
+            request.request_id = self.next_request_id()
+        self._pending.append(request)
+        return request.request_id
+
+    def submit_many(self, requests: Iterable[AttentionRequest]) -> List[int]:
+        return [self.submit(request) for request in requests]
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def flush(self) -> List[AttentionResponse]:
+        """Execute every queued request; responses follow submission order."""
+        requests, self._pending = self._pending, []
+        return self._process(requests)
+
+    def serve(self, requests: Sequence[AttentionRequest]) -> List[AttentionResponse]:
+        """Execute exactly ``requests`` (queued submissions stay queued)."""
+        requests = list(requests)
+        for request in requests:
+            if request.request_id is None:
+                request.request_id = self.next_request_id()
+        return self._process(requests)
+
+    def handle(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        mask: MaskInput = None,
+        *,
+        algorithm: str = "auto",
+    ) -> AttentionResponse:
+        """Serve a single ad-hoc request."""
+        return self.serve([AttentionRequest(q=q, k=k, v=v, mask=mask, algorithm=algorithm)])[0]
+
+    def _process(self, requests: List[AttentionRequest]) -> List[AttentionResponse]:
+        if not requests:
+            return []
+        started = time.perf_counter()
+
+        batches: "Dict[str, RequestBatch]" = {}
+        units: List[Tuple[int, AttentionRequest, RequestBatch]] = []
+        # key derivation coerces and content-hashes materialised masks, so
+        # requests sharing one mask object (the common repeated-traffic shape)
+        # do that once, and the coerced spec is reused for compilation too
+        key_memo: Dict[Tuple[int, int, str], Tuple[str, MaskInput]] = {}
+        for index, request in enumerate(requests):
+            memo = (id(request.mask), request.length, request.algorithm)
+            entry = key_memo.get(memo)
+            if entry is None:
+                mask = request.mask
+                if isinstance(mask, (np.ndarray, COOMatrix, CSRMatrix)):
+                    mask = as_mask_spec(mask)
+                key = self.key_for(mask, request.length, algorithm=request.algorithm)
+                entry = key_memo[memo] = (key, mask)
+            key, mask = entry
+            batch = batches.get(key)
+            if batch is None:
+                plan, hit = self._plan_for_key(key, mask, request.length, request.algorithm)
+                batch = batches[key] = RequestBatch(plan=plan, cache_hit=hit)
+            batch.requests.append(request)
+            units.append((index, request, batch))
+
+        ordered = self._execute_units(units)
+        responses = [response for _, response in sorted(ordered, key=lambda pair: pair[0])]
+
+        self.stats.requests += len(requests)
+        self.stats.batches += len(batches)
+        self.stats.flushes += 1
+        self.stats.wall_seconds += time.perf_counter() - started
+        self.stats.kernel_seconds += sum(r.latency_s for r in responses)
+        return responses
+
+    # ------------------------------------------------------------------ #
+    def _execute_units(
+        self, units: Sequence[Tuple[int, AttentionRequest, RequestBatch]]
+    ) -> List[Tuple[int, AttentionResponse]]:
+        workers = self.max_workers or 1
+        workers = min(workers, len(units))
+        if workers <= 1:
+            return [(pos, self._execute_one(request, batch)) for pos, request, batch in units]
+        loads = np.asarray([max(batch.plan.nnz, 1) for _, _, batch in units], dtype=np.int64)
+        bins = balanced_worker_bins(loads, workers)
+
+        def _run_bin(indices: np.ndarray) -> List[Tuple[int, AttentionResponse]]:
+            return [
+                (units[i][0], self._execute_one(units[i][1], units[i][2])) for i in indices
+            ]
+
+        if self._pool is None:  # lazily created, reused across flushes
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        chunks = list(self._pool.map(_run_bin, [b for b in bins if b.size]))
+        return [pair for chunk in chunks for pair in chunk]
+
+    def close(self) -> None:
+        """Release the worker pool (the server stays usable; it re-creates one)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "AttentionServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _execute_one(
+        self, request: AttentionRequest, batch: RequestBatch
+    ) -> AttentionResponse:
+        started = time.perf_counter()
+        result = batch.plan.execute(request.q, request.k, request.v)
+        latency = time.perf_counter() - started
+        return AttentionResponse(
+            request_id=request.request_id,
+            result=result,
+            plan_key=batch.plan.key,
+            cache_hit=batch.cache_hit,
+            latency_s=latency,
+        )

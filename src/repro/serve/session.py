@@ -1,0 +1,137 @@
+"""Request/response containers and client sessions for attention serving.
+
+An :class:`AttentionRequest` carries one Q/K/V triple plus the mask it wants
+attended; the :class:`~repro.serve.scheduler.AttentionServer` answers with an
+:class:`AttentionResponse` holding the kernel result, the plan that executed
+it, whether that plan came from the warm cache, and the request's kernel
+latency.  :class:`ServerStats` aggregates a server's lifetime counters into
+the throughput numbers the benchmarks report.
+
+:class:`ServingSession` is a small client-side convenience: it stamps
+monotonically increasing request ids, accumulates requests, and flushes them
+to its server as one batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.engine import MaskInput
+from repro.core.result import AttentionResult
+from repro.serve.cache import CacheStats
+from repro.utils.validation import require
+
+
+@dataclass(eq=False)
+class AttentionRequest:
+    """One attention computation to serve.
+
+    ``request_id`` may be left ``None``; the server assigns one at submission.
+    ``algorithm`` chooses between the engine's auto dispatch (``"auto"``) and
+    forced composed execution (``"composed"``).
+    """
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    mask: MaskInput = None
+    algorithm: str = "auto"
+    request_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        require(self.q.ndim == 2, "q must be a (L, d_k) matrix")
+        require(self.k.shape == self.q.shape, "q and k must have matching shapes")
+        require(self.v.shape[0] == self.q.shape[0], "v must cover the same rows as q")
+        require(self.algorithm in ("auto", "composed"), "requests dispatch auto or composed")
+
+    @property
+    def length(self) -> int:
+        return int(self.q.shape[0])
+
+
+@dataclass
+class AttentionResponse:
+    """Served result of one request."""
+
+    request_id: int
+    result: AttentionResult
+    plan_key: str
+    cache_hit: bool
+    latency_s: float
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.result.output
+
+
+@dataclass
+class ServerStats:
+    """Lifetime counters of one :class:`~repro.serve.scheduler.AttentionServer`."""
+
+    requests: int = 0
+    batches: int = 0
+    flushes: int = 0
+    plans_compiled: int = 0
+    wall_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests served per wall-clock second across all flushes."""
+        return self.requests / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean per-request kernel latency."""
+        return self.kernel_seconds / self.requests if self.requests else 0.0
+
+
+class ServingSession:
+    """Client-side handle batching requests toward one server.
+
+    Requests accumulate locally via :meth:`ask` and are executed together on
+    :meth:`flush`, which lets the server group them by plan key; responses of
+    every flush are appended to :attr:`history`.  Request ids are drawn from
+    the server's counter, so they stay unique even when several sessions (or
+    direct submissions) share one server.
+    """
+
+    def __init__(self, server) -> None:
+        self.server = server
+        self.history: List[AttentionResponse] = []
+        self._pending: List[AttentionRequest] = []
+
+    def ask(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        v: np.ndarray,
+        mask: MaskInput = None,
+        *,
+        algorithm: str = "auto",
+    ) -> AttentionRequest:
+        """Queue one request; returns it (with its assigned id) for tracking."""
+        request = AttentionRequest(
+            q=q,
+            k=k,
+            v=v,
+            mask=mask,
+            algorithm=algorithm,
+            request_id=self.server.next_request_id(),
+        )
+        self._pending.append(request)
+        return request
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def flush(self) -> List[AttentionResponse]:
+        """Serve every queued request as one batch and return its responses."""
+        pending, self._pending = self._pending, []
+        responses = self.server.serve(pending)
+        self.history.extend(responses)
+        return responses

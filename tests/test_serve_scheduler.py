@@ -1,0 +1,226 @@
+"""Tests for the batched request scheduler (repro.serve.scheduler)."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.dense import sdp_attention
+from repro.core.engine import GraphAttentionEngine
+from repro.distributed.partition_balance import balanced_worker_bins
+from repro.masks.presets import longformer_mask
+from repro.masks.windowed import LocalMask
+from repro.serve.scheduler import AttentionServer
+from repro.serve.session import AttentionRequest
+from repro.utils.rng import random_qkv
+
+
+@pytest.fixture
+def server():
+    return AttentionServer(cache_capacity=8)
+
+
+def _requests(count, length=96, dim=12, mask=None, seed0=0):
+    out = []
+    for i in range(count):
+        q, k, v = random_qkv(length, dim, seed=seed0 + i)
+        out.append(AttentionRequest(q=q, k=k, v=v, mask=mask))
+    return out
+
+
+class TestBatching:
+    def test_same_shape_requests_share_one_batch(self, server):
+        mask = longformer_mask(reach=4, global_tokens=(0,))
+        responses = server.serve(_requests(5, mask=mask))
+        assert len(responses) == 5
+        assert server.stats.batches == 1
+        assert server.stats.plans_compiled == 1
+        assert len({r.plan_key for r in responses}) == 1
+
+    def test_mixed_shapes_split_into_batches(self, server):
+        reqs = _requests(3, mask=LocalMask(window=5)) + _requests(3, mask=LocalMask(window=7))
+        server.serve(reqs)
+        assert server.stats.batches == 2
+        assert server.stats.plans_compiled == 2
+
+    def test_responses_follow_submission_order(self, server):
+        reqs = []
+        for i in range(8):
+            mask = LocalMask(window=5) if i % 2 else LocalMask(window=7)
+            reqs.extend(_requests(1, mask=mask, seed0=100 + i))
+        ids = server.submit_many(reqs)
+        responses = server.flush()
+        assert [r.request_id for r in responses] == ids
+
+    def test_duplicate_request_objects_keep_submission_order(self, server):
+        # the same request object submitted twice must not shuffle responses
+        q, k, v = random_qkv(96, 12, seed=77)
+        req_a = AttentionRequest(q=q, k=k, v=v, mask=LocalMask(window=5))
+        q2, k2, v2 = random_qkv(96, 12, seed=78)
+        req_b = AttentionRequest(q=q2, k=k2, v=v2, mask=LocalMask(window=7))
+        responses = server.serve([req_a, req_b, req_a])
+        np.testing.assert_array_equal(responses[0].output, responses[2].output)
+        reference_b = sdp_attention(q2, k2, v2, LocalMask(window=7)).output
+        np.testing.assert_allclose(responses[1].output, reference_b, atol=1e-5, rtol=1e-5)
+
+    def test_warm_cache_across_flushes(self, server):
+        mask = longformer_mask(reach=4, global_tokens=(0,))
+        first = server.serve(_requests(2, mask=mask))
+        second = server.serve(_requests(2, mask=mask, seed0=50))
+        assert not first[0].cache_hit
+        assert all(r.cache_hit for r in second)
+        assert server.stats.plans_compiled == 1
+
+    def test_flush_with_nothing_pending(self, server):
+        assert server.flush() == []
+        assert server.stats.flushes == 0
+
+    def test_serve_does_not_drain_queued_submissions(self, server):
+        # a direct serve() call must not execute (or return) someone else's
+        # queued requests
+        queued = _requests(1, mask=LocalMask(window=5))[0]
+        queued_id = server.submit(queued)
+        responses = server.serve(_requests(2, mask=LocalMask(window=7), seed0=60))
+        assert len(responses) == 2
+        assert queued_id not in {r.request_id for r in responses}
+        assert server.pending == 1
+        flushed = server.flush()
+        assert [r.request_id for r in flushed] == [queued_id]
+
+
+class TestCorrectness:
+    def test_served_outputs_match_dense_reference(self, server):
+        mask = longformer_mask(reach=6, global_tokens=(0, 50))
+        reqs = _requests(4, length=128, dim=16, mask=mask)
+        for request, response in zip(reqs, server.serve(reqs)):
+            reference = sdp_attention(request.q, request.k, request.v, mask).output
+            np.testing.assert_allclose(response.output, reference, atol=1e-5, rtol=1e-5)
+            assert response.result.algorithm == "composed"
+            assert response.latency_s >= 0
+
+    def test_served_output_identical_to_engine_run(self, server):
+        mask = longformer_mask(reach=6, global_tokens=(0,))
+        q, k, v = random_qkv(128, 16, seed=11)
+        engine = GraphAttentionEngine()
+        expected = engine.run(q, k, v, mask)
+        response = server.handle(q, k, v, mask)
+        np.testing.assert_array_equal(response.output, expected.output)
+
+    def test_composed_request_algorithm(self, server):
+        from repro.masks.presets import bigbird_mask
+
+        mask = bigbird_mask(reach=4, global_tokens=(0,), random_sparsity=0.02, seed=3)
+        q, k, v = random_qkv(96, 12, seed=21)
+        auto = server.handle(q, k, v, mask)
+        forced = server.handle(q, k, v, mask, algorithm="composed")
+        assert auto.result.algorithm == "csr"
+        assert forced.result.algorithm == "composed"
+        np.testing.assert_allclose(auto.output, forced.output, atol=1e-5, rtol=1e-5)
+
+    def test_dense_requests_supported(self, server):
+        q, k, v = random_qkv(64, 8, seed=31)
+        response = server.handle(q, k, v, None)
+        assert response.result.algorithm == "flash"
+
+
+class TestThreadPool:
+    def test_threaded_execution_matches_serial(self):
+        mask = longformer_mask(reach=4, global_tokens=(0,))
+        reqs_serial = _requests(6, mask=mask)
+        reqs_threaded = _requests(6, mask=mask)
+        serial = AttentionServer(cache_capacity=4).serve(reqs_serial)
+        threaded = AttentionServer(cache_capacity=4, max_workers=3).serve(reqs_threaded)
+        for a, b in zip(serial, threaded):
+            np.testing.assert_array_equal(a.output, b.output)
+        assert [r.request_id for r in threaded] == [r.request_id for r in serial]
+
+    def test_more_workers_than_requests(self):
+        server = AttentionServer(max_workers=8)
+        responses = server.serve(_requests(2, mask=LocalMask(window=5)))
+        assert len(responses) == 2
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            AttentionServer(max_workers=0)
+
+    def test_pool_is_reused_across_flushes_and_survives_close(self):
+        with AttentionServer(max_workers=2) as server:
+            server.serve(_requests(3, mask=LocalMask(window=5)))
+            pool = server._pool
+            server.serve(_requests(3, mask=LocalMask(window=5), seed0=30))
+            assert server._pool is pool
+            server.close()
+            assert server._pool is None
+            responses = server.serve(_requests(2, mask=LocalMask(window=5), seed0=40))
+            assert len(responses) == 2
+
+
+class TestWorkerBins:
+    def test_bins_cover_all_items_once(self):
+        loads = np.array([5, 1, 9, 3, 7, 2], dtype=np.int64)
+        bins = balanced_worker_bins(loads, 3)
+        assert len(bins) == 3
+        seen = np.sort(np.concatenate(bins))
+        np.testing.assert_array_equal(seen, np.arange(loads.size))
+
+    def test_bins_balance_skewed_loads(self):
+        loads = np.array([100, 1, 1, 1, 1, 1, 1, 1], dtype=np.int64)
+        bins = balanced_worker_bins(loads, 2)
+        totals = sorted(int(loads[b].sum()) for b in bins)
+        assert totals == [7, 100]  # heavy item isolated, light items grouped
+
+    def test_empty_loads_yield_empty_bins(self):
+        bins = balanced_worker_bins(np.empty(0, dtype=np.int64), 3)
+        assert len(bins) == 3 and all(b.size == 0 for b in bins)
+
+    def test_fractional_loads_are_not_truncated(self):
+        # sub-integer costs (e.g. predicted seconds) must still spread out
+        loads = np.array([0.9, 0.8, 0.7, 0.6])
+        bins = balanced_worker_bins(loads, 2)
+        sizes = sorted(b.size for b in bins)
+        assert sizes == [2, 2]
+        totals = sorted(float(loads[b].sum()) for b in bins)
+        assert totals == pytest.approx([1.5, 1.5])
+
+
+class TestStats:
+    def test_throughput_and_latency_populate(self, server):
+        server.serve(_requests(4, mask=LocalMask(window=5)))
+        stats = server.stats
+        assert stats.requests == 4
+        assert stats.flushes == 1
+        assert stats.wall_seconds > 0
+        assert stats.throughput_rps > 0
+        assert stats.mean_latency_s > 0
+        assert stats.cache is server.cache.stats
+
+    def test_warm_serving_beats_per_request_engine_dispatch(self):
+        """Acceptance check: a warm plan cache amortises compilation.
+
+        N repeated composed-mask requests through a warm server must be
+        measurably faster per request than N independent engine.run() calls,
+        each of which re-materialises the CSR components and re-runs the
+        union/difference algebra.
+        """
+        length, dim, n = 1_024, 16, 12
+        mask = longformer_mask(reach=50, global_tokens=(0, 512))
+        data = [random_qkv(length, dim, seed=400 + i) for i in range(n)]
+
+        server = AttentionServer(cache_capacity=4)
+        server.plan_for(mask, length)  # warm the cache
+        start = time.perf_counter()
+        server.serve(
+            [AttentionRequest(q=q, k=k, v=v, mask=mask) for q, k, v in data]
+        )
+        warm_seconds = time.perf_counter() - start
+
+        engine = GraphAttentionEngine()
+        start = time.perf_counter()
+        for q, k, v in data:
+            engine.run(q, k, v, mask)
+        engine_seconds = time.perf_counter() - start
+
+        assert warm_seconds < engine_seconds, (
+            f"warm serving ({warm_seconds:.3f}s) should beat per-request "
+            f"dispatch ({engine_seconds:.3f}s) for {n} requests"
+        )

@@ -1,0 +1,142 @@
+"""Tests for serving request/response containers and sessions (repro.serve.session)."""
+
+import numpy as np
+import pytest
+
+from repro.masks.windowed import LocalMask
+from repro.perfmodel.runtime import RuntimeModel, combine_estimates
+from repro.perfmodel.devices import A100_SXM4_80GB
+from repro.serve.cache import CacheStats
+from repro.serve.scheduler import AttentionServer
+from repro.serve.session import AttentionRequest, ServerStats, ServingSession
+from repro.utils.rng import random_qkv
+
+
+class TestAttentionRequest:
+    def test_length_property(self):
+        q, k, v = random_qkv(48, 8, seed=0)
+        request = AttentionRequest(q=q, k=k, v=v)
+        assert request.length == 48
+        assert request.request_id is None
+
+    def test_shape_validation(self):
+        q, k, v = random_qkv(48, 8, seed=0)
+        with pytest.raises(ValueError):
+            AttentionRequest(q=q[:24], k=k, v=v)
+        with pytest.raises(ValueError):
+            AttentionRequest(q=q[None], k=k[None], v=v[None])
+
+    def test_algorithm_validation(self):
+        q, k, v = random_qkv(48, 8, seed=0)
+        with pytest.raises(ValueError):
+            AttentionRequest(q=q, k=k, v=v, algorithm="sdp")
+
+
+class TestServerStats:
+    def test_zero_state_is_safe(self):
+        stats = ServerStats()
+        assert stats.throughput_rps == 0.0
+        assert stats.mean_latency_s == 0.0
+
+    def test_derived_rates(self):
+        stats = ServerStats(
+            requests=10, wall_seconds=2.0, kernel_seconds=1.0, cache=CacheStats(hits=9, misses=1)
+        )
+        assert stats.throughput_rps == pytest.approx(5.0)
+        assert stats.mean_latency_s == pytest.approx(0.1)
+        assert stats.cache.hit_rate == pytest.approx(0.9)
+
+
+class TestServingSession:
+    def test_ask_assigns_monotonic_ids(self):
+        session = ServingSession(AttentionServer())
+        q, k, v = random_qkv(48, 8, seed=1)
+        first = session.ask(q, k, v, LocalMask(window=3))
+        second = session.ask(q, k, v)
+        assert (first.request_id, second.request_id) == (0, 1)
+        assert len(session) == 2
+
+    def test_flush_serves_and_records_history(self):
+        session = ServingSession(AttentionServer())
+        q, k, v = random_qkv(48, 8, seed=2)
+        session.ask(q, k, v, LocalMask(window=3))
+        session.ask(q, k, v, LocalMask(window=3))
+        responses = session.flush()
+        assert len(responses) == 2
+        assert len(session) == 0
+        assert session.history == responses
+        np.testing.assert_array_equal(responses[0].output, responses[1].output)
+
+    def test_session_flush_excludes_direct_server_submissions(self):
+        # a request queued directly on the server must not leak into the
+        # session's flush (and must stay pending for the server's own flush)
+        server = AttentionServer()
+        q, k, v = random_qkv(48, 8, seed=4)
+        direct = AttentionRequest(q=q, k=k, v=v, mask=LocalMask(window=3))
+        direct_id = server.submit(direct)
+        session = ServingSession(server)
+        session.ask(q, k, v, LocalMask(window=3))
+        responses = session.flush()
+        assert len(responses) == 1
+        assert responses[0].request_id != direct_id
+        assert server.pending == 1
+        assert [r.request_id for r in server.flush()] == [direct_id]
+
+    def test_ids_unique_across_session_and_direct_requests(self):
+        server = AttentionServer()
+        session = ServingSession(server)
+        q, k, v = random_qkv(48, 8, seed=5)
+        asked = session.ask(q, k, v, LocalMask(window=3))
+        direct = server.handle(q, k, v, LocalMask(window=3))
+        assert asked.request_id != direct.request_id
+
+    def test_second_flush_appends_history(self):
+        session = ServingSession(AttentionServer())
+        q, k, v = random_qkv(48, 8, seed=3)
+        session.ask(q, k, v, LocalMask(window=3))
+        session.flush()
+        session.ask(q, k, v, LocalMask(window=3))
+        session.flush()
+        assert len(session.history) == 2
+        assert session.history[1].cache_hit  # same shape re-used the cached plan
+
+
+class TestCombineEstimates:
+    """Sequential-plan cost prediction underpinning the plan compiler."""
+
+    def test_combination_sums_components(self):
+        model = RuntimeModel(A100_SXM4_80GB)
+        parts = [
+            model.estimate("local", 4096, 64, sparsity_factor=0.01),
+            model.estimate("global", 4096, 64, sparsity_factor=0.001),
+        ]
+        total = combine_estimates(parts)
+        assert total.seconds == pytest.approx(sum(p.seconds for p in parts))
+        assert total.flops == pytest.approx(sum(p.flops for p in parts))
+        assert total.algorithm == "composed"
+        assert total.imbalance_factor == max(p.imbalance_factor for p in parts)
+
+    def test_single_estimate_passes_through(self):
+        model = RuntimeModel(A100_SXM4_80GB)
+        estimate = model.estimate("csr", 2048, 64, sparsity_factor=0.05)
+        assert combine_estimates([estimate], algorithm="csr") is estimate
+
+    def test_single_estimate_is_relabeled_for_consistency(self):
+        # a one-component composed plan must still report a "composed" estimate
+        model = RuntimeModel(A100_SXM4_80GB)
+        estimate = model.estimate("local", 2048, 64, sparsity_factor=0.05)
+        combined = combine_estimates([estimate])
+        assert combined.algorithm == "composed"
+        assert combined.seconds == estimate.seconds
+
+    def test_mixed_devices_rejected(self):
+        from repro.perfmodel.devices import L40_48GB
+
+        a = RuntimeModel(A100_SXM4_80GB).estimate("local", 2048, 64, sparsity_factor=0.01)
+        b = RuntimeModel(L40_48GB).estimate("local", 2048, 64, sparsity_factor=0.01)
+        with pytest.raises(ValueError):
+            combine_estimates([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_estimates([])
