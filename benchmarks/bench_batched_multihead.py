@@ -1,0 +1,186 @@
+"""Batched multi-head execution vs. the per-head Python loop.
+
+Before batch/head axes became first-class, ``multi_head_attention`` executed
+one kernel call per head: a Python loop over ``H`` single-head slices, each
+paying the chunked gather/einsum executor.  This benchmark measures that
+per-head loop (reconstructed exactly: loop over heads, gather executor pinned
+via ``row_chunk``) against the batched path (one kernel invocation on the
+full ``(H, L, d)`` stack, which also unlocks the banded-GEMM stencil
+strategy), for the windowed and Longformer (Loc + Glo) masks at H ∈ {8, 32}.
+
+Acceptance: the batched path must be >= 3x faster than the per-head loop at
+H=32 for the windowed mask (>= 1.5x in ``--quick`` mode, which runs a reduced
+configuration on noisy CI runners).  The script exits non-zero when the
+threshold is missed, so perf regressions fail loudly.
+
+Results are appended as one JSON record to ``BENCH_batched.json`` at the
+repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_batched_multihead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.compose import merge_results
+from repro.core.engine import GraphAttentionEngine
+from repro.core.implicit_kernels import (
+    _CHUNK_ELEMENT_BUDGET,
+    global_attention,
+    local_attention,
+)
+from repro.masks.presets import longformer_mask
+from repro.utils.rng import random_qkv
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_batched.json"
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _seed_row_chunk(window: int, dim: int) -> int:
+    """Rows-per-chunk the seed gather executor derived for a single head."""
+    per_row = max(1, (2 * window - 1) * dim)
+    return max(1, _CHUNK_ELEMENT_BUDGET // per_row)
+
+
+def _windowed_case(length, window, dim, heads, repeats):
+    q, k, v = random_qkv(length, dim, heads=heads, dtype=np.float32, seed=7)
+    chunk = _seed_row_chunk(window, dim)
+
+    def per_head_loop():
+        return [
+            local_attention(q[h], k[h], v[h], window, row_chunk=chunk)
+            for h in range(heads)
+        ]
+
+    batched = _best_of(lambda: local_attention(q, k, v, window), repeats)
+    loop = _best_of(per_head_loop, repeats)
+    # batched and looped outputs must agree before the timing means anything
+    np.testing.assert_allclose(
+        local_attention(q, k, v, window).output[0],
+        local_attention(q[0], k[0], v[0], window, row_chunk=chunk).output,
+        atol=1e-5,
+        rtol=1e-5,
+    )
+    return batched, loop
+
+
+def _longformer_case(length, reach, dim, heads, repeats):
+    window = reach + 1
+    tokens = (0, length // 2)
+    mask = longformer_mask(reach=reach, global_tokens=tokens)
+    q, k, v = random_qkv(length, dim, heads=heads, dtype=np.float32, seed=8)
+    chunk = _seed_row_chunk(window, dim)
+    plan = GraphAttentionEngine().plan(mask, length)
+
+    def per_head_loop():
+        # the seed composed path: per head, Local (gather executor) then
+        # Global, merged via the online-softmax statistics
+        return [
+            merge_results(
+                [
+                    local_attention(q[h], k[h], v[h], window, row_chunk=chunk),
+                    global_attention(q[h], k[h], v[h], tokens, window),
+                ]
+            )
+            for h in range(heads)
+        ]
+
+    batched = _best_of(lambda: plan.execute(q, k, v), repeats)
+    loop = _best_of(per_head_loop, repeats)
+    np.testing.assert_allclose(
+        plan.execute(q, k, v).output[0],
+        per_head_loop()[0].output,
+        atol=1e-5,
+        rtol=1e-5,
+    )
+    return batched, loop
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced CI configuration")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
+    args = parser.parse_args()
+
+    if args.quick:
+        length, window, dim = 1024, 32, 64
+        threshold = 1.5
+    else:
+        length, window, dim = 2048, 64, 128
+        threshold = 3.0
+    repeats = args.repeats or (2 if args.quick else 3)
+
+    print(f"== Batched multi-head vs. per-head loop (L={length}, w={window}, d={dim})")
+    rows = []
+    for mask_name, case in (("windowed", _windowed_case), ("longformer", _longformer_case)):
+        for heads in (8, 32):
+            batched, loop = case(length, window, dim, heads, repeats)
+            speedup = loop / batched
+            rows.append(
+                {
+                    "mask": mask_name,
+                    "heads": heads,
+                    "length": length,
+                    "window": window,
+                    "dim": dim,
+                    "batched_s": batched,
+                    "per_head_loop_s": loop,
+                    "speedup": speedup,
+                }
+            )
+            print(
+                f"   {mask_name:>10} H={heads:>2}: batched {batched * 1e3:8.1f} ms, "
+                f"per-head loop {loop * 1e3:8.1f} ms  ->  {speedup:.2f}x"
+            )
+
+    record = {
+        "benchmark": "bench_batched_multihead",
+        "quick": bool(args.quick),
+        "config": {"length": length, "window": window, "dim": dim, "repeats": repeats},
+        "results": rows,
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"   record appended to {RECORD_PATH.name}")
+
+    acceptance = next(r for r in rows if r["mask"] == "windowed" and r["heads"] == 32)
+    if acceptance["speedup"] < threshold:
+        print(
+            f"FAIL: windowed H=32 speedup {acceptance['speedup']:.2f}x "
+            f"below the {threshold:.1f}x threshold",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"   acceptance ok: windowed H=32 batched execution is "
+        f"{acceptance['speedup']:.2f}x the per-head loop (threshold {threshold:.1f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

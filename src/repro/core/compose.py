@@ -60,23 +60,22 @@ def disjoint_union_components(
 def merge_results(results: Sequence[AttentionResult], *, algorithm: str = "composed") -> AttentionResult:
     """Merge partial attention results computed over disjoint masks.
 
-    Each result must cover the same rows (same ``L`` and ``d_v``).  The merged
-    output is the attention output of the union mask; operation counts are
-    summed.  If the component masks overlap, the overlapped edges are counted
-    twice — callers are responsible for passing disjoint components (the
-    presets in :mod:`repro.masks.presets` are constructed to be disjoint).
+    Each result must cover the same rows (same leading batch axes, ``L`` and
+    ``d_v``).  The merged output is the attention output of the union mask;
+    operation counts are summed.  If the component masks overlap, the
+    overlapped edges are counted twice — callers are responsible for passing
+    disjoint components (the presets in :mod:`repro.masks.presets` are
+    constructed to be disjoint).
     """
     results = list(results)
     require(len(results) >= 1, "need at least one result to merge")
-    length = results[0].length
-    value_dim = results[0].value_dim
+    out_shape = results[0].output.shape
     for result in results[1:]:
-        require(result.length == length, "results cover different context lengths")
-        require(result.value_dim == value_dim, "results have different value dimensions")
+        require(result.output.shape == out_shape, "results cover different shapes")
 
-    row_max = np.full(length, -np.inf, dtype=np.float64)
-    row_sum = np.zeros(length, dtype=np.float64)
-    accumulator = np.zeros((length, value_dim), dtype=np.float64)
+    row_max = np.full(out_shape[:-1], -np.inf, dtype=np.float64)
+    row_sum = np.zeros(out_shape[:-1], dtype=np.float64)
+    accumulator = np.zeros(out_shape, dtype=np.float64)
     ops = OpCounts()
     for result in results:
         r_max = np.asarray(result.row_max, dtype=np.float64)
@@ -87,13 +86,13 @@ def merge_results(results: Sequence[AttentionResult], *, algorithm: str = "compo
         scale_new = rescale_factor(r_max, m_new)
         row_sum = row_sum * scale_old + r_sum * scale_new
         # result outputs are normalised; rescale back to unnormalised partials
-        accumulator = accumulator * scale_old[:, None] + r_out * (r_sum * scale_new)[:, None]
+        accumulator = accumulator * scale_old[..., None] + r_out * (r_sum * scale_new)[..., None]
         row_max = np.where(np.isfinite(m_new), m_new, -np.inf)
         ops = ops + result.ops
 
     empty = row_sum == 0
     safe = np.where(empty, 1.0, row_sum)
-    output = accumulator / safe[:, None]
+    output = accumulator / safe[..., None]
     output[empty] = 0.0
     return AttentionResult(
         output=output.astype(results[0].output.dtype),
@@ -163,7 +162,7 @@ def bigbird_attention(
     local window or global tokens are removed first so the components stay
     disjoint.
     """
-    length = q.shape[0]
+    length = q.shape[-2]
     window = reach + 1
     from repro.masks.global_ import GlobalNonLocalMask
     from repro.masks.windowed import LocalMask

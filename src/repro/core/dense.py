@@ -40,15 +40,31 @@ def _mask_to_dense_bool(mask: MaskLike, length: int) -> Optional[np.ndarray]:
 
 
 def validate_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> None:
-    """Check the single-head Q/K/V shape contract shared by every kernel."""
-    require(q.ndim == 2 and k.ndim == 2 and v.ndim == 2, "Q, K, V must be 2-D (L, d)")
-    require(q.shape[0] == k.shape[0] == v.shape[0], "Q, K, V must share the context length L")
-    require(q.shape[1] == k.shape[1], "Q and K must share the head dimension d_k")
+    """Check the Q/K/V shape contract shared by every kernel.
+
+    Inputs are ``(..., L, d)`` — a bare ``(L, d)`` single-head slice or any
+    stack of them (``(B, L, d)``, ``(B, H, L, d)``, ...).  All three must share
+    their leading batch axes and context length; Q and K must share ``d_k``.
+    """
+    require(
+        q.ndim >= 2 and k.ndim >= 2 and v.ndim >= 2,
+        "Q, K, V must be at least 2-D (..., L, d)",
+    )
+    require(
+        q.shape[:-1] == k.shape[:-1] == v.shape[:-1],
+        "Q, K, V must share their batch axes and context length L",
+    )
+    require(q.shape[-1] == k.shape[-1], "Q and K must share the head dimension d_k")
 
 
 def resolve_scale(scale: Optional[float], head_dim: int) -> float:
     """Default attention scale ``1/sqrt(d_k)`` (Eq. 1 of the paper)."""
     return float(scale) if scale is not None else 1.0 / float(np.sqrt(head_dim))
+
+
+def batch_size(q: np.ndarray) -> int:
+    """Number of ``(L, d)`` slices in a ``(..., L, d)`` stack."""
+    return int(np.prod(q.shape[:-2], dtype=np.int64)) if q.ndim > 2 else 1
 
 
 def sdp_attention(
@@ -65,12 +81,14 @@ def sdp_attention(
     Parameters
     ----------
     q, k, v:
-        ``(L, d_k)`` / ``(L, d_k)`` / ``(L, d_v)`` single-head matrices.
+        ``(..., L, d_k)`` / ``(..., L, d_k)`` / ``(..., L, d_v)`` matrices;
+        leading axes are independent batch/head slices sharing one mask.
     mask:
         ``None`` for dense attention, otherwise any mask representation; zero
         entries are excluded by setting their scores to ``-inf`` *after* the
         dense multiplication (which is exactly the wasted work the paper's
-        kernels avoid).
+        kernels avoid).  The mask is ``(L, L)`` and broadcast over every
+        leading axis.
     zero_fully_masked:
         Rows with no unmasked entry produce NaN in the PyTorch baseline; the
         graph kernels leave them at 0.  The default maps them to 0 so that both
@@ -78,7 +96,8 @@ def sdp_attention(
         ``False`` to reproduce the NaN behaviour.
     """
     validate_qkv(q, k, v)
-    length, head_dim = q.shape
+    length, head_dim = q.shape[-2], q.shape[-1]
+    batch = batch_size(q)
     acc_dtype = accumulator_dtype(q.dtype)
     scale_value = resolve_scale(scale, head_dim)
 
@@ -86,29 +105,30 @@ def sdp_attention(
     k_acc = np.asarray(k, dtype=acc_dtype)
     v_acc = np.asarray(v, dtype=acc_dtype)
 
-    scores = (q_acc @ k_acc.T) * scale_value
+    scores = (q_acc @ np.swapaxes(k_acc, -1, -2)) * scale_value
     dense_mask = _mask_to_dense_bool(mask, length)
     if dense_mask is not None:
         scores = np.where(dense_mask, scores, -np.inf)
 
     if zero_fully_masked:
-        probabilities = stable_softmax(scores, axis=1)
-        row_max = np.max(scores, axis=1)
+        probabilities = stable_softmax(scores, axis=-1)
+        row_max = np.max(scores, axis=-1)
+        safe_max = np.where(np.isfinite(row_max), row_max, 0.0)
         row_sum = np.sum(
-            np.exp(np.where(np.isfinite(scores), scores - np.where(np.isfinite(row_max), row_max, 0.0)[:, None], -np.inf)),
-            axis=1,
+            np.exp(np.where(np.isfinite(scores), scores - safe_max[..., None], -np.inf)),
+            axis=-1,
         )
     else:
         with np.errstate(invalid="ignore"):
-            shifted = scores - np.max(scores, axis=1, keepdims=True)
+            shifted = scores - np.max(scores, axis=-1, keepdims=True)
             weights = np.exp(shifted)
-            probabilities = weights / np.sum(weights, axis=1, keepdims=True)
-        row_max = np.max(scores, axis=1)
-        row_sum = np.sum(weights, axis=1)
+            probabilities = weights / np.sum(weights, axis=-1, keepdims=True)
+        row_max = np.max(scores, axis=-1)
+        row_sum = np.sum(weights, axis=-1)
 
     output = probabilities @ v_acc
     nnz = int(dense_mask.sum()) if dense_mask is not None else length * length
-    ops = OpCounts.for_dense(length, head_dim, nnz=nnz)
+    ops = OpCounts.for_dense(length, head_dim, nnz=nnz, batch=batch)
     return AttentionResult(
         output=output.astype(q.dtype),
         row_max=np.where(np.isfinite(row_max), row_max, -np.inf),

@@ -76,19 +76,19 @@ SPECIALISED_KERNELS = {
     GlobalNonLocalMask: lambda q, k, v, s, scale, executor: global_attention(
         q, k, v, s.global_tokens, s.window, scale=scale, executor=executor
     ),
+    # window=0 disables the local-window exclusion, so the kernel executes the
+    # pure global pattern exactly — self-edges on the global rows included
     GlobalMask: lambda q, k, v, s, scale, executor: global_attention(
-        q, k, v, s.global_tokens, 1, scale=scale, executor=executor
+        q, k, v, s.global_tokens, 0, scale=scale, executor=executor
     ),
 }
 
 
 #: Spec types the planner may execute implicitly with numerics identical to
-#: the spec's own edge set.  GlobalMask is deliberately absent: the global
-#: kernel implements the *non-local* variant (``|i-j| >= window``), which
-#: drops the self-attention edges GlobalMask includes on its global rows, so
-#: auto dispatch and composed plans route GlobalMask through the exact CSR
-#: path instead.  The kernel stays reachable via ``algorithm="global"``.
-PLANNABLE_SPECS = (LocalMask, Dilated1DMask, Dilated2DMask, GlobalNonLocalMask)
+#: the spec's own edge set.  GlobalMask dispatches to the global kernel with
+#: ``window=0`` (no exclusion), which keeps the self-attention edges of the
+#: global rows, so it is exactly plannable alongside the non-local variant.
+PLANNABLE_SPECS = (LocalMask, Dilated1DMask, Dilated2DMask, GlobalNonLocalMask, GlobalMask)
 
 
 def _kernel_runner(spec: MaskSpec):
@@ -109,11 +109,11 @@ def has_specialised_kernel(spec: MaskSpec) -> bool:
 def composable_in_plan(spec: MaskSpec) -> bool:
     """Whether a union component may join an auto-composed plan.
 
-    True for specs an implicit kernel executes exactly, and for
-    :class:`GlobalMask`, whose edges the composed CSR-remainder path computes
-    exactly even though its implicit kernel would drop self-edges.
+    Since every specialised kernel now executes its spec's edge set exactly
+    (the global kernel's ``window=0`` mode covers :class:`GlobalMask`'s
+    self-edges), this coincides with :func:`has_specialised_kernel`.
     """
-    return has_specialised_kernel(spec) or isinstance(spec, GlobalMask)
+    return has_specialised_kernel(spec)
 
 
 def spec_kernel_name(spec: MaskSpec) -> str:
@@ -167,13 +167,18 @@ class GraphAttentionEngine:
         *,
         algorithm: str = "auto",
     ) -> AttentionResult:
-        """Compute attention for ``mask`` using ``algorithm`` (or auto-dispatch)."""
+        """Compute attention for ``mask`` using ``algorithm`` (or auto-dispatch).
+
+        ``q``/``k``/``v`` are ``(..., L, d)``: a bare single-head slice or any
+        stack of batch/head slices sharing one mask — both run through the
+        same plan-compile-and-execute path.
+        """
         require(algorithm in ALGORITHMS, f"unknown algorithm {algorithm!r}")
         if algorithm == "auto":
             # one-shot dispatch: the plan is executed and discarded, so skip
             # deriving a cache key (content-hashing an explicit mask is the
             # only per-call cost plans would add over the old direct dispatch)
-            result = self.plan(mask, q.shape[0], compute_key=False).execute(q, k, v)
+            result = self.plan(mask, q.shape[-2], compute_key=False).execute(q, k, v)
         else:
             result = self._run_named(q, k, v, mask, algorithm)
         self.history.append(result)
@@ -187,6 +192,7 @@ class GraphAttentionEngine:
         algorithm: str = "auto",
         device=None,
         head_dim: Optional[int] = None,
+        batch: int = 1,
         compute_key: bool = True,
     ):
         """Compile ``mask`` at ``length`` into an immutable execution plan.
@@ -196,8 +202,9 @@ class GraphAttentionEngine:
         batches without repeating the dispatch or mask-materialisation work
         (see :mod:`repro.serve`).  ``device`` (a
         :class:`~repro.perfmodel.devices.DeviceSpec`) enables the predicted
-        runtime attached to the plan; ``compute_key=False`` skips cache-key
-        derivation for plans that will never be cached.
+        runtime attached to the plan, with ``batch`` slices (``B·H``) scaling
+        the estimate; ``compute_key=False`` skips cache-key derivation for
+        plans that will never be cached.
         """
         from repro.serve.plan import compile_plan
 
@@ -211,6 +218,7 @@ class GraphAttentionEngine:
             algorithm=algorithm,
             device=device,
             head_dim=head_dim,
+            batch=batch,
             **extra,
         )
 
@@ -224,7 +232,7 @@ class GraphAttentionEngine:
 
     # ------------------------------------------------------------------ #
     def _run_named(self, q, k, v, mask: MaskInput, algorithm: str) -> AttentionResult:
-        length = q.shape[0]
+        length = q.shape[-2]
         if algorithm == "sdp":
             return sdp_attention(q, k, v, mask, scale=self.scale)
         if algorithm == "flash":

@@ -100,10 +100,11 @@ def csr_attention(
     """Graph-processing attention with an explicit CSR mask.
 
     Handles any attention pattern; performs exactly one dot product per mask
-    non-zero (work optimal, Section IV-B).
+    non-zero per batch slice (work optimal, Section IV-B).  Q/K/V may carry
+    arbitrary leading batch/head axes.
     """
     validate_executor(executor)
-    length = q.shape[0]
+    length = q.shape[-2]
     csr = _as_csr(mask, length)
     meta = {"nnz": csr.nnz, "sparsity_factor": csr.sparsity_factor, "format": "csr"}
     if executor == "streamed":
@@ -131,7 +132,7 @@ def coo_attention(
     performance models can reproduce COO's measured slowdown.
     """
     validate_executor(executor)
-    length = q.shape[0]
+    length = q.shape[-2]
     coo = _as_coo(mask, length)
     search = coo_search_steps(coo)
     meta = {"nnz": coo.nnz, "sparsity_factor": coo.sparsity_factor, "format": "coo"}

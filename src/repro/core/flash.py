@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.dense import resolve_scale, validate_qkv
+from repro.core.dense import batch_size, resolve_scale, validate_qkv
 from repro.core.online_softmax import OnlineSoftmaxState, accumulator_dtype
 from repro.core.result import AttentionResult, OpCounts
 from repro.sparse.block import BlockSparseMatrix
@@ -36,10 +36,13 @@ def flash_attention(
     scale: Optional[float] = None,
     block_mask: Optional[BlockSparseMatrix] = None,
 ) -> AttentionResult:
-    """Tiled dense attention with online softmax (single batch, single head).
+    """Tiled dense attention with online softmax.
 
     Parameters
     ----------
+    q, k, v:
+        ``(..., L, d)`` inputs; leading batch/head axes are processed inside
+        each tile, so the tile loop runs once regardless of the batch width.
     block_q, block_k:
         Tile sizes along the query and key dimensions.  Any positive values
         are accepted; they only change the evaluation order, not the result.
@@ -50,8 +53,10 @@ def flash_attention(
     """
     validate_qkv(q, k, v)
     require(block_q >= 1 and block_k >= 1, "tile sizes must be positive")
-    length, head_dim = q.shape
-    value_dim = v.shape[1]
+    batch_shape = q.shape[:-2]
+    length, head_dim = q.shape[-2], q.shape[-1]
+    value_dim = v.shape[-1]
+    batch = batch_size(q)
     scale_value = resolve_scale(scale, head_dim)
     acc_dtype = accumulator_dtype(q.dtype)
 
@@ -59,7 +64,9 @@ def flash_attention(
     k_acc = np.asarray(k, dtype=acc_dtype)
     v_acc = np.asarray(v, dtype=acc_dtype)
 
-    state = OnlineSoftmaxState.initialise(length, value_dim, acc_dtype)
+    state = OnlineSoftmaxState.initialise(
+        length, value_dim, acc_dtype, batch_shape=batch_shape
+    )
 
     active_tiles = None
     if block_mask is not None:
@@ -74,24 +81,25 @@ def flash_attention(
     computed_tiles = 0
     for q_start in range(0, length, block_q):
         q_stop = min(q_start + block_q, length)
-        q_tile = q_acc[q_start:q_stop]
+        q_tile = q_acc[..., q_start:q_stop, :]
         rows = np.arange(q_start, q_stop)
         tile_row = q_start // block_q
         for k_start in range(0, length, block_k):
             if active_tiles is not None and (tile_row, k_start // block_k) not in active_tiles:
                 continue
             k_stop = min(k_start + block_k, length)
-            scores = (q_tile @ k_acc[k_start:k_stop].T) * scale_value
-            tile_max = scores.max(axis=1)
-            weights = np.exp(scores - tile_max[:, None])
-            tile_sum = weights.sum(axis=1)
-            tile_acc = weights @ v_acc[k_start:k_stop]
+            k_tile = k_acc[..., k_start:k_stop, :]
+            scores = (q_tile @ np.swapaxes(k_tile, -1, -2)) * scale_value
+            tile_max = scores.max(axis=-1)
+            weights = np.exp(scores - tile_max[..., None])
+            tile_sum = weights.sum(axis=-1)
+            tile_acc = weights @ v_acc[..., k_start:k_stop, :]
             state.update_block(rows, tile_max, tile_sum, tile_acc)
             computed_tiles += 1
 
     output = state.finalize(dtype=q.dtype)
     if active_tiles is None:
-        ops = OpCounts.for_dense(length, head_dim)
+        ops = OpCounts.for_dense(length, head_dim, batch=batch)
         algorithm = "flash"
     else:
         computed = block_mask.computed_elements
@@ -100,7 +108,7 @@ def flash_attention(
             flops=4 * computed * head_dim,
             exp_evaluations=computed,
             wasted_dot_products=block_mask.wasted_elements,
-        )
+        ).scaled(batch)
         algorithm = "flash-block-sparse"
     return AttentionResult(
         output=output,

@@ -7,40 +7,149 @@ neighbour indices on the fly, so no mask is ever stored.  That is what gives
 them the FlashAttention-class memory footprint of Table II (Q/K/V/O plus two
 ``O(L)`` statistics vectors) while performing only ``O(Sf L^2 d)`` work.
 
+Every kernel accepts ``(..., L, d)`` inputs: arbitrary leading batch/head
+axes are executed in the same fused NumPy passes as the trailing ``(L, d)``
+slice, so a ``(B, H)`` stack shares one pass over the mask structure instead
+of paying the Python machinery ``B·H`` times.
+
 Each kernel offers two executors:
 
 * ``"streamed"`` — the literal Algorithm 1 loop (specification / verification).
 * ``"vectorized"`` — a batched work-optimal evaluation.  Local and 1-D dilated
-  kernels exploit translation invariance (a fixed offset stencil applied to a
-  chunk of rows at a time); the 2-D dilated kernel iterates blocks; the global
-  kernel splits the work into the dense global rows and the thin global
-  columns, which is also what makes its load imbalance visible to the runtime
-  model.
+  kernels exploit translation invariance; wide stencils additionally switch to
+  a banded-GEMM strategy (dense tiles over the band, BLAS matmuls, masked
+  softmax) whose extra dot products are reported as ``wasted_dot_products``.
+  The 2-D dilated kernel iterates blocks; the global kernel splits the work
+  into the dense global rows and the thin global columns, which is also what
+  makes its load imbalance visible to the runtime model.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.kernel_common import (
-    finalize_result,
+    batch_size,
     prepare_inputs,
     streamed_attention,
     validate_executor,
 )
-from repro.core.online_softmax import OnlineSoftmaxState
 from repro.core.result import AttentionResult, OpCounts
 from repro.masks.dilated2d import Dilated2DMask
-from repro.masks.global_ import GlobalNonLocalMask
+from repro.masks.global_ import GlobalMask, GlobalNonLocalMask
 from repro.masks.windowed import Dilated1DMask, LocalMask
 from repro.utils.validation import require
 
 #: Upper bound on the number of gathered score entries held at once by the
-#: chunked stencil executor (rows-per-chunk is derived from it).  Keeps the
-#: working set cache-friendly regardless of window size.
+#: chunked stencil executors (rows-per-chunk is derived from it, including the
+#: leading batch axes).  Keeps the working set cache-friendly regardless of
+#: window size and batch width.
 _CHUNK_ELEMENT_BUDGET = 1 << 22
+
+#: Minimum stencil width before the banded-GEMM strategy pays off (below it,
+#: the exact gather path has less overhead than dense band tiles).
+_GEMM_MIN_OFFSETS = 32
+
+#: Maximum band-span/offset-count ratio the GEMM strategy tolerates: beyond
+#: it (strongly dilated stencils) the dense band wastes too much work.
+_GEMM_MAX_SPAN_RATIO = 4
+
+
+def _stencil_gather(q3, k3, v3, offsets, length, scale_value, row_chunk):
+    """Exact gather executor: one einsum entry per stencil offset.
+
+    Work per chunk is exactly ``rows x offsets`` score entries (boundary
+    positions masked), so the only waste is the ``O(w^2)`` boundary padding.
+    """
+    slices, _, head_dim = q3.shape
+    value_dim = v3.shape[-1]
+    n_off = offsets.size
+    if row_chunk is None:
+        per_row = max(1, slices * n_off * max(head_dim, value_dim))
+        row_chunk = max(1, min(length, _CHUNK_ELEMENT_BUDGET // per_row))
+
+    outputs = np.zeros((slices, length, value_dim), dtype=q3.dtype)
+    row_max = np.full((slices, length), -np.inf, dtype=q3.dtype)
+    row_sum = np.zeros((slices, length), dtype=q3.dtype)
+    computed = 0
+    for start in range(0, length, row_chunk):
+        stop = min(start + row_chunk, length)
+        rows = np.arange(start, stop, dtype=np.int64)
+        cols = rows[:, None] + offsets[None, :]
+        valid = (cols >= 0) & (cols < length)
+        safe_cols = np.clip(cols, 0, length - 1)
+        scores = np.einsum("brd,brod->bro", q3[:, rows], k3[:, safe_cols]) * scale_value
+        scores = np.where(valid, scores, -np.inf)
+        chunk_max = scores.max(axis=-1)
+        safe_max = np.where(np.isfinite(chunk_max), chunk_max, 0.0)
+        weights = np.exp(np.where(valid, scores - safe_max[..., None], -np.inf))
+        chunk_sum = weights.sum(axis=-1)
+        chunk_out = np.einsum("bro,brod->brd", weights, v3[:, safe_cols])
+        safe = np.where(chunk_sum == 0, 1.0, chunk_sum)
+        outputs[:, rows] = chunk_out / safe[..., None]
+        row_max[:, rows] = chunk_max
+        row_sum[:, rows] = chunk_sum
+        computed += int(valid.size)
+    return outputs, row_max, row_sum, computed
+
+
+def _stencil_gemm(q3, k3, v3, offsets, length, scale_value):
+    """Banded-GEMM executor: dense score tiles over the stencil's band.
+
+    For wide stencils the band ``[i + min_off, i + max_off]`` of a chunk of
+    rows is computed as one dense BLAS matmul against a contiguous K slice,
+    the off-stencil entries are masked to ``-inf``, and the value product is a
+    second dense matmul.  The dense tiles perform up to ``(rows + span) /
+    span`` times the stencil's true work — reported as wasted dot products —
+    in exchange for BLAS throughput on every batch slice at once.
+    """
+    slices, _, _ = q3.shape
+    value_dim = v3.shape[-1]
+    min_off, max_off = int(offsets[0]), int(offsets[-1])
+    span = max_off - min_off + 1
+
+    # chunk rows R so the (B, R, R + span) score tile fits the element budget,
+    # but no wider than the span itself (keeps dense work within 2x the band)
+    budget = max(1, _CHUNK_ELEMENT_BUDGET // max(1, slices))
+    budget_rows = int((math.sqrt(span * span + 4.0 * budget) - span) / 2.0)
+    row_chunk = max(16, min(length, span, budget_rows))
+
+    outputs = np.zeros((slices, length, value_dim), dtype=q3.dtype)
+    row_max = np.full((slices, length), -np.inf, dtype=q3.dtype)
+    row_sum = np.zeros((slices, length), dtype=q3.dtype)
+    computed = 0
+    local_rows = np.arange(row_chunk, dtype=np.int64)
+    for start in range(0, length, row_chunk):
+        stop = min(start + row_chunk, length)
+        rows = local_rows[: stop - start]
+        col_lo = max(0, start + min_off)
+        col_hi = min(length, stop - 1 + max_off + 1)
+        width = col_hi - col_lo
+
+        scores = (
+            q3[:, start:stop] @ k3[:, col_lo:col_hi].transpose(0, 2, 1)
+        ) * scale_value
+        band = (start + rows)[:, None] + offsets[None, :]
+        valid = (band >= 0) & (band < length)
+        dense_valid = np.zeros((rows.size, width), dtype=bool)
+        row_idx = np.broadcast_to(rows[:, None], band.shape)
+        dense_valid[row_idx[valid], band[valid] - col_lo] = True
+        scores = np.where(dense_valid, scores, -np.inf)
+
+        chunk_max = scores.max(axis=-1)
+        safe_max = np.where(np.isfinite(chunk_max), chunk_max, 0.0)
+        weights = np.exp(scores - safe_max[..., None])
+        chunk_sum = weights.sum(axis=-1)
+        chunk_out = weights @ v3[:, col_lo:col_hi]
+        safe = np.where(chunk_sum == 0, 1.0, chunk_sum)
+        outputs[:, start:stop] = chunk_out / safe[..., None]
+        row_max[:, start:stop] = chunk_max
+        row_sum[:, start:stop] = chunk_sum
+        computed += int(rows.size * width)
+    return outputs, row_max, row_sum, computed
 
 
 def _stencil_attention(
@@ -57,52 +166,50 @@ def _stencil_attention(
 ) -> AttentionResult:
     """Vectorised executor for translation-invariant (offset stencil) masks.
 
-    Rows are processed in chunks; for each chunk the neighbour columns are
-    ``row + offsets`` with out-of-range positions masked to ``-inf`` before the
-    softmax.  Only boundary rows carry masked positions, so the extra work is
-    ``O(w^2)`` overall — asymptotically negligible and reported separately as
-    ``wasted_dot_products``.
+    Narrow stencils run the exact gather strategy (``row + offsets`` columns,
+    out-of-range positions masked); wide, dense-enough stencils switch to the
+    banded-GEMM strategy.  Both execute every leading batch axis in the same
+    pass; extra score entries beyond the mask's nnz are reported per slice as
+    ``wasted_dot_products``.  Passing ``row_chunk`` pins the gather strategy
+    (and its chunk size) explicitly.
     """
     q_acc, k_acc, v_acc, scale_value, acc_dtype = prepare_inputs(q, k, v, scale)
-    length, head_dim = q.shape
-    value_dim = v.shape[1]
-    offsets = np.asarray(offsets, dtype=np.int64)
+    batch_shape = q.shape[:-2]
+    length, head_dim = q.shape[-2], q.shape[-1]
+    value_dim = v.shape[-1]
+    slices = batch_size(q)
+    offsets = np.sort(np.asarray(offsets, dtype=np.int64))
     n_off = offsets.size
 
-    if row_chunk is None:
-        per_row = max(1, n_off * max(head_dim, value_dim))
-        row_chunk = max(1, min(length, _CHUNK_ELEMENT_BUDGET // per_row))
+    q3 = q_acc.reshape(slices, length, head_dim)
+    k3 = k_acc.reshape(slices, length, head_dim)
+    v3 = v_acc.reshape(slices, length, value_dim)
 
-    output = np.zeros((length, value_dim), dtype=acc_dtype)
-    row_max = np.full(length, -np.inf, dtype=acc_dtype)
-    row_sum = np.zeros(length, dtype=acc_dtype)
-    computed = 0
-
-    for start in range(0, length, row_chunk):
-        stop = min(start + row_chunk, length)
-        rows = np.arange(start, stop, dtype=np.int64)
-        cols = rows[:, None] + offsets[None, :]
-        valid = (cols >= 0) & (cols < length)
-        safe_cols = np.clip(cols, 0, length - 1)
-        scores = np.einsum("rd,rod->ro", q_acc[rows], k_acc[safe_cols]) * scale_value
-        scores = np.where(valid, scores, -np.inf)
-        chunk_max = scores.max(axis=1)
-        weights = np.exp(scores - chunk_max[:, None])
-        weights[~valid] = 0.0
-        chunk_sum = weights.sum(axis=1)
-        chunk_out = np.einsum("ro,rod->rd", weights, v_acc[safe_cols])
-        safe = np.where(chunk_sum == 0, 1.0, chunk_sum)
-        output[rows] = chunk_out / safe[:, None]
-        row_max[rows] = chunk_max
-        row_sum[rows] = chunk_sum
-        computed += int(valid.size)
+    span = int(offsets[-1] - offsets[0]) + 1 if n_off else 0
+    use_gemm = (
+        row_chunk is None
+        and n_off >= _GEMM_MIN_OFFSETS
+        and span <= _GEMM_MAX_SPAN_RATIO * n_off
+    )
+    if use_gemm:
+        outputs, row_max, row_sum, computed = _stencil_gemm(
+            q3, k3, v3, offsets, length, scale_value
+        )
+    else:
+        outputs, row_max, row_sum, computed = _stencil_gather(
+            q3, k3, v3, offsets, length, scale_value, row_chunk
+        )
 
     wasted = computed - nnz
-    ops = OpCounts.for_edges(nnz, head_dim, value_dim, wasted_dot_products=wasted)
+    ops = OpCounts.for_edges(
+        nnz, head_dim, value_dim, wasted_dot_products=wasted, batch=slices
+    )
     return AttentionResult(
-        output=output.astype(q.dtype),
-        row_max=np.where(np.isfinite(row_max), row_max, -np.inf).astype(np.float64),
-        row_sum=row_sum.astype(np.float64),
+        output=outputs.reshape(batch_shape + (length, value_dim)).astype(q.dtype),
+        row_max=np.where(np.isfinite(row_max), row_max, -np.inf)
+        .reshape(batch_shape + (length,))
+        .astype(np.float64),
+        row_sum=row_sum.reshape(batch_shape + (length,)).astype(np.float64),
         ops=ops,
         algorithm=algorithm,
         meta=meta,
@@ -124,7 +231,7 @@ def local_attention(
 ) -> AttentionResult:
     """Local (sliding window) attention: query ``i`` attends keys with ``|i-j| < window``."""
     validate_executor(executor)
-    length = q.shape[0]
+    length = q.shape[-2]
     mask = LocalMask(window=window)
     meta = {"window": window, "nnz": mask.nnz(length), "sparsity_factor": mask.sparsity_factor(length)}
     if executor == "streamed":
@@ -150,7 +257,7 @@ def dilated1d_attention(
 ) -> AttentionResult:
     """1-D dilated windowed attention (``|i-j| < window`` and ``|i-j| % (r+1) == 0``)."""
     validate_executor(executor)
-    length = q.shape[0]
+    length = q.shape[-2]
     mask = Dilated1DMask(window=window, dilation=dilation)
     meta = {
         "window": window,
@@ -183,8 +290,10 @@ def dilated2d_attention(
 ) -> AttentionResult:
     """2-D dilated (blocked) attention: dilation grid inside contiguous blocks."""
     validate_executor(executor)
-    length, head_dim = q.shape
-    value_dim = v.shape[1]
+    batch_shape = q.shape[:-2]
+    length, head_dim = q.shape[-2], q.shape[-1]
+    value_dim = v.shape[-1]
+    slices = batch_size(q)
     mask = Dilated2DMask(block_size=block_size, dilation=dilation)
     meta = {
         "block_size": block_size,
@@ -198,27 +307,30 @@ def dilated2d_attention(
         )
 
     q_acc, k_acc, v_acc, scale_value, acc_dtype = prepare_inputs(q, k, v, scale)
+    q3 = q_acc.reshape(slices, length, head_dim)
+    k3 = k_acc.reshape(slices, length, head_dim)
+    v3 = v_acc.reshape(slices, length, value_dim)
     stride = dilation + 1
-    output = np.zeros((length, value_dim), dtype=acc_dtype)
-    row_max = np.full(length, -np.inf, dtype=acc_dtype)
-    row_sum = np.zeros(length, dtype=acc_dtype)
+    outputs = np.zeros((slices, length, value_dim), dtype=acc_dtype)
+    row_max = np.full((slices, length), -np.inf, dtype=acc_dtype)
+    row_sum = np.zeros((slices, length), dtype=acc_dtype)
     for block_start in range(0, length, block_size):
         block_stop = min(block_start + block_size, length)
         idx = np.arange(block_start, block_stop, stride, dtype=np.int64)
         if idx.size == 0:
             continue
-        scores = (q_acc[idx] @ k_acc[idx].T) * scale_value
-        block_max = scores.max(axis=1)
-        weights = np.exp(scores - block_max[:, None])
-        block_sum = weights.sum(axis=1)
-        output[idx] = (weights @ v_acc[idx]) / block_sum[:, None]
-        row_max[idx] = block_max
-        row_sum[idx] = block_sum
-    ops = OpCounts.for_edges(mask.nnz(length), head_dim, value_dim)
+        scores = (q3[:, idx] @ k3[:, idx].transpose(0, 2, 1)) * scale_value
+        block_max = scores.max(axis=-1)
+        weights = np.exp(scores - block_max[..., None])
+        block_sum = weights.sum(axis=-1)
+        outputs[:, idx] = (weights @ v3[:, idx]) / block_sum[..., None]
+        row_max[:, idx] = block_max
+        row_sum[:, idx] = block_sum
+    ops = OpCounts.for_edges(mask.nnz(length), head_dim, value_dim, batch=slices)
     return AttentionResult(
-        output=output.astype(q.dtype),
-        row_max=row_max.astype(np.float64),
-        row_sum=row_sum.astype(np.float64),
+        output=outputs.reshape(batch_shape + (length, value_dim)).astype(q.dtype),
+        row_max=row_max.reshape(batch_shape + (length,)).astype(np.float64),
+        row_sum=row_sum.reshape(batch_shape + (length,)).astype(np.float64),
         ops=ops,
         algorithm="dilated2d",
         meta=meta,
@@ -238,17 +350,28 @@ def global_attention(
     scale: Optional[float] = None,
     executor: str = "vectorized",
 ) -> AttentionResult:
-    """Global (non-local) attention for a designated token set.
+    """Global attention for a designated token set.
 
-    Mirrors the paper's Global kernel: attention indices are computed for the
-    global pattern and the local-window entries are subtracted, so composing
-    this kernel with :func:`local_attention` of the same ``window`` covers the
-    Longformer local+global mask with no edge processed twice.
+    ``window >= 1`` mirrors the paper's *non-local* Global kernel: a local
+    window of that reach is subtracted from the pattern, so composing this
+    kernel with :func:`local_attention` of the same ``window`` covers the
+    Longformer local+global mask with no edge processed twice.  ``window=0``
+    disables the exclusion and executes the pure :class:`GlobalMask` pattern
+    exactly — including the global rows' self-edges the non-local variant
+    drops — which is what lets the engine dispatch a bare ``GlobalMask`` to
+    this kernel instead of falling back to CSR.
     """
     validate_executor(executor)
-    length, head_dim = q.shape
-    value_dim = v.shape[1]
-    mask = GlobalNonLocalMask(global_tokens, window=window)
+    batch_shape = q.shape[:-2]
+    length, head_dim = q.shape[-2], q.shape[-1]
+    value_dim = v.shape[-1]
+    slices = batch_size(q)
+    require(window >= 0, "window must be >= 0")
+    mask = (
+        GlobalMask(global_tokens)
+        if window == 0
+        else GlobalNonLocalMask(global_tokens, window=window)
+    )
     mask.validate_length(length)
     nnz = mask.nnz(length)
     meta = {
@@ -263,55 +386,64 @@ def global_attention(
         )
 
     q_acc, k_acc, v_acc, scale_value, acc_dtype = prepare_inputs(q, k, v, scale)
+    q3 = q_acc.reshape(slices, length, head_dim)
+    k3 = k_acc.reshape(slices, length, head_dim)
+    v3 = v_acc.reshape(slices, length, value_dim)
     globals_arr = np.asarray(mask.global_tokens, dtype=np.int64)
     g = globals_arr.size
-    state = OnlineSoftmaxState.initialise(length, value_dim, acc_dtype)
+    rows = np.arange(length, dtype=np.int64)
+
+    outputs = np.zeros((slices, length, value_dim), dtype=acc_dtype)
+    row_max = np.full((slices, length), -np.inf, dtype=acc_dtype)
+    row_sum = np.zeros((slices, length), dtype=acc_dtype)
     computed = 0
 
-    # (a) full rows of the global tokens, excluding their own local window
-    rows = np.arange(length, dtype=np.int64)
-    for token in globals_arr:
-        scores = (q_acc[token] @ k_acc.T) * scale_value
-        excluded = np.abs(rows - token) < window
-        scores = np.where(excluded, -np.inf, scores)
-        finite = np.isfinite(scores)
-        if finite.any():
-            t_max = scores[finite].max()
-            weights = np.where(finite, np.exp(scores - t_max), 0.0)
-            t_sum = weights.sum()
-            t_acc = weights @ v_acc
-            state.update_block(
-                np.array([token]),
-                np.array([t_max], dtype=acc_dtype),
-                np.array([t_sum], dtype=acc_dtype),
-                t_acc[None, :],
-            )
-        computed += length
+    # (a) full rows of the global tokens, minus their own local window; the
+    #     global rows and the non-global rows of part (b) are disjoint, so
+    #     each part writes its rows directly — no state merging needed
+    scores = (q3[:, globals_arr] @ k3.transpose(0, 2, 1)) * scale_value
+    excluded = np.abs(rows[None, :] - globals_arr[:, None]) < window
+    scores = np.where(excluded[None, :, :], -np.inf, scores)
+    part_max = scores.max(axis=-1)
+    safe_max = np.where(np.isfinite(part_max), part_max, 0.0)
+    weights = np.exp(scores - safe_max[..., None])
+    part_sum = weights.sum(axis=-1)
+    part_out = weights @ v3
+    safe = np.where(part_sum == 0, 1.0, part_sum)
+    outputs[:, globals_arr] = part_out / safe[..., None]
+    row_max[:, globals_arr] = part_max
+    row_sum[:, globals_arr] = part_sum
+    computed += g * length
 
     # (b) thin columns: every non-global row attends the global tokens outside
     #     its window
     non_global = np.setdiff1d(rows, globals_arr, assume_unique=False)
     if non_global.size and g:
-        scores = (q_acc[non_global] @ k_acc[globals_arr].T) * scale_value
+        scores = (q3[:, non_global] @ k3[:, globals_arr].transpose(0, 2, 1)) * scale_value
         excluded = np.abs(non_global[:, None] - globals_arr[None, :]) < window
-        scores = np.where(excluded, -np.inf, scores)
-        part_max = scores.max(axis=1)
-        finite = np.isfinite(part_max)
-        safe_max = np.where(finite, part_max, 0.0)
-        weights = np.exp(np.where(np.isfinite(scores), scores - safe_max[:, None], -np.inf))
-        part_sum = weights.sum(axis=1)
-        part_acc = weights @ v_acc[globals_arr]
-        touched = finite
-        state.update_block(
-            non_global[touched],
-            part_max[touched],
-            part_sum[touched],
-            part_acc[touched],
-        )
+        scores = np.where(excluded[None, :, :], -np.inf, scores)
+        part_max = scores.max(axis=-1)
+        safe_max = np.where(np.isfinite(part_max), part_max, 0.0)
+        weights = np.exp(scores - safe_max[..., None])
+        part_sum = weights.sum(axis=-1)
+        part_out = weights @ v3[:, globals_arr]
+        safe = np.where(part_sum == 0, 1.0, part_sum)
+        outputs[:, non_global] = part_out / safe[..., None]
+        row_max[:, non_global] = part_max
+        row_sum[:, non_global] = part_sum
         computed += int(non_global.size * g)
 
     wasted = max(0, computed - nnz)
-    ops = OpCounts.for_edges(nnz, head_dim, value_dim, wasted_dot_products=wasted)
-    return finalize_result(
-        state, out_dtype=q.dtype, ops=ops, algorithm="global", meta=meta
+    ops = OpCounts.for_edges(
+        nnz, head_dim, value_dim, wasted_dot_products=wasted, batch=slices
+    )
+    return AttentionResult(
+        output=outputs.reshape(batch_shape + (length, value_dim)).astype(q.dtype),
+        row_max=np.where(np.isfinite(row_max), row_max, -np.inf)
+        .reshape(batch_shape + (length,))
+        .astype(np.float64),
+        row_sum=row_sum.reshape(batch_shape + (length,)).astype(np.float64),
+        ops=ops,
+        algorithm="global",
+        meta=meta,
     )

@@ -12,7 +12,13 @@ executor cores they share:
 * :func:`csr_ordered_attention` — the vectorised work-optimal core: edge
   scores are evaluated in one fused pass over the CSR-ordered edge list and
   reduced per row with segment operations.  Exactly ``nnz`` dot products and
-  ``nnz`` value accumulations are performed.
+  ``nnz`` value accumulations are performed per batch slice.
+
+Both cores accept ``(..., L, d)`` inputs: any leading axes (batch, heads) are
+independent slices sharing one mask.  The vectorised core executes the whole
+stack in fused NumPy passes — one gather, one einsum, one segment reduction —
+so a ``(B, H)`` batch costs one kernel's worth of Python overhead, not
+``B·H``.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.core.dense import resolve_scale, validate_qkv
+from repro.core.dense import batch_size, resolve_scale, validate_qkv
 from repro.core.online_softmax import (
     OnlineSoftmaxState,
     accumulator_dtype,
@@ -46,32 +52,13 @@ def prepare_inputs(
     """Validate shapes and upcast Q/K/V to the accumulation dtype."""
     validate_qkv(q, k, v)
     acc_dtype = accumulator_dtype(q.dtype)
-    scale_value = resolve_scale(scale, q.shape[1])
+    scale_value = resolve_scale(scale, q.shape[-1])
     return (
         np.asarray(q, dtype=acc_dtype),
         np.asarray(k, dtype=acc_dtype),
         np.asarray(v, dtype=acc_dtype),
         scale_value,
         acc_dtype,
-    )
-
-
-def finalize_result(
-    state: OnlineSoftmaxState,
-    *,
-    out_dtype,
-    ops: OpCounts,
-    algorithm: str,
-    meta: Optional[dict] = None,
-) -> AttentionResult:
-    """Normalise a state into an :class:`AttentionResult`."""
-    return AttentionResult(
-        output=state.finalize(dtype=out_dtype),
-        row_max=state.row_max.copy(),
-        row_sum=state.row_sum.copy(),
-        ops=ops,
-        algorithm=algorithm,
-        meta=dict(meta or {}),
     )
 
 
@@ -92,22 +79,49 @@ def streamed_attention(
     executor performs exactly one dot product, one exponential and one
     rescaled accumulation per edge — the work-optimal operation count — but
     pays Python-level loop overhead, so it is intended for verification and
-    small problem sizes.
+    small problem sizes.  Batched inputs are executed slice by slice (this is
+    the specification path; the vectorised executors are the fast path).
     """
     q_acc, k_acc, v_acc, scale_value, acc_dtype = prepare_inputs(q, k, v, scale)
-    length, head_dim = q.shape
-    value_dim = v.shape[1]
-    state = OnlineSoftmaxState.initialise(length, value_dim, acc_dtype)
+    batch_shape = q.shape[:-2]
+    length, head_dim = q.shape[-2], q.shape[-1]
+    value_dim = v.shape[-1]
+    slices = batch_size(q)
+
+    q3 = q_acc.reshape(slices, length, head_dim)
+    k3 = k_acc.reshape(slices, length, head_dim)
+    v3 = v_acc.reshape(slices, length, value_dim)
+
+    outputs = np.zeros((slices, length, value_dim), dtype=acc_dtype)
+    row_max = np.full((slices, length), -np.inf, dtype=np.float64)
+    row_sum = np.zeros((slices, length), dtype=np.float64)
     edges = 0
-    for i in range(length):
-        neighbors = np.asarray(neighbor_fn(i))
-        for j in neighbors:
-            score = float(q_acc[i] @ k_acc[j]) * scale_value
-            state.update_single(i, score, v_acc[j])
-        edges += int(neighbors.size)
-    ops = OpCounts.for_edges(edges, head_dim, value_dim, search_steps=search_steps)
-    return finalize_result(
-        state, out_dtype=q.dtype, ops=ops, algorithm=algorithm, meta=meta
+    neighbor_lists = None
+    for b in range(slices):
+        state = OnlineSoftmaxState.initialise(length, value_dim, acc_dtype)
+        if neighbor_lists is None:  # the mask is shared across slices
+            neighbor_lists = []
+            for i in range(length):
+                neighbor_lists.append(np.asarray(neighbor_fn(i)))
+                edges += int(neighbor_lists[i].size)
+        for i in range(length):
+            for j in neighbor_lists[i]:
+                score = float(q3[b, i] @ k3[b, j]) * scale_value
+                state.update_single(i, score, v3[b, j])
+        outputs[b] = state.finalize()
+        row_max[b] = state.row_max
+        row_sum[b] = state.row_sum
+
+    ops = OpCounts.for_edges(
+        edges, head_dim, value_dim, search_steps=search_steps, batch=slices
+    )
+    return AttentionResult(
+        output=outputs.reshape(batch_shape + (length, value_dim)).astype(q.dtype),
+        row_max=row_max.reshape(batch_shape + (length,)),
+        row_sum=row_sum.reshape(batch_shape + (length,)),
+        ops=ops,
+        algorithm=algorithm,
+        meta=dict(meta or {}),
     )
 
 
@@ -126,13 +140,15 @@ def csr_ordered_attention(
     """Vectorised work-optimal core over CSR-ordered edges.
 
     ``indptr`` delimits each query row's edges inside ``cols``.  One fused
-    pass computes the ``nnz`` edge scores, a segment softmax reduces them per
-    row and a segment weighted sum accumulates the value rows — no dense
-    ``L x L`` intermediate is ever formed.
+    pass computes the ``nnz`` edge scores for every batch slice at once, a
+    segment softmax reduces them per row and a segment weighted sum
+    accumulates the value rows — no dense ``L x L`` intermediate is ever
+    formed and the leading batch axes never touch a Python loop.
     """
     q_acc, k_acc, v_acc, scale_value, _ = prepare_inputs(q, k, v, scale)
-    length, head_dim = q.shape
-    value_dim = v.shape[1]
+    length, head_dim = q.shape[-2], q.shape[-1]
+    value_dim = v.shape[-1]
+    slices = batch_size(q)
     indptr = np.asarray(indptr, dtype=np.int64)
     cols = np.asarray(cols)
     require(indptr.size == length + 1, "indptr must have length L + 1")
@@ -140,16 +156,21 @@ def csr_ordered_attention(
 
     lengths = np.diff(indptr)
     edge_rows = np.repeat(np.arange(length), lengths)
-    scores = np.einsum("ed,ed->e", q_acc[edge_rows], k_acc[cols]) * scale_value
+    scores = (
+        np.einsum("...ed,...ed->...e", q_acc[..., edge_rows, :], k_acc[..., cols, :])
+        * scale_value
+    )
     row_max, row_sum, weights = segment_softmax_stats(scores, indptr)
-    acc = segment_weighted_sum(weights, v_acc[cols], indptr, value_dim)
+    acc = segment_weighted_sum(weights, v_acc[..., cols, :], indptr, value_dim)
 
     empty = row_sum == 0
     safe = np.where(empty, 1.0, row_sum)
-    output = acc / safe[:, None]
+    output = acc / safe[..., None]
     output[empty] = 0.0
 
-    ops = OpCounts.for_edges(int(cols.size), head_dim, value_dim, search_steps=search_steps)
+    ops = OpCounts.for_edges(
+        int(cols.size), head_dim, value_dim, search_steps=search_steps, batch=slices
+    )
     return AttentionResult(
         output=output.astype(q.dtype),
         row_max=row_max.astype(np.float64),

@@ -1,10 +1,12 @@
-"""Multi-head and batched wrappers around the single-head kernels.
+"""Multi-head and batched wrappers around the batched kernels.
 
-The paper's kernels are single-batch and single-headed "to facilitate focus on
-the experiments", noting that the multi-head extension is trivial: slice the
-model dimension into heads, run the kernel per head, concatenate.  These
-wrappers implement that extension (plus a batch dimension) so the library can
-drop into a standard transformer layer, and they are what the Llama-3-shaped
+The paper's kernels are presented single-batch and single-headed "to
+facilitate focus on the experiments", noting that the multi-head extension is
+trivial.  Since every kernel in :mod:`repro.core` now executes arbitrary
+leading ``(..., L, d)`` axes in fused vectorized passes, these wrappers are a
+*thin reshape layer*: slice the model dimension into heads, hand the whole
+``(..., H, L, d_head)`` stack to the kernel in **one** call, and merge the
+head axis back — no per-head Python loop.  This is what the Llama-3-shaped
 rows of Table II (32 heads, d_model = 4096) exercise.
 """
 
@@ -18,43 +20,92 @@ import numpy as np
 from repro.core.result import AttentionResult, OpCounts
 from repro.utils.validation import require
 
-#: A single-head kernel: ``(q, k, v) -> AttentionResult`` with Q/K/V of shape (L, d_head).
+#: An attention kernel: ``(q, k, v) -> AttentionResult`` with Q/K/V of shape
+#: ``(..., L, d_head)``.  Kernels built on :mod:`repro.core` execute all
+#: leading axes in one call; single-head-only callables (accepting just
+#: ``(L, d_head)``) are still supported via a per-head fallback loop.
 HeadKernel = Callable[[np.ndarray, np.ndarray, np.ndarray], AttentionResult]
 
 
 @dataclass
 class MultiHeadResult:
-    """Concatenated multi-head output plus the per-head results."""
+    """Concatenated multi-head output plus the underlying batched result.
+
+    ``result`` is the kernel's :class:`~repro.core.result.AttentionResult`
+    over the ``(..., H, L, d_head)`` stack; ``head_results`` views it per
+    head for callers that inspect individual heads.
+    """
 
     output: np.ndarray
-    head_results: List[AttentionResult]
+    result: AttentionResult
 
     @property
     def num_heads(self) -> int:
-        return len(self.head_results)
+        return int(self.result.output.shape[-3])
 
     @property
     def ops(self) -> OpCounts:
-        total = OpCounts()
-        for result in self.head_results:
-            total = total + result.ops
-        return total
+        return self.result.ops
+
+    @property
+    def head_results(self) -> List[AttentionResult]:
+        """Per-head slices of the batched result (ops split evenly)."""
+        heads = self.num_heads
+        per_head_ops = self.result.ops.per_slice(heads) if heads > 1 else self.result.ops
+        return [
+            AttentionResult(
+                output=self.result.output[..., h, :, :],
+                row_max=self.result.row_max[..., h, :],
+                row_sum=self.result.row_sum[..., h, :],
+                ops=per_head_ops,
+                algorithm=self.result.algorithm,
+                meta=dict(self.result.meta),
+            )
+            for h in range(heads)
+        ]
 
 
 def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
-    """Reshape ``(L, d_model)`` into ``(num_heads, L, d_model // num_heads)``."""
-    require(x.ndim == 2, "expected a (L, d_model) matrix")
-    length, d_model = x.shape
+    """Reshape ``(..., L, d_model)`` into ``(..., num_heads, L, d_model // num_heads)``.
+
+    Head ``h`` is the contiguous feature block ``x[..., h*d_head:(h+1)*d_head]``.
+    """
+    require(x.ndim >= 2, "expected a (..., L, d_model) array")
+    length, d_model = x.shape[-2], x.shape[-1]
     require(d_model % num_heads == 0, "d_model must be divisible by num_heads")
     head_dim = d_model // num_heads
-    return np.ascontiguousarray(x.reshape(length, num_heads, head_dim).transpose(1, 0, 2))
+    split = x.reshape(x.shape[:-1] + (num_heads, head_dim))
+    return np.ascontiguousarray(np.swapaxes(split, -2, -3))
 
 
 def merge_heads(heads: np.ndarray) -> np.ndarray:
-    """Inverse of :func:`split_heads`: ``(H, L, d_head)`` back to ``(L, H * d_head)``."""
-    require(heads.ndim == 3, "expected a (H, L, d_head) array")
-    num_heads, length, head_dim = heads.shape
-    return np.ascontiguousarray(heads.transpose(1, 0, 2).reshape(length, num_heads * head_dim))
+    """Inverse of :func:`split_heads`: ``(..., H, L, d_head)`` back to ``(..., L, H*d_head)``."""
+    require(heads.ndim >= 3, "expected a (..., H, L, d_head) array")
+    num_heads, length, head_dim = heads.shape[-3], heads.shape[-2], heads.shape[-1]
+    merged = np.swapaxes(heads, -2, -3)
+    return np.ascontiguousarray(merged.reshape(heads.shape[:-3] + (length, num_heads * head_dim)))
+
+
+def _per_head_fallback(
+    q_heads: np.ndarray, k_heads: np.ndarray, v_heads: np.ndarray, kernel: HeadKernel
+) -> AttentionResult:
+    """Execute a single-head-only kernel head by head and restack the results."""
+    require(
+        q_heads.ndim == 3,
+        "per-head fallback kernels require 2-D (L, d_model) layer inputs",
+    )
+    results = [kernel(q_heads[h], k_heads[h], v_heads[h]) for h in range(q_heads.shape[0])]
+    ops = OpCounts()
+    for result in results:
+        ops = ops + result.ops
+    return AttentionResult(
+        output=np.stack([r.output for r in results], axis=0),
+        row_max=np.stack([r.row_max for r in results], axis=0),
+        row_sum=np.stack([r.row_sum for r in results], axis=0),
+        ops=ops,
+        algorithm=results[0].algorithm,
+        meta=dict(results[0].meta),
+    )
 
 
 def multi_head_attention(
@@ -65,20 +116,34 @@ def multi_head_attention(
     *,
     num_heads: int,
 ) -> MultiHeadResult:
-    """Run a single-head kernel independently on every head and concatenate.
+    """Split the model dimension into heads and run the kernel once on the stack.
 
-    ``q``, ``k`` and ``v`` are ``(L, d_model)``; the same mask (implied by the
-    kernel closure) is shared across heads, which matches how the sparse
-    attention transformers of the paper apply their patterns.
+    ``q``, ``k`` and ``v`` are ``(..., L, d_model)``; the head axis is
+    inserted by a reshape and the kernel executes the full
+    ``(..., H, L, d_head)`` batch in a single vectorized call — the same mask
+    (implied by the kernel closure) is shared across heads, matching how the
+    sparse attention transformers of the paper apply their patterns.  Kernels
+    that only accept ``(L, d_head)`` inputs fall back to a per-head loop.
     """
     q_heads = split_heads(q, num_heads)
     k_heads = split_heads(k, num_heads)
     v_heads = split_heads(v, num_heads)
-    results = [
-        kernel(q_heads[h], k_heads[h], v_heads[h]) for h in range(num_heads)
-    ]
-    stacked = np.stack([r.output for r in results], axis=0)
-    return MultiHeadResult(output=merge_heads(stacked), head_results=results)
+    expected_shape = q_heads.shape[:-1] + (v_heads.shape[-1],)
+    try:
+        result = kernel(q_heads, k_heads, v_heads)
+        batched_ok = (
+            isinstance(result, AttentionResult) and result.output.shape == expected_shape
+        )
+    except ValueError:
+        # a single-head-only kernel rejecting the (H, L, d_head) stack gets
+        # the per-head loop; anything else (batched inputs, bad kernel
+        # parameters) re-raises from the loop, surfacing the real error
+        if q_heads.ndim != 3:
+            raise
+        batched_ok = False
+    if not batched_ok:
+        result = _per_head_fallback(q_heads, k_heads, v_heads, kernel)
+    return MultiHeadResult(output=merge_heads(result.output), result=result)
 
 
 def batched_attention(
@@ -87,11 +152,10 @@ def batched_attention(
     v: np.ndarray,
     kernel: HeadKernel,
 ) -> np.ndarray:
-    """Apply a single-head kernel independently over a leading batch dimension."""
-    require(q.ndim == 3 and k.ndim == 3 and v.ndim == 3, "expected (B, L, d) inputs")
+    """Apply a kernel over a leading batch dimension in one vectorized call."""
+    require(q.ndim >= 3 and k.ndim >= 3 and v.ndim >= 3, "expected (B, ..., L, d) inputs")
     require(q.shape[0] == k.shape[0] == v.shape[0], "batch sizes must match")
-    outputs = [kernel(q[b], k[b], v[b]).output for b in range(q.shape[0])]
-    return np.stack(outputs, axis=0)
+    return kernel(q, k, v).output
 
 
 @dataclass
@@ -132,8 +196,14 @@ class AttentionLayer:
         return int(self.w_q.shape[0])
 
     def __call__(self, x: np.ndarray, kernel: HeadKernel) -> np.ndarray:
-        """Project ``x`` to Q/K/V, apply the kernel per head, project the output."""
-        require(x.ndim == 2 and x.shape[1] == self.d_model, "input must be (L, d_model)")
+        """Project ``x`` to Q/K/V, apply the kernel over all heads, project the output.
+
+        ``x`` is ``(..., L, d_model)``: a single sequence or any batch stack;
+        projections and attention both broadcast over the leading axes.
+        """
+        require(
+            x.ndim >= 2 and x.shape[-1] == self.d_model, "input must be (..., L, d_model)"
+        )
         q = x @ self.w_q
         k = x @ self.w_k
         v = x @ self.w_v

@@ -62,6 +62,11 @@ def rescale_factor(old_max: np.ndarray, new_max: np.ndarray) -> np.ndarray:
 class OnlineSoftmaxState:
     """Running softmax statistics for ``num_rows`` output rows.
 
+    The state may carry leading batch axes: ``row_max`` / ``row_sum`` are
+    ``(..., num_rows)`` and ``accumulator`` is ``(..., num_rows, value_dim)``.
+    Every update indexes rows on the *last* row axis, so one state folds a
+    whole ``(B, H)`` batch of tiles at once.
+
     Attributes
     ----------
     row_max:
@@ -78,23 +83,31 @@ class OnlineSoftmaxState:
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def initialise(cls, num_rows: int, value_dim: int, dtype=np.float64) -> "OnlineSoftmaxState":
+    def initialise(
+        cls,
+        num_rows: int,
+        value_dim: int,
+        dtype=np.float64,
+        *,
+        batch_shape: Tuple[int, ...] = (),
+    ) -> "OnlineSoftmaxState":
         """Fresh state: ``m = -inf``, ``l = 0``, ``acc = 0`` (Algorithm 1's init)."""
         require(num_rows >= 0 and value_dim >= 0, "dimensions must be non-negative")
         dtype = np.dtype(dtype)
+        batch_shape = tuple(int(s) for s in batch_shape)
         return cls(
-            row_max=np.full(num_rows, -np.inf, dtype=dtype),
-            row_sum=np.zeros(num_rows, dtype=dtype),
-            accumulator=np.zeros((num_rows, value_dim), dtype=dtype),
+            row_max=np.full(batch_shape + (num_rows,), -np.inf, dtype=dtype),
+            row_sum=np.zeros(batch_shape + (num_rows,), dtype=dtype),
+            accumulator=np.zeros(batch_shape + (num_rows, value_dim), dtype=dtype),
         )
 
     @property
     def num_rows(self) -> int:
-        return int(self.row_max.shape[0])
+        return int(self.row_max.shape[-1])
 
     @property
     def value_dim(self) -> int:
-        return int(self.accumulator.shape[1])
+        return int(self.accumulator.shape[-1])
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -119,15 +132,15 @@ class OnlineSoftmaxState:
         rows = np.asarray(rows)
         scores = np.asarray(scores, dtype=self.row_max.dtype)
         values = np.asarray(values, dtype=self.accumulator.dtype)
-        m_old = self.row_max[rows]
+        m_old = self.row_max[..., rows]
         m_new = np.maximum(m_old, scores)
         correction = rescale_factor(m_old, m_new)
         weight = np.exp(scores - m_new)
-        self.row_sum[rows] = self.row_sum[rows] * correction + weight
-        self.accumulator[rows] = (
-            self.accumulator[rows] * correction[:, None] + weight[:, None] * values
+        self.row_sum[..., rows] = self.row_sum[..., rows] * correction + weight
+        self.accumulator[..., rows, :] = (
+            self.accumulator[..., rows, :] * correction[..., None] + weight[..., None] * values
         )
-        self.row_max[rows] = m_new
+        self.row_max[..., rows] = m_new
 
     def update_block(
         self,
@@ -139,21 +152,23 @@ class OnlineSoftmaxState:
         """Merge pre-reduced per-row partials (max, sum, acc) into the state.
 
         This is the FlashAttention tile-merge: ``block_*`` are the softmax
-        statistics of the scores a tile contributed to each row in ``rows``.
-        Rows must be unique within one call.
+        statistics of the scores a tile contributed to each row in ``rows``
+        (``(..., R)`` / ``(..., R, d_v)`` for a batched state).  Rows must be
+        unique within one call.
         """
         rows = np.asarray(rows)
-        m_old = self.row_max[rows]
+        m_old = self.row_max[..., rows]
         m_new = np.maximum(m_old, block_max)
         # rows never touched before have m_old = -inf -> correction 0;
         # a tile can contribute "no finite score" (fully masked) -> block_max -inf
         old_scale = rescale_factor(m_old, m_new)
         new_scale = rescale_factor(block_max, m_new)
-        self.row_sum[rows] = self.row_sum[rows] * old_scale + block_sum * new_scale
-        self.accumulator[rows] = (
-            self.accumulator[rows] * old_scale[:, None] + block_acc * new_scale[:, None]
+        self.row_sum[..., rows] = self.row_sum[..., rows] * old_scale + block_sum * new_scale
+        self.accumulator[..., rows, :] = (
+            self.accumulator[..., rows, :] * old_scale[..., None]
+            + block_acc * new_scale[..., None]
         )
-        self.row_max[rows] = np.where(np.isfinite(m_new), m_new, -np.inf)
+        self.row_max[..., rows] = np.where(np.isfinite(m_new), m_new, -np.inf)
 
     def merge(self, other: "OnlineSoftmaxState") -> "OnlineSoftmaxState":
         """Combine two states covering the same rows (disjoint neighbour sets).
@@ -164,14 +179,19 @@ class OnlineSoftmaxState:
         """
         require(self.num_rows == other.num_rows, "state row counts differ")
         require(self.value_dim == other.value_dim, "state value dims differ")
-        merged = OnlineSoftmaxState.initialise(self.num_rows, self.value_dim, self.row_max.dtype)
+        merged = OnlineSoftmaxState.initialise(
+            self.num_rows,
+            self.value_dim,
+            self.row_max.dtype,
+            batch_shape=self.row_max.shape[:-1],
+        )
         m_new = np.maximum(self.row_max, other.row_max)
         scale_self = rescale_factor(self.row_max, m_new)
         scale_other = rescale_factor(other.row_max, m_new)
         merged.row_max = np.where(np.isfinite(m_new), m_new, -np.inf)
         merged.row_sum = self.row_sum * scale_self + other.row_sum * scale_other
         merged.accumulator = (
-            self.accumulator * scale_self[:, None] + other.accumulator * scale_other[:, None]
+            self.accumulator * scale_self[..., None] + other.accumulator * scale_other[..., None]
         )
         return merged
 
@@ -186,7 +206,7 @@ class OnlineSoftmaxState:
         out = np.empty_like(self.accumulator)
         empty = self.row_sum == 0
         safe_sum = np.where(empty, 1.0, self.row_sum)
-        np.divide(self.accumulator, safe_sum[:, None], out=out)
+        np.divide(self.accumulator, safe_sum[..., None], out=out)
         out[empty] = fill_empty
         if dtype is not None:
             out = out.astype(dtype)
@@ -201,48 +221,52 @@ def segment_softmax_stats(
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-row (max, sum, weights) of edge scores laid out in CSR order.
 
-    ``scores[indptr[i]:indptr[i+1]]`` are row ``i``'s edge scores.  Returns the
-    per-row maximum (``-inf`` for empty rows), the per-row sum of
+    ``scores[..., indptr[i]:indptr[i+1]]`` are row ``i``'s edge scores; any
+    leading axes are independent batch slices sharing the one CSR structure.
+    Returns the per-row maximum (``-inf`` for empty rows), the per-row sum of
     ``exp(score - max)`` (0 for empty rows) and the per-edge weights
-    ``exp(score - row_max)``.  Implemented with ``ufunc.reduceat`` over the
-    non-empty segments so no dense ``L x L`` buffer is ever created.
+    ``exp(score - row_max)``, all keeping the leading axes.  Implemented with
+    ``ufunc.reduceat`` over the non-empty segments so no dense ``L x L``
+    buffer is ever created.
     """
     indptr = np.asarray(indptr, dtype=np.int64)
     num_rows = indptr.size - 1
     scores = np.asarray(scores)
-    row_max = np.full(num_rows, -np.inf, dtype=scores.dtype)
-    row_sum = np.zeros(num_rows, dtype=scores.dtype)
-    if scores.size == 0:
-        return row_max, row_sum, np.zeros(0, dtype=scores.dtype)
+    batch_shape = scores.shape[:-1]
+    row_max = np.full(batch_shape + (num_rows,), -np.inf, dtype=scores.dtype)
+    row_sum = np.zeros(batch_shape + (num_rows,), dtype=scores.dtype)
+    if scores.shape[-1] == 0:
+        return row_max, row_sum, np.zeros(batch_shape + (0,), dtype=scores.dtype)
     lengths = np.diff(indptr)
     nonempty = np.flatnonzero(lengths > 0)
     starts = indptr[nonempty]
-    row_max[nonempty] = np.maximum.reduceat(scores, starts)
+    row_max[..., nonempty] = np.maximum.reduceat(scores, starts, axis=-1)
     edge_rows = np.repeat(np.arange(num_rows), lengths)
-    weights = np.exp(scores - row_max[edge_rows])
-    row_sum[nonempty] = np.add.reduceat(weights, starts)
+    weights = np.exp(scores - row_max[..., edge_rows])
+    row_sum[..., nonempty] = np.add.reduceat(weights, starts, axis=-1)
     return row_max, row_sum, weights
 
 
 def segment_weighted_sum(
     weights: np.ndarray, values: np.ndarray, indptr: np.ndarray, value_dim: int
 ) -> np.ndarray:
-    """Per-row sum of ``weights[:, None] * values`` for CSR-ordered edges.
+    """Per-row sum of ``weights[..., None] * values`` for CSR-ordered edges.
 
     ``values`` holds one value-row per edge (already gathered via the column
-    indices); the result has shape ``(num_rows, value_dim)`` with zero rows for
-    empty segments.
+    indices, ``(..., nnz, d_v)``); the result has shape
+    ``(..., num_rows, value_dim)`` with zero rows for empty segments.
     """
     indptr = np.asarray(indptr, dtype=np.int64)
     num_rows = indptr.size - 1
-    acc = np.zeros((num_rows, value_dim), dtype=values.dtype)
-    if weights.size == 0:
+    batch_shape = weights.shape[:-1]
+    acc = np.zeros(batch_shape + (num_rows, value_dim), dtype=values.dtype)
+    if weights.shape[-1] == 0:
         return acc
     lengths = np.diff(indptr)
     nonempty = np.flatnonzero(lengths > 0)
     starts = indptr[nonempty]
-    weighted = weights[:, None] * values
-    acc[nonempty] = np.add.reduceat(weighted, starts, axis=0)
+    weighted = weights[..., None] * values
+    acc[..., nonempty, :] = np.add.reduceat(weighted, starts, axis=-2)
     return acc
 
 

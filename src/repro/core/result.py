@@ -4,12 +4,17 @@ Each kernel returns an :class:`AttentionResult` carrying the output matrix,
 the final online-softmax statistics (needed to merge sequentially executed
 kernels, Section V-F) and an :class:`OpCounts` record used by the work model
 to verify the work-optimality claim of Section IV-B.
+
+Batch and head dimensions are first-class: a kernel invoked on
+``(..., L, d)`` inputs returns an ``AttentionResult`` whose ``output`` keeps
+the leading axes (``(..., L, d_v)``), whose statistics are ``(..., L)`` and
+whose :class:`OpCounts` carry the total over every leading slice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -18,12 +23,16 @@ import numpy as np
 class OpCounts:
     """Operation counts of one kernel invocation.
 
+    Counts are totals over every batch/head slice the invocation executed —
+    a kernel run on ``(B, H, L, d)`` inputs reports ``B·H`` times the counts
+    of one ``(L, d)`` slice.
+
     Attributes
     ----------
     dot_products:
         Number of query-key dot products evaluated — for a truly sparse kernel
-        this equals the mask's nnz; for dense kernels it is ``L^2`` regardless
-        of the mask.
+        this equals the mask's nnz (times the batch size); for dense kernels
+        it is ``L^2`` per slice regardless of the mask.
     flops:
         Floating point operations: ``2 d`` per dot product plus ``2 d`` per
         value accumulation plus softmax bookkeeping.
@@ -53,6 +62,26 @@ class OpCounts:
             wasted_dot_products=self.wasted_dot_products + other.wasted_dot_products,
         )
 
+    def scaled(self, factor: int) -> "OpCounts":
+        """Counts of ``factor`` identical invocations (batch replication)."""
+        return OpCounts(
+            dot_products=self.dot_products * factor,
+            flops=self.flops * factor,
+            exp_evaluations=self.exp_evaluations * factor,
+            search_steps=self.search_steps * factor,
+            wasted_dot_products=self.wasted_dot_products * factor,
+        )
+
+    def per_slice(self, batch: int) -> "OpCounts":
+        """Counts of one slice of a ``batch``-wide invocation (inverse of ``scaled``)."""
+        return OpCounts(
+            dot_products=self.dot_products // batch,
+            flops=self.flops // batch,
+            exp_evaluations=self.exp_evaluations // batch,
+            search_steps=self.search_steps // batch,
+            wasted_dot_products=self.wasted_dot_products // batch,
+        )
+
     @classmethod
     def for_edges(
         cls,
@@ -62,8 +91,13 @@ class OpCounts:
         *,
         search_steps: int = 0,
         wasted_dot_products: int = 0,
+        batch: int = 1,
     ) -> "OpCounts":
-        """Op counts of a truly sparse kernel touching ``num_edges`` mask non-zeros."""
+        """Op counts of a truly sparse kernel touching ``num_edges`` mask non-zeros.
+
+        ``batch`` multiplies every counter — the counts of one slice replicated
+        over the leading batch/head axes of a batched invocation.
+        """
         value_dim = head_dim if value_dim is None else value_dim
         computed = num_edges + wasted_dot_products
         return cls(
@@ -72,14 +106,17 @@ class OpCounts:
             exp_evaluations=computed,
             search_steps=search_steps,
             wasted_dot_products=wasted_dot_products,
-        )
+        ).scaled(batch)
 
     @classmethod
-    def for_dense(cls, length: int, head_dim: int, nnz: Optional[int] = None) -> "OpCounts":
+    def for_dense(
+        cls, length: int, head_dim: int, nnz: Optional[int] = None, *, batch: int = 1
+    ) -> "OpCounts":
         """Op counts of a dense kernel on an ``L x L`` score matrix.
 
-        ``nnz`` (if given) is the number of mask non-zeros, used to report how
-        much of the dense work was wasted on masked-out entries.
+        ``nnz`` (if given) is the number of mask non-zeros per slice, used to
+        report how much of the dense work was wasted on masked-out entries;
+        ``batch`` multiplies every counter.
         """
         total = length * length
         wasted = 0 if nnz is None else total - nnz
@@ -89,16 +126,18 @@ class OpCounts:
             exp_evaluations=total,
             search_steps=0,
             wasted_dot_products=wasted,
-        )
+        ).scaled(batch)
 
 
 @dataclass
 class AttentionResult:
     """Output of one attention kernel invocation.
 
-    ``row_max`` / ``row_sum`` are the final online-softmax statistics (``m``
-    and ``l`` of Algorithm 1); together with ``output`` they are sufficient to
-    merge this result with another kernel's result over a disjoint mask.
+    ``output`` is ``(..., L, d_v)`` with the same leading batch/head axes the
+    inputs carried; ``row_max`` / ``row_sum`` are the final online-softmax
+    statistics (``m`` and ``l`` of Algorithm 1) of shape ``(..., L)``.
+    Together with ``output`` they are sufficient to merge this result with
+    another kernel's result over a disjoint mask.
     """
 
     output: np.ndarray
@@ -110,15 +149,52 @@ class AttentionResult:
 
     @property
     def length(self) -> int:
-        return int(self.output.shape[0])
+        return int(self.output.shape[-2])
 
     @property
     def value_dim(self) -> int:
-        return int(self.output.shape[1])
+        return int(self.output.shape[-1])
+
+    @property
+    def batch_shape(self) -> Tuple[int, ...]:
+        """Leading batch/head axes of the output (empty for single-slice runs)."""
+        return tuple(int(s) for s in self.output.shape[:-2])
+
+    @property
+    def batch_size(self) -> int:
+        """Number of ``(L, d)`` slices this result covers."""
+        size = 1
+        for s in self.batch_shape:
+            size *= s
+        return size
 
     def empty_rows(self) -> np.ndarray:
-        """Rows that received no attention mass (fully masked queries)."""
-        return np.flatnonzero(self.row_sum == 0)
+        """Rows that received no attention mass (fully masked queries).
+
+        For a single-slice result this is a flat index vector; for a batched
+        result it is an ``(n, ndim)`` index array (one row per empty query,
+        ``np.argwhere`` convention).
+        """
+        if self.row_sum.ndim == 1:
+            return np.flatnonzero(self.row_sum == 0)
+        return np.argwhere(self.row_sum == 0)
+
+    def slice_batch(self, index) -> "AttentionResult":
+        """Result of one slice along the leading batch axis.
+
+        Op counts are split evenly over that axis (every slice of one batched
+        kernel call executes the same mask, so the split is exact); any inner
+        batch axes stay with the slice, as do their op counts.
+        """
+        leading = int(self.output.shape[0]) if self.output.ndim > 2 else 1
+        return AttentionResult(
+            output=self.output[index],
+            row_max=self.row_max[index],
+            row_sum=self.row_sum[index],
+            ops=self.ops.per_slice(leading) if leading > 1 else self.ops,
+            algorithm=self.algorithm,
+            meta=dict(self.meta),
+        )
 
     def cast(self, dtype) -> "AttentionResult":
         """Return a copy with the output cast to ``dtype`` (stats keep full precision)."""

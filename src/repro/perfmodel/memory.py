@@ -84,6 +84,11 @@ class AttentionMemoryModel:
         Per-head embedded dimension ``d_k``.
     heads:
         Number of attention heads (Q/K/V/O are ``L x heads*head_dim``).
+    batch:
+        Batch size ``B``: every per-sequence tensor family (Q/K/V/O, score
+        matrix, per-head sparse score vectors, statistics) is resident once
+        per batch element, so footprints scale by ``B`` and context limits
+        shrink accordingly.
     index_bytes:
         Width of integer index vectors (int32 by default).
     accounting:
@@ -94,6 +99,7 @@ class AttentionMemoryModel:
     dtype: str = "fp32"
     head_dim: int = 64
     heads: int = 1
+    batch: int = 1
     index_bytes: int = 4
     accounting: str = "consistent"
     global_index_entries: int = DEFAULT_GLOBAL_INDEX_ENTRIES
@@ -104,6 +110,7 @@ class AttentionMemoryModel:
             f"unknown algorithm {self.algorithm!r}; expected one of {ALGORITHMS_WITH_MEMORY_MODEL}",
         )
         require(self.head_dim > 0 and self.heads > 0, "head_dim and heads must be positive")
+        require(self.batch > 0, "batch must be positive")
         require(self.index_bytes in (2, 4, 8), "index_bytes must be 2, 4 or 8")
         require(self.accounting in _ACCOUNTING_MODES, f"accounting must be one of {_ACCOUNTING_MODES}")
         if self.algorithm == "flash":
@@ -131,28 +138,29 @@ class AttentionMemoryModel:
         require(length > 0, "length must be positive")
         require(0.0 <= sparsity_factor <= 1.0, "sparsity factor must lie in [0, 1]")
         e = self.element_bytes
-        qkvo = 4 * length * self.model_dim * e
+        qkvo = 4 * self.batch * length * self.model_dim * e
         nnz_per_head = sparsity_factor * float(length) * float(length)
         score_matrix = 0
         sparse_structure = 0
         statistics = 0
         extra = 0
+        slices = self.batch * self.heads
 
         if self.algorithm == "sdp":
-            score_matrix = int(self.heads * float(length) * float(length) * e)
+            score_matrix = int(slices * float(length) * float(length) * e)
         elif self.algorithm == "csr":
             if self.accounting == "paper":
                 per_edge = 2 * e  # column indices priced at the data dtype width
             else:
                 per_edge = self.index_bytes + e
             sparse_structure = (length + 1) * self.index_bytes + int(
-                self.heads * nnz_per_head * per_edge
+                slices * nnz_per_head * per_edge
             )
         elif self.algorithm == "coo":
             per_edge = 2 * self.index_bytes + e
-            sparse_structure = int(self.heads * nnz_per_head * per_edge)
+            sparse_structure = int(slices * nnz_per_head * per_edge)
         else:  # flash, local, dilated1d, dilated2d, global
-            statistics = 2 * self.heads * length * e
+            statistics = 2 * slices * length * e
             if self.algorithm == "global":
                 extra = self.global_index_entries * self.index_bytes
 
@@ -171,20 +179,21 @@ class AttentionMemoryModel:
     def quadratic_coefficients(self, sparsity_factor: float = 1.0) -> Dict[str, float]:
         """Coefficients (a, b, c) of ``bytes(L) = a L² + b L + c``."""
         e = self.element_bytes
+        slices = self.batch * self.heads
         a = 0.0
-        b = 4.0 * self.model_dim * e
+        b = 4.0 * self.batch * self.model_dim * e
         c = 0.0
         if self.algorithm == "sdp":
-            a = float(self.heads) * e
+            a = float(slices) * e
         elif self.algorithm == "csr":
             per_edge = 2 * e if self.accounting == "paper" else self.index_bytes + e
-            a = self.heads * sparsity_factor * per_edge
+            a = slices * sparsity_factor * per_edge
             b += self.index_bytes
             c += self.index_bytes
         elif self.algorithm == "coo":
-            a = self.heads * sparsity_factor * (2 * self.index_bytes + e)
+            a = slices * sparsity_factor * (2 * self.index_bytes + e)
         else:
-            b += 2.0 * self.heads * e
+            b += 2.0 * slices * e
             if self.algorithm == "global":
                 c += self.global_index_entries * self.index_bytes
         return {"a": a, "b": b, "c": c}
@@ -223,6 +232,7 @@ def max_context_length(
     dtype: str = "fp32",
     head_dim: int = 64,
     heads: int = 1,
+    batch: int = 1,
     sparsity_factor: float = 1.0,
     accounting: str = "consistent",
 ) -> Optional[int]:
@@ -238,6 +248,7 @@ def max_context_length(
         dtype=dtype,
         head_dim=head_dim,
         heads=heads,
+        batch=batch,
         accounting=accounting,
     )
     return model.max_context_length(device.memory_bytes, sparsity_factor)

@@ -140,28 +140,35 @@ class RuntimeModel:
         sparsity_factor: float = 1.0,
         dtype: str = "fp16",
         heads: int = 1,
+        batch: int = 1,
         degrees: Optional[np.ndarray] = None,
         nnz: Optional[int] = None,
         kernel_calls: int = 1,
     ) -> RuntimeEstimate:
         """Estimate the runtime of ``algorithm`` for one attention invocation.
 
-        ``degrees`` (per-row non-zero counts) refines the load-imbalance term;
-        when omitted, the mask is assumed balanced except for the Global
-        kernel, whose characteristic skew is derived from ``sparsity_factor``.
-        ``nnz`` overrides the edge count implied by ``sparsity_factor``.
+        ``heads`` and ``batch`` both multiply the work: one invocation on a
+        ``(B, H, L, d)`` stack performs ``B·H`` slices' worth of flops and
+        memory traffic (``batch`` is kept separate from ``heads`` so callers
+        can report the two axes independently).  ``degrees`` (per-row non-zero
+        counts) refines the load-imbalance term; when omitted, the mask is
+        assumed balanced except for the Global kernel, whose characteristic
+        skew is derived from ``sparsity_factor``.  ``nnz`` overrides the edge
+        count implied by ``sparsity_factor``.
         """
         require(length > 0 and head_dim > 0 and heads > 0, "invalid dimensions")
+        require(batch >= 1, "batch must be >= 1")
         require(0.0 <= sparsity_factor <= 1.0, "sparsity factor must lie in [0, 1]")
         require(kernel_calls >= 1, "kernel_calls must be >= 1")
+        slices = heads * batch
         if algorithm in DENSE_ALGORITHMS:
-            return self._estimate_dense(algorithm, length, head_dim, dtype, heads, kernel_calls)
+            return self._estimate_dense(algorithm, length, head_dim, dtype, slices, kernel_calls)
         require(
             algorithm in GRAPH_ALGORITHMS,
             f"unknown algorithm {algorithm!r}; expected one of {GRAPH_ALGORITHMS + DENSE_ALGORITHMS}",
         )
         return self._estimate_graph(
-            algorithm, length, head_dim, sparsity_factor, dtype, heads, degrees, nnz, kernel_calls
+            algorithm, length, head_dim, sparsity_factor, dtype, slices, degrees, nnz, kernel_calls
         )
 
     # ------------------------------------------------------------------ #

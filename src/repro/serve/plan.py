@@ -102,17 +102,18 @@ def plan_cache_key(
     algorithm: str = "auto",
     device: Optional[DeviceSpec] = None,
     head_dim: Optional[int] = None,
+    batch: int = 1,
 ) -> str:
     """Canonical key under which a compiled plan is cached.
 
     Everything that influences compilation is part of the key: the mask's
     structural identity, the context length, the execution knobs, and the
-    device/head-dim the attached runtime prediction targets.
+    device/head-dim/batch the attached runtime prediction targets.
     """
     device_name = device.name if device is not None else "-"
     return (
         f"L={length}|alg={algorithm}|exec={executor}|scale={scale}"
-        f"|compose={prefer_composition}|dev={device_name}|hd={head_dim}"
+        f"|compose={prefer_composition}|dev={device_name}|hd={head_dim}|b={batch}"
         f"|mask={mask_key(mask, length)}"
     )
 
@@ -173,6 +174,7 @@ class ExecutionPlan:
     nnz: int
     device: Optional[str] = None
     predicted: Optional[RuntimeEstimate] = None
+    batch: int = 1
 
     @property
     def num_kernel_calls(self) -> int:
@@ -193,10 +195,16 @@ class ExecutionPlan:
         return self.predicted.seconds if self.predicted is not None else None
 
     def execute(self, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> AttentionResult:
-        """Run the compiled kernel sequence on one Q/K/V triple."""
+        """Run the compiled kernel sequence on one Q/K/V stack.
+
+        ``q``/``k``/``v`` are ``(..., L, d)``: a bare single-head slice or any
+        stack of batch/head slices — every kernel step executes the whole
+        stack in one vectorized pass, so one compiled plan amortises over the
+        full ``(B, H)`` batch.
+        """
         require(
-            q.shape[0] == self.length,
-            f"plan compiled for L={self.length}, got q with L={q.shape[0]}",
+            q.shape[-2] == self.length,
+            f"plan compiled for L={self.length}, got q with L={q.shape[-2]}",
         )
         results = [
             step.execute(q, k, v, scale=self.scale, executor=self.executor)
@@ -240,6 +248,7 @@ def _predict(
     length: int,
     device: Optional[DeviceSpec],
     head_dim: Optional[int],
+    batch: int = 1,
 ) -> Optional[RuntimeEstimate]:
     if device is None:
         return None
@@ -249,7 +258,7 @@ def _predict(
     for step in steps:
         degrees = step.csr.row_degrees() if step.csr is not None else None
         if step.kernel == "flash":
-            estimates.append(model.estimate("flash", length, head_dim))
+            estimates.append(model.estimate("flash", length, head_dim, batch=batch))
         else:
             # the step's true sparsity drives the load-imbalance model when no
             # explicit degree vector exists (notably the global kernel's skew)
@@ -262,6 +271,7 @@ def _predict(
                     sparsity_factor=sparsity,
                     nnz=step.nnz,
                     degrees=degrees,
+                    batch=batch,
                 )
             )
     return combine_estimates(estimates, algorithm=algorithm)
@@ -281,6 +291,7 @@ def compile_plan(
     algorithm: str = "auto",
     device: Optional[DeviceSpec] = None,
     head_dim: Optional[int] = None,
+    batch: int = 1,
     key=_DERIVE_KEY,
 ) -> ExecutionPlan:
     """Compile a mask at a context length into an :class:`ExecutionPlan`.
@@ -296,8 +307,13 @@ def compile_plan(
     canonical key, pass an already-computed key string to avoid hashing the
     mask twice (the server does this), or pass ``None`` for a one-shot plan
     that skips key derivation entirely.
+
+    ``batch`` is the number of ``(L, d)`` slices (``B·H``) one execution is
+    expected to carry; it scales the attached runtime prediction and is part
+    of the cache key.  Execution itself accepts any batch shape regardless.
     """
     require(length > 0, "context length must be positive")
+    require(batch >= 1, "batch must be >= 1")
     require(algorithm in ("auto", "composed"), f"cannot compile algorithm {algorithm!r}")
     # coerce materialised inputs once, before keying: mask_key would coerce an
     # ndarray/COO/CSR itself, and the compilation below needs the spec anyway
@@ -313,6 +329,7 @@ def compile_plan(
             algorithm=algorithm,
             device=device,
             head_dim=head_dim,
+            batch=batch,
         )
 
     if mask is None:
@@ -357,5 +374,6 @@ def compile_plan(
         scale=scale,
         nnz=sum(step.nnz for step in steps),
         device=device.name if device is not None else None,
-        predicted=_predict(steps, plan_algorithm, length, device, head_dim),
+        predicted=_predict(steps, plan_algorithm, length, device, head_dim, batch),
+        batch=batch,
     )

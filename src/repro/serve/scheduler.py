@@ -7,11 +7,20 @@ key, compiles (or fetches from the :class:`~repro.serve.cache.PlanCache`) one
 against the shared plan — so the mask materialisation and dispatch work is
 paid once per mask shape per cache lifetime instead of once per request.
 
-Execution is serial by default; with ``max_workers > 1`` requests are spread
-over a thread pool using the greedy longest-processing-time balancing of
-:func:`repro.distributed.partition_balance.balanced_worker_bins`, with each
-request's plan edge count as its load — the same pick-work-by-expected-cost
-idea the distributed partitioners apply to query rows.
+Within a plan batch, requests whose tensors share one shape and dtype are
+**coalesced**: their Q/K/V are stacked along a new leading axis and the plan
+executes the whole stack in a single vectorized kernel pass (the kernels
+treat leading axes as first-class batch dimensions), after which the stacked
+result is sliced back into per-request responses.  Requests with ragged
+shapes simply form singleton groups and take the same code path one slice at
+a time.
+
+Execution is serial by default; with ``max_workers > 1`` coalesced groups are
+spread over a thread pool using the greedy longest-processing-time balancing
+of :func:`repro.distributed.partition_balance.balanced_worker_bins`, with
+each group's plan edge count times its stacked width as its load — the same
+pick-work-by-expected-cost idea the distributed partitioners apply to query
+rows.
 """
 
 from __future__ import annotations
@@ -42,6 +51,23 @@ class RequestBatch:
 
     plan: ExecutionPlan
     cache_hit: bool
+    requests: List[AttentionRequest] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class ExecutionGroup:
+    """Same-plan requests whose tensors stack into one kernel invocation.
+
+    ``positions`` are the requests' submission indices within the flush, used
+    to restore response ordering after the stacked execution is sliced.
+    """
+
+    batch: RequestBatch
+    positions: List[int] = field(default_factory=list)
     requests: List[AttentionRequest] = field(default_factory=list)
 
     @property
@@ -199,7 +225,7 @@ class AttentionServer:
         started = time.perf_counter()
 
         batches: "Dict[str, RequestBatch]" = {}
-        units: List[Tuple[int, AttentionRequest, RequestBatch]] = []
+        groups: "Dict[Tuple, ExecutionGroup]" = {}
         # key derivation coerces and content-hashes materialised masks, so
         # requests sharing one mask object (the common repeated-traffic shape)
         # do that once, and the coerced spec is reused for compilation too
@@ -219,9 +245,31 @@ class AttentionServer:
                 plan, hit = self._plan_for_key(key, mask, request.length, request.algorithm)
                 batch = batches[key] = RequestBatch(plan=plan, cache_hit=hit)
             batch.requests.append(request)
-            units.append((index, request, batch))
+            # requests coalesce only when every tensor matches in shape and
+            # dtype — ragged requests form singleton groups
+            group_key = (
+                key,
+                request.q.shape,
+                request.v.shape,
+                request.q.dtype.str,
+                request.k.dtype.str,
+                request.v.dtype.str,
+            )
+            group = groups.get(group_key)
+            if group is None:
+                group = groups[group_key] = ExecutionGroup(batch=batch)
+            group.positions.append(index)
+            group.requests.append(request)
 
-        ordered = self._execute_units(units)
+        # coalescing stats are counted here, on the intake thread — the group
+        # executors may run on pool workers, where unsynchronised increments
+        # of the shared counters would race
+        for group in groups.values():
+            if group.size > 1:
+                self.stats.stacked_executions += 1
+                self.stats.coalesced_requests += group.size
+
+        ordered = self._execute_groups(list(groups.values()))
         responses = [response for _, response in sorted(ordered, key=lambda pair: pair[0])]
 
         self.stats.requests += len(requests)
@@ -232,25 +280,54 @@ class AttentionServer:
         return responses
 
     # ------------------------------------------------------------------ #
-    def _execute_units(
-        self, units: Sequence[Tuple[int, AttentionRequest, RequestBatch]]
+    def _execute_groups(
+        self, groups: Sequence[ExecutionGroup]
     ) -> List[Tuple[int, AttentionResponse]]:
         workers = self.max_workers or 1
-        workers = min(workers, len(units))
+        workers = min(workers, len(groups))
         if workers <= 1:
-            return [(pos, self._execute_one(request, batch)) for pos, request, batch in units]
-        loads = np.asarray([max(batch.plan.nnz, 1) for _, _, batch in units], dtype=np.int64)
+            return [pair for group in groups for pair in self._execute_group(group)]
+        loads = np.asarray(
+            [max(group.batch.plan.nnz, 1) * group.size for group in groups],
+            dtype=np.int64,
+        )
         bins = balanced_worker_bins(loads, workers)
 
         def _run_bin(indices: np.ndarray) -> List[Tuple[int, AttentionResponse]]:
-            return [
-                (units[i][0], self._execute_one(units[i][1], units[i][2])) for i in indices
-            ]
+            return [pair for i in indices for pair in self._execute_group(groups[i])]
 
         if self._pool is None:  # lazily created, reused across flushes
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
         chunks = list(self._pool.map(_run_bin, [b for b in bins if b.size]))
         return [pair for chunk in chunks for pair in chunk]
+
+    def _execute_group(self, group: ExecutionGroup) -> List[Tuple[int, AttentionResponse]]:
+        if group.size == 1:
+            return [(group.positions[0], self._execute_one(group.requests[0], group.batch))]
+        started = time.perf_counter()
+        stacked_q = np.stack([request.q for request in group.requests])
+        stacked_k = np.stack([request.k for request in group.requests])
+        stacked_v = np.stack([request.v for request in group.requests])
+        result = group.batch.plan.execute(stacked_q, stacked_k, stacked_v)
+        latency = time.perf_counter() - started
+        per_request = latency / group.size
+        responses: List[Tuple[int, AttentionResponse]] = []
+        for offset, (position, request) in enumerate(zip(group.positions, group.requests)):
+            sliced = result.slice_batch(offset)
+            sliced.meta["coalesced"] = group.size
+            responses.append(
+                (
+                    position,
+                    AttentionResponse(
+                        request_id=request.request_id,
+                        result=sliced,
+                        plan_key=group.batch.plan.key,
+                        cache_hit=group.batch.cache_hit,
+                        latency_s=per_request,
+                    ),
+                )
+            )
+        return responses
 
     def close(self) -> None:
         """Release the worker pool (the server stays usable; it re-creates one)."""

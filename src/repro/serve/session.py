@@ -29,9 +29,13 @@ from repro.utils.validation import require
 class AttentionRequest:
     """One attention computation to serve.
 
-    ``request_id`` may be left ``None``; the server assigns one at submission.
-    ``algorithm`` chooses between the engine's auto dispatch (``"auto"``) and
-    forced composed execution (``"composed"``).
+    ``q``/``k``/``v`` are ``(..., L, d)``: a bare single-head slice or any
+    stack of batch/head slices (e.g. ``(B, H, L, d_head)`` for a whole
+    multi-head layer) sharing one mask — the plan executes every leading axis
+    in one vectorized kernel pass.  ``request_id`` may be left ``None``; the
+    server assigns one at submission.  ``algorithm`` chooses between the
+    engine's auto dispatch (``"auto"``) and forced composed execution
+    (``"composed"``).
     """
 
     q: np.ndarray
@@ -42,14 +46,22 @@ class AttentionRequest:
     request_id: Optional[int] = None
 
     def __post_init__(self) -> None:
-        require(self.q.ndim == 2, "q must be a (L, d_k) matrix")
+        require(self.q.ndim >= 2, "q must be a (..., L, d_k) array")
         require(self.k.shape == self.q.shape, "q and k must have matching shapes")
-        require(self.v.shape[0] == self.q.shape[0], "v must cover the same rows as q")
+        require(
+            self.v.shape[:-1] == self.q.shape[:-1],
+            "v must cover the same batch axes and rows as q",
+        )
         require(self.algorithm in ("auto", "composed"), "requests dispatch auto or composed")
 
     @property
     def length(self) -> int:
-        return int(self.q.shape[0])
+        return int(self.q.shape[-2])
+
+    @property
+    def batch_shape(self) -> tuple:
+        """Leading batch/head axes of the request tensors."""
+        return tuple(int(s) for s in self.q.shape[:-2])
 
 
 @dataclass
@@ -75,6 +87,8 @@ class ServerStats:
     batches: int = 0
     flushes: int = 0
     plans_compiled: int = 0
+    stacked_executions: int = 0
+    coalesced_requests: int = 0
     wall_seconds: float = 0.0
     kernel_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)

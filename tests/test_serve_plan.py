@@ -41,15 +41,17 @@ class TestCompilation:
         assert plan.algorithm == "composed"
         assert plan.kernels == ("local", "global")
 
-    def test_global_mask_is_not_plannable_implicitly(self, small_qkv):
-        # the global kernel drops global rows' self-edges (non-local variant),
-        # so plans must route a bare GlobalMask through the exact CSR path
+    def test_global_mask_plans_to_its_implicit_kernel(self, small_qkv):
+        # the global kernel's window=0 mode executes GlobalMask exactly
+        # (self-edges on global rows included), so a bare GlobalMask no longer
+        # needs the CSR fallback
         from repro.masks.global_ import GlobalMask
 
         q, k, v = small_qkv
         spec = GlobalMask([0, 5])
         plan = compile_plan(spec, q.shape[0])
-        assert plan.algorithm == "csr"
+        assert plan.algorithm == "global"
+        assert plan.kernels == ("global",)
         np.testing.assert_allclose(
             plan.execute(q, k, v).output, sdp_attention(q, k, v, spec).output, atol=1e-8
         )
@@ -58,8 +60,9 @@ class TestCompilation:
         np.testing.assert_allclose(composed.execute(q, k, v).output, reference, atol=1e-8)
 
     def test_union_with_global_mask_still_composes_on_auto(self, small_qkv):
-        # GlobalMask can't run its implicit kernel exactly, but the remainder
-        # path computes its edges exactly, so auto dispatch keeps composing
+        # a GlobalMask trimmed by an overlapping local component loses edges,
+        # so its remainder runs through the exact CSR step; the union still
+        # composes on auto dispatch
         from repro.masks.global_ import GlobalMask
 
         q, k, v = small_qkv

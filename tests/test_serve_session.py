@@ -24,7 +24,17 @@ class TestAttentionRequest:
         with pytest.raises(ValueError):
             AttentionRequest(q=q[:24], k=k, v=v)
         with pytest.raises(ValueError):
-            AttentionRequest(q=q[None], k=k[None], v=v[None])
+            AttentionRequest(q=q, k=k, v=v[:24])
+        with pytest.raises(ValueError):
+            AttentionRequest(q=q[0], k=k[0], v=v[0])
+
+    def test_batched_requests_accepted(self):
+        # leading batch/head axes are first-class: a whole (B, H, L, d) layer
+        # travels as one request
+        q, k, v = random_qkv(48, 8, batch=2, heads=4, seed=0)
+        request = AttentionRequest(q=q, k=k, v=v)
+        assert request.length == 48
+        assert request.batch_shape == (2, 4)
 
     def test_algorithm_validation(self):
         q, k, v = random_qkv(48, 8, seed=0)
