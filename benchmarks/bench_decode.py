@@ -1,0 +1,170 @@
+"""Incremental decode steps vs. full-prefix recompute.
+
+A serving stack without a KV cache pays one full attention pass over the
+whole prefix for every generated token — O(all causal edges · d) per step.
+The incremental path of :mod:`repro.serve.decode` attends only the new
+token's mask row against the cached K/V — O(row edges · d) — so its
+advantage must *widen* as the sequence grows: the recompute cost scales with
+the prefix's edge count while the step cost stays bounded by the window.
+
+This benchmark measures both paths for a windowed (local) mask at a sweep of
+prefix lengths, checks they agree numerically before timing, and records the
+modelled speedup from :class:`repro.perfmodel.decode.DecodeRuntimeModel`
+alongside the measured one.
+
+Acceptance: at L=2048 the incremental step must be >= 5x faster than the
+full recompute (both in ``--quick`` CI mode and in the full run).  The
+script exits non-zero when the threshold is missed, so perf regressions fail
+loudly.
+
+Results are appended as one JSON record to ``BENCH_decode.json`` at the
+repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_decode.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.windowed import LocalMask
+from repro.perfmodel.decode import DecodeRuntimeModel, kv_cache_bytes
+from repro.perfmodel.devices import A100_SXM4_80GB
+from repro.serve.decode import DecodeSession, decode_reference_mask
+from repro.utils.rng import random_qkv
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_decode.json"
+
+#: Acceptance threshold: incremental step speedup over full recompute at the
+#: longest measured prefix (L=2048).
+SPEEDUP_THRESHOLD = 5.0
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure_length(length, window, dim, repeats):
+    """Per-token cost of both paths once the stream holds ``length`` tokens."""
+    mask = LocalMask(window=window)
+    q, k, v = random_qkv(length, dim, dtype=np.float32, seed=11)
+    reference = decode_reference_mask(mask, length)
+    engine = GraphAttentionEngine()
+
+    # incremental: a warm session holding length-1 tokens decodes token L-1.
+    # Sessions are cheap, so build one per repeat outside the timed region.
+    def _warm_session() -> DecodeSession:
+        session = DecodeSession.start(mask, length)
+        session.prefill(q[: length - 1], k[: length - 1], v[: length - 1])
+        return session
+
+    sessions = [_warm_session() for _ in range(repeats)]
+    last = iter(sessions)
+    incremental = _best_of(lambda: next(last).step(q[-1], k[-1], v[-1]), repeats)
+
+    # recompute: the whole prefix through the one-shot engine (plan reused so
+    # only kernel time is measured — the favourable case for the baseline)
+    plan = engine.plan(reference, length, compute_key=False)
+    recompute = _best_of(lambda: plan.execute(q, k, v), repeats)
+
+    # the timed paths must agree before the comparison means anything
+    check = DecodeSession.start(mask, length, retain_outputs=True)
+    check.prefill(q[: length - 1], k[: length - 1], v[: length - 1])
+    check.step(q[-1], k[-1], v[-1])
+    np.testing.assert_allclose(
+        check.outputs(), plan.execute(q, k, v).output, atol=1e-6, rtol=1e-6
+    )
+
+    row_edges = int(sessions[0].program.causal_row(length - 1).size)
+    nnz = reference.nnz
+    modelled = DecodeRuntimeModel(A100_SXM4_80GB).speedup_vs_recompute(
+        row_edges, nnz, length, dim
+    )
+    return {
+        "length": length,
+        "window": window,
+        "dim": dim,
+        "row_edges": row_edges,
+        "prefix_nnz": nnz,
+        "kv_cache_bytes_fp32": kv_cache_bytes(length, dim, dtype="fp32"),
+        "incremental_step_s": incremental,
+        "full_recompute_s": recompute,
+        "speedup": recompute / incremental,
+        "modelled_speedup_a100": modelled,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced CI configuration")
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats per cell")
+    args = parser.parse_args()
+
+    window, dim = 129, 64  # reach-128 sliding window, Fig. 6-style geometry
+    lengths = (256, 1024, 2048) if args.quick else (256, 512, 1024, 2048, 4096)
+    repeats = args.repeats or (3 if args.quick else 5)
+
+    print(f"== Incremental decode step vs. full-prefix recompute (w={window}, d={dim})")
+    rows = []
+    for length in lengths:
+        row = _measure_length(length, window, dim, repeats)
+        rows.append(row)
+        print(
+            f"   L={length:>5}: step {row['incremental_step_s'] * 1e6:9.1f} us "
+            f"({row['row_edges']} edges) | recompute "
+            f"{row['full_recompute_s'] * 1e3:8.2f} ms ({row['prefix_nnz']:,} edges) "
+            f"->  {row['speedup']:7.1f}x (modelled {row['modelled_speedup_a100']:.0f}x)"
+        )
+
+    record = {
+        "benchmark": "bench_decode",
+        "quick": bool(args.quick),
+        "config": {"window": window, "dim": dim, "repeats": repeats},
+        "results": rows,
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"   record appended to {RECORD_PATH.name}")
+
+    acceptance = next(r for r in rows if r["length"] == 2048)
+    if acceptance["speedup"] < SPEEDUP_THRESHOLD:
+        print(
+            f"FAIL: L=2048 incremental speedup {acceptance['speedup']:.1f}x below "
+            f"the {SPEEDUP_THRESHOLD:.0f}x threshold",
+            file=sys.stderr,
+        )
+        return 1
+    margins = [r["speedup"] for r in rows]
+    if margins != sorted(margins):
+        # the margin should widen with the prefix; warn but don't fail (CI noise)
+        print("WARN: speedup did not grow monotonically with L", file=sys.stderr)
+    print(
+        f"   acceptance ok: L=2048 incremental step is {acceptance['speedup']:.1f}x "
+        f"the full recompute (threshold {SPEEDUP_THRESHOLD:.0f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,7 +61,8 @@ def main() -> None:
 
     # 4) work comparison
     optimality = check_work_optimality(sparse_result, mask.nnz(length), dim)
-    print(f"   graph kernel dot products : {sparse_result.ops.dot_products:>14,} (work optimal: {optimality.is_work_optimal})")
+    print(f"   graph kernel dot products : {sparse_result.ops.dot_products:>14,} "
+          f"(work optimal: {optimality.is_work_optimal})")
     print(f"   dense baseline dot products: {dense_result.ops.dot_products:>14,} "
           f"({dense_result.ops.wasted_dot_products:,} wasted on masked pairs)")
     print(f"   measured CPU time: graph kernel {sparse_time*1e3:8.2f} ms | dense baseline {dense_time*1e3:8.2f} ms")

@@ -6,8 +6,9 @@ kernels for masked attention (COO, CSR, Local, Dilated-1D, Dilated-2D,
 Global), dense SDP and FlashAttention baselines, the attention-mask zoo
 (Longformer / BigBird / LongNet presets), graph-view analysis and
 partitioning, analytical GPU memory/runtime models reproducing the paper's
-context-length limits and runtime trade-offs, and a sequence-parallel
-distributed extension.
+context-length limits and runtime trade-offs, a sequence-parallel
+distributed extension, an attention serving subsystem, and incremental
+autoregressive decoding with KV-cache sessions.
 
 Quick start::
 
@@ -45,10 +46,13 @@ from repro.serve import (
     AttentionRequest,
     AttentionResponse,
     AttentionServer,
+    DecodeSession,
     ExecutionPlan,
+    KVCache,
     PlanCache,
     ServingSession,
     compile_plan,
+    decode_reference_mask,
     plan_cache_key,
 )
 from repro.sparse import COOMatrix, CSRMatrix
@@ -65,8 +69,10 @@ __all__ = [
     "AttentionServer",
     "COOMatrix",
     "CSRMatrix",
+    "DecodeSession",
     "ExecutionPlan",
     "GraphAttentionEngine",
+    "KVCache",
     "OpCounts",
     "PlanCache",
     "ServingSession",
@@ -75,6 +81,7 @@ __all__ = [
     "compile_plan",
     "coo_attention",
     "csr_attention",
+    "decode_reference_mask",
     "dilated1d_attention",
     "dilated2d_attention",
     "flash_attention",

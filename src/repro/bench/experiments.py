@@ -29,7 +29,6 @@ from repro.core.implicit_kernels import (
     global_attention,
     local_attention,
 )
-from repro.masks.dilated2d import Dilated2DMask
 from repro.masks.global_ import GlobalNonLocalMask
 from repro.masks.presets import bigbird_mask, default_global_tokens, longformer_dilated_mask, longformer_mask
 from repro.masks.solvers import (
@@ -38,9 +37,9 @@ from repro.masks.solvers import (
     local_window_for_sparsity,
     longnet_sparsity_factor,
 )
-from repro.masks.windowed import Dilated1DMask, LocalMask
+from repro.masks.windowed import LocalMask
 from repro.perfmodel.context_limits import TABLE2_ALGORITHMS, context_limit_sweep, context_limit_table
-from repro.perfmodel.devices import DEVICES, get_device
+from repro.perfmodel.devices import get_device
 from repro.perfmodel.runtime import RuntimeModel
 from repro.utils.rng import random_qkv
 

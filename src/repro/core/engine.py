@@ -193,6 +193,7 @@ class GraphAttentionEngine:
         device=None,
         head_dim: Optional[int] = None,
         batch: int = 1,
+        mode: str = "full",
         compute_key: bool = True,
     ):
         """Compile ``mask`` at ``length`` into an immutable execution plan.
@@ -204,7 +205,8 @@ class GraphAttentionEngine:
         :class:`~repro.perfmodel.devices.DeviceSpec`) enables the predicted
         runtime attached to the plan, with ``batch`` slices (``B·H``) scaling
         the estimate; ``compute_key=False`` skips cache-key derivation for
-        plans that will never be cached.
+        plans that will never be cached.  ``mode="decode"`` compiles an
+        incremental-decode plan instead (see :mod:`repro.serve.decode`).
         """
         from repro.serve.plan import compile_plan
 
@@ -219,8 +221,39 @@ class GraphAttentionEngine:
             device=device,
             head_dim=head_dim,
             batch=batch,
+            mode=mode,
             **extra,
         )
+
+    # ------------------------------------------------------------------ #
+    # Incremental autoregressive decoding
+    # ------------------------------------------------------------------ #
+    def start_decode(
+        self, mask: MaskInput, horizon: int, *, retain_outputs: bool = False
+    ):
+        """Open a :class:`~repro.serve.decode.DecodeSession` for ``mask``.
+
+        The session holds a growing KV cache and compiles a decode-mode plan
+        with this engine's execution knobs; feed it a prompt via
+        ``session.prefill`` and new tokens via :meth:`decode_step`.
+        ``horizon`` is the pattern length mask rows are evaluated at (the
+        maximum number of tokens the session may hold).
+        """
+        from repro.serve.decode import DecodeSession
+
+        plan = self.plan(mask, horizon, mode="decode", compute_key=False)
+        return DecodeSession(plan, retain_outputs=retain_outputs)
+
+    def decode_step(self, session, q: np.ndarray, k: np.ndarray, v: np.ndarray) -> AttentionResult:
+        """Append one token to ``session`` and return its attention row.
+
+        Costs O(edges of the new token's mask row · d) — the work-optimality
+        argument of Section IV-B applied per decode step.  The result is
+        recorded in this engine's history like any other kernel call.
+        """
+        result = session.step(q, k, v)
+        self.history.append(result)
+        return result
 
     def op_counts(self) -> Dict[str, int]:
         """Aggregate op counts across every call made through this engine."""

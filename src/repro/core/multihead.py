@@ -13,7 +13,7 @@ rows of Table II (32 heads, d_model = 4096) exercise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 import numpy as np
 

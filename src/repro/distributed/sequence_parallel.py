@@ -21,7 +21,6 @@ from repro.core.explicit_kernels import csr_attention
 from repro.core.result import AttentionResult, OpCounts
 from repro.distributed.comm import CommunicationStats, SimulatedWorld
 from repro.graph.partition import Partition, balanced_edge_partition, contiguous_partition
-from repro.masks.base import MaskSpec
 from repro.sparse.csr import CSRMatrix
 from repro.utils.validation import require
 

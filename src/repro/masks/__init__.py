@@ -12,7 +12,10 @@ algebra and solvers the experiments need:
 * composites (:class:`UnionMask`, ...) and the Longformer / BigBird / LongNet
   presets of Section V-F;
 * solvers converting a target sparsity factor into window / block parameters
-  (Section V-C) and the LongNet sparsity schedule (Section II-D).
+  (Section V-C) and the LongNet sparsity schedule (Section II-D);
+* compiled per-row extractors (:mod:`repro.masks.rows`) that make
+  ``MaskSpec.row(i, L)`` an O(row edges) operation for the incremental
+  decode path — no full-graph materialisation per step.
 """
 
 from repro.masks.base import MaskSpec, TranslationInvariantMask, as_mask_spec
@@ -29,6 +32,7 @@ from repro.masks.presets import (
     longformer_mask,
 )
 from repro.masks.random_ import RandomMask
+from repro.masks.rows import RowProgram, compile_row_program
 from repro.masks.solvers import (
     achieved_sparsity,
     dilated1d_window_for_sparsity,
@@ -55,6 +59,7 @@ __all__ = [
     "LongNetSchedule",
     "MaskSpec",
     "RandomMask",
+    "RowProgram",
     "StridedMask",
     "TranslationInvariantMask",
     "UnionMask",
@@ -62,6 +67,7 @@ __all__ = [
     "as_mask_spec",
     "bigbird_block_mask",
     "bigbird_mask",
+    "compile_row_program",
     "default_global_tokens",
     "dilated1d_window_for_sparsity",
     "dilated2d_block_for_sparsity",

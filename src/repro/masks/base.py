@@ -51,6 +51,26 @@ class MaskSpec(abc.ABC):
     # ------------------------------------------------------------------ #
     # Derived interface (subclasses override when a cheaper form exists)
     # ------------------------------------------------------------------ #
+    def row(self, i: int, length: int) -> np.ndarray:
+        """Row ``i`` of the materialised mask at context length ``length``.
+
+        Identical to ``to_csr(length).row_neighbors(i)`` for every spec, but
+        computed from the pattern parameters in O(row edges) without
+        materialising the full graph — the extractor the incremental decode
+        path (:mod:`repro.serve.decode`) calls once per generated token, so a
+        decode step costs O(edges of its own row), not O(all edges).
+        """
+        return self.neighbors(i, length)
+
+    def causal_row(self, i: int, length: int) -> np.ndarray:
+        """Neighbours of row ``i`` restricted to already-generated keys (``j <= i``).
+
+        Autoregressive decoding at position ``i`` only has keys ``0..i`` in
+        its KV cache; this is :meth:`row` clipped to that prefix.
+        """
+        cols = self.row(i, length)
+        return cols[cols <= i]
+
     def validate_length(self, length: int) -> None:
         require(length > 0, "context length must be positive")
 

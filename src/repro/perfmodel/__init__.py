@@ -13,6 +13,10 @@ V100 — Table I).  It has two halves:
   paper describes qualitatively.  It reproduces the *shape* of Fig. 3, 5, 6
   and Table III at the paper's context lengths, which are far beyond what the
   CPU-measured benchmarks can reach.
+* :mod:`repro.perfmodel.decode` — the incremental-decoding analogue:
+  KV-cache byte accounting (linear in the decoded length) and a per-step
+  runtime estimate over the new token's mask row, including the
+  incremental-vs-full-recompute speedup the decode benchmark measures.
 """
 
 from repro.perfmodel.devices import (
@@ -35,6 +39,13 @@ from repro.perfmodel.context_limits import (
     context_limit_table,
     context_limit_sweep,
 )
+from repro.perfmodel.decode import (
+    DecodeRuntimeModel,
+    DecodeStepEstimate,
+    decode_step_flops,
+    kv_cache_bytes,
+    max_cached_tokens,
+)
 
 __all__ = [
     "A100_SXM4_80GB",
@@ -42,6 +53,8 @@ __all__ = [
     "AttentionMemoryModel",
     "ContextLimitRow",
     "DEVICES",
+    "DecodeRuntimeModel",
+    "DecodeStepEstimate",
     "DeviceSpec",
     "L40_48GB",
     "MemoryBreakdown",
@@ -51,6 +64,9 @@ __all__ = [
     "combine_estimates",
     "context_limit_sweep",
     "context_limit_table",
+    "decode_step_flops",
     "get_device",
+    "kv_cache_bytes",
+    "max_cached_tokens",
     "max_context_length",
 ]

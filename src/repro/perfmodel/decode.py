@@ -1,0 +1,224 @@
+"""Decode-step runtime and KV-cache memory model.
+
+One-shot serving is modelled by :mod:`repro.perfmodel.runtime` (all mask
+edges per call) and :mod:`repro.perfmodel.memory` (resident tensors of one
+full invocation).  Autoregressive decoding has a different cost structure:
+
+* **memory** — the dominant resident tensor is the KV cache, which grows
+  linearly with the decoded length: ``batch · heads · L · (d_k + d_v)``
+  elements (:func:`kv_cache_bytes`).  Solving the capacity inequality for
+  ``L`` gives the decode analogue of Table II's context limits
+  (:func:`max_cached_tokens`).
+* **runtime** — a step touches only the new token's mask row: ``2 d`` FLOPs
+  per dot product plus ``2 d`` per value accumulation over the row's edges
+  (:func:`decode_step_flops`), and streams the gathered K/V rows once.  A
+  single query row cannot saturate a device, so the compute term is charged
+  at a calibrated fraction of the graph kernels' sustained throughput and
+  the kernel-launch overhead dominates small rows — which is exactly why the
+  serving layer coalesces concurrent sessions' steps into one stacked pass.
+
+:meth:`DecodeRuntimeModel.speedup_vs_recompute` compares an incremental step
+against recomputing the whole prefix through the CSR kernel (what a stack
+without a KV cache pays per token); the margin widens linearly with the
+prefix's edge count, the effect ``benchmarks/bench_decode.py`` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perfmodel.devices import DeviceSpec
+from repro.perfmodel.runtime import RuntimeEstimate, RuntimeModel
+from repro.utils.dtypes import dtype_bytes
+from repro.utils.validation import require
+
+#: Fraction of the graph kernels' sustained throughput a single decode row
+#: achieves (one query row occupies a sliver of the device; most of the step
+#: is gather latency).  Calibrated to keep modelled per-token latencies in
+#: the tens-of-microseconds range the continuous-batching literature reports
+#: for un-batched single-stream decoding.
+DECODE_ROW_EFFICIENCY = 0.05
+
+
+def kv_cache_bytes(
+    length: int,
+    head_dim: int,
+    *,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp16",
+) -> int:
+    """Bytes of a KV cache holding ``length`` tokens.
+
+    One token stores one key row (``d_k``) and one value row (``d_v``) per
+    head per batch element.
+    """
+    require(length >= 0, "length must be non-negative")
+    require(head_dim > 0 and heads > 0 and batch > 0, "invalid dimensions")
+    value_dim = head_dim if value_dim is None else value_dim
+    element = dtype_bytes(dtype)
+    return int(batch * heads * length * (head_dim + value_dim) * element)
+
+
+def decode_step_flops(
+    row_edges: int,
+    head_dim: int,
+    *,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+) -> int:
+    """FLOPs of one incremental decode step over ``row_edges`` mask edges.
+
+    ``2 d_k`` per query-key dot product plus ``2 d_v`` per value
+    accumulation, per batch/head slice — the O(row edges · d) work-optimal
+    step cost.
+    """
+    require(row_edges >= 0, "row_edges must be non-negative")
+    require(head_dim > 0 and heads > 0 and batch > 0, "invalid dimensions")
+    value_dim = head_dim if value_dim is None else value_dim
+    return int(2 * row_edges * (head_dim + value_dim) * heads * batch)
+
+
+@dataclass(frozen=True)
+class DecodeStepEstimate:
+    """Modelled cost of one incremental decode step."""
+
+    device: str
+    row_edges: int
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    flops: float
+    bytes_moved: float
+
+    def tokens_per_second(self) -> float:
+        """Single-stream decode throughput implied by this step cost."""
+        return 1.0 / self.seconds if self.seconds > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class DecodeRuntimeModel:
+    """Analytical decode-step estimator for one device."""
+
+    device: DeviceSpec
+
+    # ------------------------------------------------------------------ #
+    def estimate_step(
+        self,
+        row_edges: int,
+        head_dim: int,
+        *,
+        value_dim: Optional[int] = None,
+        dtype: str = "fp16",
+        heads: int = 1,
+        batch: int = 1,
+    ) -> DecodeStepEstimate:
+        """Cost of attending one new token's mask row against the KV cache.
+
+        ``batch`` covers both batched sessions within one stream and
+        cross-session stacking (the server's coalesced step groups): the
+        gathered edges and FLOPs scale with it while the launch overhead is
+        paid once — the continuous-batching amortisation.
+        """
+        value_dim = head_dim if value_dim is None else value_dim
+        slices = heads * batch
+        element = dtype_bytes(dtype)
+        flops = float(
+            decode_step_flops(
+                row_edges, head_dim, value_dim=value_dim, heads=heads, batch=batch
+            )
+        )
+        compute = flops / (self.device.effective_throughput * DECODE_ROW_EFFICIENCY)
+        # stream the gathered K/V edge rows once, write the new token's K/V
+        # rows into the cache and the output row back out
+        gather_bytes = float(row_edges) * (head_dim + value_dim) * element * slices
+        token_bytes = (2.0 * head_dim + 2.0 * value_dim) * element * slices
+        bytes_moved = gather_bytes + token_bytes
+        memory = bytes_moved / self.device.memory_bandwidth
+        overhead = self.device.kernel_launch_overhead
+        return DecodeStepEstimate(
+            device=self.device.name,
+            row_edges=int(row_edges),
+            seconds=max(compute, memory) + overhead,
+            compute_seconds=compute,
+            memory_seconds=memory,
+            overhead_seconds=overhead,
+            flops=flops,
+            bytes_moved=bytes_moved,
+        )
+
+    def estimate_recompute(
+        self,
+        nnz: int,
+        length: int,
+        head_dim: int,
+        *,
+        dtype: str = "fp16",
+        heads: int = 1,
+        batch: int = 1,
+    ) -> RuntimeEstimate:
+        """Cost of recomputing the whole ``length``-token prefix (no KV cache).
+
+        This is what a serving stack without incremental decoding pays per
+        generated token: one full CSR kernel invocation over all ``nnz``
+        causal edges of the prefix.
+        """
+        sparsity = min(1.0, nnz / (float(length) * float(length)))
+        return RuntimeModel(self.device).estimate(
+            "csr",
+            length,
+            head_dim,
+            sparsity_factor=sparsity,
+            nnz=nnz,
+            dtype=dtype,
+            heads=heads,
+            batch=batch,
+        )
+
+    def speedup_vs_recompute(
+        self,
+        row_edges: int,
+        nnz: int,
+        length: int,
+        head_dim: int,
+        *,
+        dtype: str = "fp16",
+        heads: int = 1,
+        batch: int = 1,
+    ) -> float:
+        """Modelled advantage of one incremental step over a full recompute."""
+        step = self.estimate_step(
+            row_edges, head_dim, dtype=dtype, heads=heads, batch=batch
+        )
+        full = self.estimate_recompute(
+            nnz, length, head_dim, dtype=dtype, heads=heads, batch=batch
+        )
+        return full.seconds / step.seconds if step.seconds > 0 else float("inf")
+
+
+def max_cached_tokens(
+    device: DeviceSpec,
+    *,
+    head_dim: int = 64,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp16",
+    reserved_bytes: int = 0,
+) -> int:
+    """Longest decode stream whose KV cache fits in device memory.
+
+    ``reserved_bytes`` carves out space for weights and activations; the
+    remainder divides by the per-token cache footprint (the decode analogue
+    of the Table II context-length limits — linear in ``L`` instead of the
+    quadratic score-matrix inequality).
+    """
+    per_token = kv_cache_bytes(
+        1, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
+    )
+    budget = device.memory_bytes - int(reserved_bytes)
+    return max(0, budget // per_token)

@@ -14,7 +14,7 @@ Fig. 3 observations rather than taken from datasheets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.utils.validation import require

@@ -27,7 +27,7 @@ arithmetic that EXPERIMENTS.md documents.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import floor, isqrt, sqrt
+from math import floor, sqrt
 from typing import Dict, Optional
 
 from repro.perfmodel.devices import DeviceSpec

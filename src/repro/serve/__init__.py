@@ -12,6 +12,10 @@ Three layers turn the paper's kernels into a serving stack:
   :class:`AttentionServer` that batches :class:`AttentionRequest`\\ s by plan
   key, executes them (optionally on a load-balanced thread pool) and returns
   per-request latencies plus aggregate throughput stats.
+* :mod:`repro.serve.decode` — incremental autoregressive decoding:
+  :class:`DecodeSession` KV-cache streams whose per-token steps cost O(edges
+  of the new token's mask row), with same-plan steps from concurrent
+  sessions coalesced into stacked kernel passes (continuous batching).
 
 Quick start::
 
@@ -26,6 +30,12 @@ Quick start::
 """
 
 from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.decode import (
+    DecodeSession,
+    KVCache,
+    decode_reference_mask,
+    stacked_decode_step,
+)
 from repro.serve.plan import (
     DEFAULT_HEAD_DIM,
     ExecutionPlan,
@@ -48,13 +58,17 @@ __all__ = [
     "AttentionServer",
     "CacheStats",
     "DEFAULT_HEAD_DIM",
+    "DecodeSession",
     "ExecutionPlan",
+    "KVCache",
     "PlanCache",
     "PlanStep",
     "RequestBatch",
     "ServerStats",
     "ServingSession",
     "compile_plan",
+    "decode_reference_mask",
     "mask_key",
     "plan_cache_key",
+    "stacked_decode_step",
 ]

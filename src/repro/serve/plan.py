@@ -22,7 +22,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,8 @@ from repro.core.result import AttentionResult
 from repro.masks.base import MaskSpec, as_mask_spec
 from repro.masks.composite import DifferenceMask, IntersectionMask, UnionMask
 from repro.masks.explicit import ExplicitMask
+from repro.masks.rows import RowProgram, compile_row_program
+from repro.masks.structured import DenseMask
 from repro.perfmodel.devices import DeviceSpec
 from repro.perfmodel.runtime import RuntimeEstimate, RuntimeModel, combine_estimates
 from repro.sparse.coo import COOMatrix
@@ -103,16 +105,18 @@ def plan_cache_key(
     device: Optional[DeviceSpec] = None,
     head_dim: Optional[int] = None,
     batch: int = 1,
+    mode: str = "full",
 ) -> str:
     """Canonical key under which a compiled plan is cached.
 
     Everything that influences compilation is part of the key: the mask's
-    structural identity, the context length, the execution knobs, and the
-    device/head-dim/batch the attached runtime prediction targets.
+    structural identity, the context length, the execution knobs, the
+    device/head-dim/batch the attached runtime prediction targets, and the
+    compilation ``mode`` (``"full"`` one-shot vs ``"decode"`` per-row).
     """
     device_name = device.name if device is not None else "-"
     return (
-        f"L={length}|alg={algorithm}|exec={executor}|scale={scale}"
+        f"L={length}|alg={algorithm}|mode={mode}|exec={executor}|scale={scale}"
         f"|compose={prefer_composition}|dev={device_name}|hd={head_dim}|b={batch}"
         f"|mask={mask_key(mask, length)}"
     )
@@ -163,6 +167,13 @@ class ExecutionPlan:
     device-model runtime estimate, present when the plan was compiled for a
     device.  ``key`` is ``None`` for ad-hoc plans compiled outside any cache
     (the engine's one-shot dispatch path skips key derivation entirely).
+
+    ``mode`` distinguishes one-shot plans (``"full"``, executed via
+    :meth:`execute`) from incremental-decode plans (``"decode"``), which carry
+    a precompiled :class:`~repro.masks.rows.RowProgram` in ``decode`` (the
+    per-row stencil offsets / token sets) and are consumed one row at a time
+    by :class:`~repro.serve.decode.DecodeSession`; for decode plans ``nnz``
+    counts the causal edges a full decode loop over the horizon processes.
     """
 
     key: Optional[str]
@@ -175,6 +186,8 @@ class ExecutionPlan:
     device: Optional[str] = None
     predicted: Optional[RuntimeEstimate] = None
     batch: int = 1
+    mode: str = "full"
+    decode: Optional[RowProgram] = None
 
     @property
     def num_kernel_calls(self) -> int:
@@ -203,6 +216,10 @@ class ExecutionPlan:
         full ``(B, H)`` batch.
         """
         require(
+            self.mode == "full",
+            "decode plans execute per-row through repro.serve.decode.DecodeSession",
+        )
+        require(
             q.shape[-2] == self.length,
             f"plan compiled for L={self.length}, got q with L={q.shape[-2]}",
         )
@@ -215,6 +232,12 @@ class ExecutionPlan:
         return results[0]
 
     def describe(self) -> str:
+        if self.mode == "decode":
+            program = type(self.decode).__name__ if self.decode is not None else "-"
+            return (
+                f"ExecutionPlan(L={self.length}, decode: {program}, "
+                f"causal nnz={self.nnz})"
+            )
         kernels = " + ".join(self.kernels)
         pred = f", predicted {self.predicted.seconds:.3e}s on {self.device}" if self.predicted else ""
         return f"ExecutionPlan(L={self.length}, {self.algorithm}: {kernels}, nnz={self.nnz}{pred})"
@@ -292,6 +315,7 @@ def compile_plan(
     device: Optional[DeviceSpec] = None,
     head_dim: Optional[int] = None,
     batch: int = 1,
+    mode: str = "full",
     key=_DERIVE_KEY,
 ) -> ExecutionPlan:
     """Compile a mask at a context length into an :class:`ExecutionPlan`.
@@ -302,6 +326,15 @@ def compile_plan(
     the CSR fallback).  The kernel choice is identical to what
     ``GraphAttentionEngine.run`` performed before plans existed, so plan
     execution is numerically identical to direct engine dispatch.
+
+    ``mode="decode"`` compiles for incremental autoregressive decoding
+    instead: no kernel steps are materialised (no CSR remainders, no set
+    algebra); the plan carries a precompiled
+    :class:`~repro.masks.rows.RowProgram` whose per-row stencil offsets /
+    token sets let a :class:`~repro.serve.decode.DecodeSession` extract each
+    new token's neighbour set in O(row edges).  ``length`` then plays the
+    role of the decode *horizon* (the pattern length rows are evaluated at
+    and the upper bound on generated tokens).
 
     ``key`` customises cache-key handling: leave the default to derive the
     canonical key, pass an already-computed key string to avoid hashing the
@@ -315,6 +348,7 @@ def compile_plan(
     require(length > 0, "context length must be positive")
     require(batch >= 1, "batch must be >= 1")
     require(algorithm in ("auto", "composed"), f"cannot compile algorithm {algorithm!r}")
+    require(mode in ("full", "decode"), f"unknown plan mode {mode!r}")
     # coerce materialised inputs once, before keying: mask_key would coerce an
     # ndarray/COO/CSR itself, and the compilation below needs the spec anyway
     if isinstance(mask, (np.ndarray, COOMatrix, CSRMatrix)):
@@ -330,6 +364,26 @@ def compile_plan(
             device=device,
             head_dim=head_dim,
             batch=batch,
+            mode=mode,
+        )
+
+    if mode == "decode":
+        require(algorithm == "auto", "decode plans always dispatch per row (auto)")
+        spec = DenseMask() if mask is None else mask
+        program = compile_row_program(spec, length)
+        return ExecutionPlan(
+            key=key,
+            length=length,
+            algorithm="decode",
+            steps=(),
+            executor=executor,
+            scale=scale,
+            nnz=program.causal_nnz(),
+            device=device.name if device is not None else None,
+            predicted=None,
+            batch=batch,
+            mode="decode",
+            decode=program,
         )
 
     if mask is None:

@@ -21,6 +21,13 @@ of :func:`repro.distributed.partition_balance.balanced_worker_bins`, with
 each group's plan edge count times its stacked width as its load — the same
 pick-work-by-expected-cost idea the distributed partitioners apply to query
 rows.
+
+Autoregressive decoding streams through the same front-end:
+:meth:`AttentionServer.open_decode_session` hands out
+:class:`~repro.serve.decode.DecodeSession` objects whose decode-mode plans
+share the server's plan cache, and :meth:`AttentionServer.decode_steps`
+coalesces same-plan same-position steps from concurrent sessions into one
+stacked kernel pass (continuous batching).
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.perfmodel.devices import DeviceSpec
 from repro.serve.cache import PlanCache
+from repro.serve.decode import DecodeSession, stacked_decode_step
 from repro.serve.plan import ExecutionPlan, compile_plan, plan_cache_key
 from repro.serve.session import AttentionRequest, AttentionResponse, ServerStats
 from repro.utils.validation import require
@@ -128,7 +136,9 @@ class AttentionServer:
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #
-    def key_for(self, mask: MaskInput, length: int, *, algorithm: str = "auto") -> str:
+    def key_for(
+        self, mask: MaskInput, length: int, *, algorithm: str = "auto", mode: str = "full"
+    ) -> str:
         """Canonical plan key a request with this mask/length resolves to."""
         return plan_cache_key(
             mask,
@@ -139,20 +149,21 @@ class AttentionServer:
             algorithm=algorithm,
             device=self.device,
             head_dim=self.head_dim,
+            mode=mode,
         )
 
     def plan_for(
-        self, mask: MaskInput, length: int, *, algorithm: str = "auto"
+        self, mask: MaskInput, length: int, *, algorithm: str = "auto", mode: str = "full"
     ) -> Tuple[ExecutionPlan, bool]:
         """Fetch or compile the plan for one mask shape; returns ``(plan, was_hit)``.
 
         Useful for warming the cache ahead of a traffic burst.
         """
-        key = self.key_for(mask, length, algorithm=algorithm)
-        return self._plan_for_key(key, mask, length, algorithm)
+        key = self.key_for(mask, length, algorithm=algorithm, mode=mode)
+        return self._plan_for_key(key, mask, length, algorithm, mode=mode)
 
     def _plan_for_key(
-        self, key: str, mask: MaskInput, length: int, algorithm: str
+        self, key: str, mask: MaskInput, length: int, algorithm: str, *, mode: str = "full"
     ) -> Tuple[ExecutionPlan, bool]:
         def _compile() -> ExecutionPlan:
             self.stats.plans_compiled += 1
@@ -165,6 +176,7 @@ class AttentionServer:
                 algorithm=algorithm,
                 device=self.device,
                 head_dim=self.head_dim,
+                mode=mode,
                 key=key,  # already derived for the cache lookup; don't re-hash
             )
 
@@ -218,6 +230,98 @@ class AttentionServer:
     ) -> AttentionResponse:
         """Serve a single ad-hoc request."""
         return self.serve([AttentionRequest(q=q, k=k, v=v, mask=mask, algorithm=algorithm)])[0]
+
+    # ------------------------------------------------------------------ #
+    # Streaming decode
+    # ------------------------------------------------------------------ #
+    def open_decode_session(
+        self, mask: MaskInput, horizon: int, *, retain_outputs: bool = False
+    ) -> DecodeSession:
+        """Open an autoregressive decoding stream against this server.
+
+        The decode-mode plan (per-row stencil program) is fetched from — or
+        compiled into — the shared :class:`~repro.serve.cache.PlanCache`, so
+        concurrent sessions over one mask shape pay compilation once and can
+        coalesce their steps in :meth:`decode_steps`.
+        """
+        key = self.key_for(mask, horizon, mode="decode")
+        plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
+        session = DecodeSession(
+            plan, retain_outputs=retain_outputs, session_id=self.next_request_id()
+        )
+        session.plan_cache_hit = hit
+        self.stats.decode_sessions += 1
+        return session
+
+    def decode_step(
+        self, session: DecodeSession, q: np.ndarray, k: np.ndarray, v: np.ndarray
+    ) -> AttentionResponse:
+        """Serve one decode step for one session."""
+        return self.decode_steps([(session, q, k, v)])[0]
+
+    def decode_steps(
+        self,
+        steps: Sequence[Tuple[DecodeSession, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> List[AttentionResponse]:
+        """Serve one decode step per ``(session, q, k, v)`` entry.
+
+        Continuous batching: steps whose sessions share one plan, sit at the
+        same position and carry identically-shaped tensors are fused into a
+        single stacked kernel pass (:func:`~repro.serve.decode.stacked_decode_step`);
+        ragged steps execute as singleton groups.  Responses follow the input
+        order.  A session may appear at most once per call — its position
+        advances with every step, so two steps for one stream are inherently
+        sequential.
+        """
+        steps = list(steps)
+        if not steps:
+            return []
+        started = time.perf_counter()
+        seen_sessions = set()
+        groups: "Dict[Tuple, List[int]]" = {}
+        for index, (session, q, k, v) in enumerate(steps):
+            require(
+                id(session) not in seen_sessions,
+                "a session may appear at most once per decode_steps call",
+            )
+            seen_sessions.add(id(session))
+            group_key = (
+                session.plan.key or id(session.plan),
+                session.position,
+                np.shape(q),
+                np.shape(v),
+                np.asarray(q).dtype.str,
+                np.asarray(k).dtype.str,
+                np.asarray(v).dtype.str,
+            )
+            groups.setdefault(group_key, []).append(index)
+
+        responses: List[Optional[AttentionResponse]] = [None] * len(steps)
+        for indices in groups.values():
+            group_started = time.perf_counter()
+            sessions = [steps[i][0] for i in indices]
+            results = stacked_decode_step(
+                sessions,
+                [steps[i][1] for i in indices],
+                [steps[i][2] for i in indices],
+                [steps[i][3] for i in indices],
+            )
+            latency = (time.perf_counter() - group_started) / len(indices)
+            if len(indices) > 1:
+                self.stats.decode_stacked_executions += 1
+                self.stats.decode_coalesced_steps += len(indices)
+            for index, session, result in zip(indices, sessions, results):
+                responses[index] = AttentionResponse(
+                    request_id=self.next_request_id(),
+                    result=result,
+                    plan_key=session.plan.key,
+                    cache_hit=session.plan_cache_hit,
+                    latency_s=latency,
+                )
+
+        self.stats.decode_steps += len(steps)
+        self.stats.decode_wall_seconds += time.perf_counter() - started
+        return responses
 
     def _process(self, requests: List[AttentionRequest]) -> List[AttentionResponse]:
         if not requests:
@@ -330,9 +434,16 @@ class AttentionServer:
         return responses
 
     def close(self) -> None:
-        """Release the worker pool (the server stays usable; it re-creates one)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
+        """Release the worker pool (the server stays usable; it re-creates one).
+
+        Idempotent; also invoked by the context-manager exit and, as a last
+        resort, by :meth:`__del__` — a lazily created pool must not outlive
+        the server, since its worker threads would otherwise leak until
+        interpreter shutdown.
+        """
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=True)
             self._pool = None
 
     def __enter__(self) -> "AttentionServer":
@@ -340,6 +451,12 @@ class AttentionServer:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing is interpreter-specific
+        try:
+            self.close()
+        except Exception:
+            pass  # never raise during garbage collection
 
     def _execute_one(
         self, request: AttentionRequest, batch: RequestBatch

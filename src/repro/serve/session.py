@@ -91,6 +91,11 @@ class ServerStats:
     coalesced_requests: int = 0
     wall_seconds: float = 0.0
     kernel_seconds: float = 0.0
+    decode_sessions: int = 0
+    decode_steps: int = 0
+    decode_stacked_executions: int = 0
+    decode_coalesced_steps: int = 0
+    decode_wall_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
 
     @property
@@ -102,6 +107,13 @@ class ServerStats:
     def mean_latency_s(self) -> float:
         """Mean per-request kernel latency."""
         return self.kernel_seconds / self.requests if self.requests else 0.0
+
+    @property
+    def decode_steps_per_second(self) -> float:
+        """Decode tokens served per wall-clock second across all step batches."""
+        if self.decode_wall_seconds <= 0:
+            return 0.0
+        return self.decode_steps / self.decode_wall_seconds
 
 
 class ServingSession:

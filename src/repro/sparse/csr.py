@@ -9,7 +9,7 @@ is ``O(L)`` for offsets plus ``O(Sf L^2)`` for column indices and values
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple, Union
+from typing import Iterator, Tuple, Union
 
 import numpy as np
 

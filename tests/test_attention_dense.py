@@ -6,7 +6,6 @@ import pytest
 from repro.core.dense import reference_attention, resolve_scale, sdp_attention
 from repro.core.online_softmax import stable_softmax
 from repro.masks.windowed import LocalMask
-from repro.sparse.csr import CSRMatrix
 
 
 class TestUnmaskedAttention:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.harness import BenchmarkProtocol, measure
 from repro.bench.reporting import format_series, format_table, speedup_summary
-from repro.bench.sweeps import cells_as_list, sweep_grid
+from repro.bench.sweeps import cells_as_list
 
 
 class TestProtocol:

@@ -1,0 +1,140 @@
+"""Property tests for per-row mask extraction (MaskSpec.row / repro.masks.rows).
+
+The decode path's contract: for every mask, ``spec.row(i, L)`` — and the
+compiled :class:`~repro.masks.rows.RowProgram` built from it — must equal row
+``i`` of the materialised CSR mask, without materialising the full graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.masks.base import as_mask_spec
+from repro.masks.composite import UnionMask
+from repro.masks.dilated2d import Dilated2DMask
+from repro.masks.explicit import ExplicitMask
+from repro.masks.global_ import GlobalMask, GlobalNonLocalMask
+from repro.masks.presets import bigbird_mask, longformer_dilated_mask, longformer_mask
+from repro.masks.random_ import RandomMask
+from repro.masks.rows import (
+    CSRRowProgram,
+    Dilated2DRowProgram,
+    GlobalRowProgram,
+    SpecRowProgram,
+    StencilRowProgram,
+    UnionRowProgram,
+    compile_row_program,
+)
+from repro.masks.structured import BlockDiagonalMask, CausalMask, DenseMask, StridedMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+
+LENGTHS = (17, 48)
+
+PRESET_SPECS = [
+    LocalMask(window=1),
+    LocalMask(window=5),
+    Dilated1DMask(window=9, dilation=2),
+    Dilated2DMask(block_size=8, dilation=1),
+    GlobalMask((0, 7)),
+    GlobalNonLocalMask((0, 11), window=4),
+    RandomMask(sparsity=0.2, seed=3),
+    RandomMask(keys_per_row=3, seed=5, include_diagonal=True),
+    CausalMask(),
+    DenseMask(),
+    BlockDiagonalMask(block_size=6),
+    StridedMask(stride=3),
+    longformer_mask(reach=4, global_tokens=(0, 9)),
+    longformer_dilated_mask(reach=3, global_tokens=(0,), dilation=2),
+    bigbird_mask(reach=3, global_tokens=(0,), random_sparsity=0.05),
+    LocalMask(window=4) & CausalMask(),
+    LocalMask(window=6) - GlobalMask((0,)),
+]
+
+
+def _ids(spec):
+    return f"{type(spec).__name__}:{spec.describe()}"
+
+
+@pytest.mark.parametrize("spec", PRESET_SPECS, ids=_ids)
+@pytest.mark.parametrize("length", LENGTHS)
+class TestRowEqualsCSR:
+    def test_row_matches_materialised_row(self, spec, length):
+        csr = spec.to_csr(length)
+        for i in range(length):
+            np.testing.assert_array_equal(spec.row(i, length), csr.row_neighbors(i))
+
+    def test_causal_row_is_causal_clip(self, spec, length):
+        csr = spec.to_csr(length)
+        for i in range(length):
+            expected = csr.row_neighbors(i)
+            np.testing.assert_array_equal(
+                spec.causal_row(i, length), expected[expected <= i]
+            )
+
+
+@pytest.mark.parametrize("spec", PRESET_SPECS, ids=_ids)
+@pytest.mark.parametrize("length", LENGTHS)
+class TestRowPrograms:
+    def test_program_rows_match_spec_rows(self, spec, length):
+        program = compile_row_program(spec, length)
+        csr = spec.to_csr(length)
+        for i in range(length):
+            np.testing.assert_array_equal(program.row(i), csr.row_neighbors(i))
+
+    def test_program_causal_rows_and_nnz(self, spec, length):
+        program = compile_row_program(spec, length)
+        total = 0
+        for i in range(length):
+            causal = program.causal_row(i)
+            np.testing.assert_array_equal(causal, spec.causal_row(i, length))
+            assert causal.size == 0 or causal.max() <= i
+            total += causal.size
+        # causal_nnz is exact for single patterns, an upper bound for unions
+        # (overlapping component edges dedupe at extraction time)
+        if isinstance(spec, UnionMask):
+            assert program.causal_nnz() >= total
+        else:
+            assert program.causal_nnz() == total
+
+
+class TestProgramSpecialisation:
+    def test_specialised_program_selection(self):
+        assert isinstance(compile_row_program(LocalMask(window=3), 16), StencilRowProgram)
+        assert isinstance(
+            compile_row_program(Dilated1DMask(window=7, dilation=1), 16), StencilRowProgram
+        )
+        assert isinstance(compile_row_program(GlobalMask((0,)), 16), GlobalRowProgram)
+        assert isinstance(
+            compile_row_program(GlobalNonLocalMask((0,), window=2), 16), GlobalRowProgram
+        )
+        assert isinstance(
+            compile_row_program(Dilated2DMask(block_size=4), 16), Dilated2DRowProgram
+        )
+        assert isinstance(
+            compile_row_program(longformer_mask(reach=2), 16), UnionRowProgram
+        )
+        assert isinstance(compile_row_program(CausalMask(), 16), SpecRowProgram)
+
+    def test_explicit_mask_uses_csr_rows(self):
+        dense = (np.arange(36).reshape(6, 6) % 4 == 0).astype(np.float32)
+        spec = as_mask_spec(dense)
+        program = compile_row_program(spec, 6)
+        assert isinstance(program, CSRRowProgram)
+        csr = spec.to_csr(6)
+        for i in range(6):
+            np.testing.assert_array_equal(program.row(i), csr.row_neighbors(i))
+
+    def test_explicit_mask_rejects_wrong_horizon(self):
+        spec = ExplicitMask.from_any(np.eye(8, dtype=np.float32))
+        with pytest.raises(ValueError):
+            compile_row_program(spec, 16)
+
+    def test_row_index_bounds_enforced(self):
+        program = compile_row_program(LocalMask(window=3), 8)
+        with pytest.raises(ValueError):
+            program.row(8)
+        with pytest.raises(ValueError):
+            program.causal_row(-1)
+
+    def test_global_token_beyond_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            compile_row_program(GlobalMask((40,)), 16)

@@ -1,0 +1,100 @@
+"""Tests for the decode-step runtime/memory model (repro.perfmodel.decode)."""
+
+import pytest
+
+from repro.perfmodel.decode import (
+    DecodeRuntimeModel,
+    decode_step_flops,
+    kv_cache_bytes,
+    max_cached_tokens,
+)
+from repro.perfmodel.devices import A100_SXM4_80GB, V100_SXM2_32GB
+
+
+class TestKVCacheBytes:
+    def test_per_token_accounting(self):
+        # one token, one head: d_k + d_v elements at the dtype width
+        assert kv_cache_bytes(1, 64, dtype="fp16") == (64 + 64) * 2
+        assert kv_cache_bytes(1, 64, value_dim=128, dtype="fp32") == (64 + 128) * 4
+
+    def test_linear_in_length_heads_batch(self):
+        base = kv_cache_bytes(1024, 64, dtype="fp16")
+        assert kv_cache_bytes(2048, 64, dtype="fp16") == 2 * base
+        assert kv_cache_bytes(1024, 64, heads=8, dtype="fp16") == 8 * base
+        assert kv_cache_bytes(1024, 64, batch=4, dtype="fp16") == 4 * base
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            kv_cache_bytes(-1, 64)
+        with pytest.raises(ValueError):
+            kv_cache_bytes(16, 0)
+
+
+class TestDecodeStepFlops:
+    def test_work_optimal_step_cost(self):
+        # 2 d_k per dot product + 2 d_v per value accumulation, per edge
+        assert decode_step_flops(100, 64) == 100 * (2 * 64 + 2 * 64)
+        assert decode_step_flops(100, 64, value_dim=32) == 100 * (2 * 64 + 2 * 32)
+        assert decode_step_flops(100, 64, heads=8, batch=2) == 16 * decode_step_flops(100, 64)
+
+    def test_empty_row_costs_nothing(self):
+        assert decode_step_flops(0, 64) == 0
+
+
+class TestDecodeRuntimeModel:
+    def test_step_estimate_components(self):
+        model = DecodeRuntimeModel(A100_SXM4_80GB)
+        estimate = model.estimate_step(128, 64)
+        assert estimate.seconds > 0
+        assert estimate.seconds >= estimate.overhead_seconds
+        assert estimate.flops == decode_step_flops(128, 64)
+        assert estimate.tokens_per_second() == pytest.approx(1.0 / estimate.seconds)
+
+    def test_step_cost_grows_with_row_edges(self):
+        model = DecodeRuntimeModel(A100_SXM4_80GB)
+        small = model.estimate_step(64, 64)
+        large = model.estimate_step(64 * 1024, 64)
+        assert large.seconds > small.seconds
+        assert large.bytes_moved > small.bytes_moved
+
+    def test_speedup_vs_recompute_widens_with_length(self):
+        # fixed window: row edges stay constant while the prefix edge count
+        # grows linearly, so the incremental advantage must widen
+        model = DecodeRuntimeModel(A100_SXM4_80GB)
+        window_edges = 129
+        speedups = [
+            model.speedup_vs_recompute(
+                window_edges, window_edges * length, length, 64
+            )
+            for length in (1024, 8192, 65536)
+        ]
+        assert speedups[0] > 1.0
+        assert speedups == sorted(speedups)
+
+    def test_recompute_matches_csr_runtime_model(self):
+        model = DecodeRuntimeModel(A100_SXM4_80GB)
+        estimate = model.estimate_recompute(100_000, 2048, 64)
+        assert estimate.algorithm == "csr"
+        assert estimate.seconds > 0
+
+
+class TestMaxCachedTokens:
+    def test_longer_on_larger_device(self):
+        a100 = max_cached_tokens(A100_SXM4_80GB, head_dim=64, heads=32, dtype="fp16")
+        v100 = max_cached_tokens(V100_SXM2_32GB, head_dim=64, heads=32, dtype="fp16")
+        assert a100 > v100 > 0
+
+    def test_reserved_bytes_shrink_the_budget(self):
+        full = max_cached_tokens(A100_SXM4_80GB, head_dim=64)
+        half = max_cached_tokens(
+            A100_SXM4_80GB, head_dim=64, reserved_bytes=A100_SXM4_80GB.memory_bytes // 2
+        )
+        assert half == pytest.approx(full / 2, rel=0.01)
+
+    def test_exhausted_budget_is_zero(self):
+        assert (
+            max_cached_tokens(
+                A100_SXM4_80GB, head_dim=64, reserved_bytes=A100_SXM4_80GB.memory_bytes
+            )
+            == 0
+        )

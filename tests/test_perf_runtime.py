@@ -1,6 +1,5 @@
 """Tests for the roofline runtime model: Table III values and Fig. 3/5 shapes."""
 
-import numpy as np
 import pytest
 
 from repro.bench.paper_reference import PAPER_TABLE3, PAPER_TABLE3_SPEEDUPS

@@ -1,0 +1,324 @@
+"""Tests for incremental autoregressive decoding (repro.serve.decode).
+
+The load-bearing property: a full decode loop (prefill + N steps) must match
+a one-shot ``engine.run`` over the causally clipped reference mask within
+1e-6 — for every mask preset and for batched ``(B, H)`` stacks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.dilated2d import Dilated2DMask
+from repro.masks.global_ import GlobalMask
+from repro.masks.presets import bigbird_mask, longformer_mask
+from repro.masks.structured import CausalMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+from repro.serve.decode import (
+    DecodeSession,
+    KVCache,
+    decode_reference_mask,
+    stacked_decode_step,
+)
+from repro.serve.scheduler import AttentionServer
+from repro.utils.rng import random_qkv
+
+DECODE_SPECS = [
+    LocalMask(window=5),
+    Dilated1DMask(window=9, dilation=2),
+    Dilated2DMask(block_size=8, dilation=1),
+    GlobalMask((0, 7)),
+    CausalMask(),
+    longformer_mask(reach=4, global_tokens=(0, 9)),
+    bigbird_mask(reach=3, global_tokens=(0,), random_sparsity=0.05),
+]
+
+
+def _ids(spec):
+    return f"{type(spec).__name__}:{spec.describe()}"
+
+
+def _run_decode_loop(mask, q, k, v, prompt):
+    """Prefill ``prompt`` tokens then step through the rest; return the session."""
+    length = q.shape[-2]
+    session = DecodeSession.start(mask, length, retain_outputs=True)
+    if prompt:
+        session.prefill(q[..., :prompt, :], k[..., :prompt, :], v[..., :prompt, :])
+    for i in range(prompt, length):
+        session.step(q[..., i, :], k[..., i, :], v[..., i, :])
+    return session
+
+
+class TestKVCache:
+    def test_geometric_doubling(self):
+        cache = KVCache((), 4, 4, capacity=2)
+        for i in range(9):
+            position = cache.append(np.full(4, float(i)), np.full(4, float(i)))
+            assert position == i
+        assert cache.length == 9
+        assert cache.capacity == 16  # 2 -> 4 -> 8 -> 16
+        assert cache.grows == 3
+        np.testing.assert_array_equal(cache.keys()[3], np.full(4, 3.0))
+
+    def test_capacity_capped_at_max_length(self):
+        cache = KVCache((), 4, 4, capacity=2, max_length=11)
+        cache.extend(np.zeros((10, 4)), np.zeros((10, 4)))
+        assert cache.capacity == 11  # doubling clipped to the horizon
+        cache.append(np.zeros(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            cache.append(np.zeros(4), np.zeros(4))
+
+    def test_batched_layout_and_views(self):
+        cache = KVCache((2, 3), 4, 6, dtype=np.float64, capacity=4)
+        k = np.random.default_rng(0).random((2, 3, 5, 4))
+        v = np.random.default_rng(1).random((2, 3, 5, 6))
+        cache.extend(k, v)
+        assert cache.keys().shape == (2, 3, 5, 4)
+        assert cache.values().shape == (2, 3, 5, 6)
+        np.testing.assert_array_equal(cache.values(), v)
+
+    def test_shape_mismatch_rejected(self):
+        cache = KVCache((2,), 4, 4)
+        with pytest.raises(ValueError):
+            cache.extend(np.zeros((3, 2, 4)), np.zeros((3, 2, 4)))
+
+    def test_nbytes_tracks_allocation(self):
+        cache = KVCache((), 8, 8, dtype=np.float32, capacity=4)
+        assert cache.nbytes == 2 * 4 * 8 * 4
+
+
+@pytest.mark.parametrize("spec", DECODE_SPECS, ids=_ids)
+class TestDecodeMatchesOneShot:
+    def test_prefill_plus_steps_match_one_shot(self, spec):
+        length, dim = 48, 8
+        q, k, v = random_qkv(length, dim, dtype=np.float32, seed=21)
+        reference = GraphAttentionEngine().run(q, k, v, decode_reference_mask(spec, length))
+        session = _run_decode_loop(spec, q, k, v, prompt=16)
+        np.testing.assert_allclose(session.outputs(), reference.output, atol=1e-6, rtol=1e-6)
+        # a work-optimal loop touches exactly the causal edge set
+        assert session.ops.dot_products == reference.ops.dot_products
+
+    def test_batched_stack_matches_one_shot(self, spec):
+        length, dim = 40, 8
+        q, k, v = random_qkv(length, dim, heads=3, batch=2, dtype=np.float32, seed=23)
+        reference = GraphAttentionEngine().run(q, k, v, decode_reference_mask(spec, length))
+        session = _run_decode_loop(spec, q, k, v, prompt=10)
+        assert session.batch_shape == (2, 3)
+        np.testing.assert_allclose(session.outputs(), reference.output, atol=1e-6, rtol=1e-6)
+
+
+class TestDecodeSession:
+    def test_generation_from_scratch_no_prefill(self):
+        length, dim = 24, 8
+        mask = LocalMask(window=4)
+        q, k, v = random_qkv(length, dim, dtype=np.float32, seed=29)
+        reference = GraphAttentionEngine().run(q, k, v, decode_reference_mask(mask, length))
+        session = _run_decode_loop(mask, q, k, v, prompt=0)
+        np.testing.assert_allclose(session.outputs(), reference.output, atol=1e-6, rtol=1e-6)
+
+    def test_chunked_prefill_matches_single_prefill(self):
+        length, dim = 32, 8
+        mask = longformer_mask(reach=3, global_tokens=(0,))
+        q, k, v = random_qkv(length, dim, dtype=np.float32, seed=31)
+        whole = DecodeSession.start(mask, length, retain_outputs=True)
+        whole.prefill(q, k, v)
+        chunked = DecodeSession.start(mask, length, retain_outputs=True)
+        chunked.prefill(q[:10], k[:10], v[:10])
+        chunked.prefill(q[10:], k[10:], v[10:])
+        np.testing.assert_allclose(chunked.outputs(), whole.outputs(), atol=1e-7, rtol=1e-7)
+
+    def test_step_accepts_explicit_row_axis(self):
+        mask = LocalMask(window=3)
+        q, k, v = random_qkv(8, 4, dtype=np.float32, seed=37)
+        a = DecodeSession.start(mask, 8)
+        b = DecodeSession.start(mask, 8)
+        out_a = a.step(q[0], k[0], v[0])
+        out_b = b.step(q[:1], k[:1], v[:1])
+        np.testing.assert_array_equal(out_a.output, out_b.output)
+        assert out_a.output.shape == (1, 4)
+
+    def test_fully_masked_decode_rows_are_zero(self):
+        # off-grid rows of a dilated 2-D block attend nothing
+        mask = Dilated2DMask(block_size=6, dilation=2)
+        q, k, v = random_qkv(12, 4, dtype=np.float32, seed=41)
+        session = _run_decode_loop(mask, q, k, v, prompt=4)
+        outputs = session.outputs()
+        degrees = [mask.causal_row(i, 12).size for i in range(12)]
+        for i, degree in enumerate(degrees):
+            if degree == 0:
+                np.testing.assert_array_equal(outputs[i], np.zeros(4))
+
+    def test_horizon_enforced(self):
+        mask = LocalMask(window=3)
+        q, k, v = random_qkv(5, 4, dtype=np.float32, seed=43)
+        session = DecodeSession.start(mask, 4)
+        session.prefill(q[:4], k[:4], v[:4])
+        with pytest.raises(ValueError):
+            session.step(q[4], k[4], v[4])
+        with pytest.raises(ValueError):
+            DecodeSession.start(mask, 4).prefill(q, k, v)
+
+    def test_outputs_requires_retention(self):
+        session = DecodeSession.start(LocalMask(window=3), 8)
+        q, k, v = random_qkv(8, 4, dtype=np.float32, seed=47)
+        session.prefill(q, k, v)
+        with pytest.raises(ValueError):
+            session.outputs()
+
+    def test_full_plan_rejected(self):
+        engine = GraphAttentionEngine()
+        full_plan = engine.plan(LocalMask(window=3), 16)
+        with pytest.raises(ValueError):
+            DecodeSession(full_plan)
+
+    def test_decode_plan_rejects_one_shot_execute(self):
+        engine = GraphAttentionEngine()
+        plan = engine.plan(LocalMask(window=3), 16, mode="decode")
+        q, k, v = random_qkv(16, 4, dtype=np.float32, seed=53)
+        with pytest.raises(ValueError):
+            plan.execute(q, k, v)
+
+    def test_engine_decode_step_records_history(self):
+        engine = GraphAttentionEngine()
+        session = engine.start_decode(LocalMask(window=3), 8)
+        q, k, v = random_qkv(8, 4, dtype=np.float32, seed=59)
+        engine.decode_step(session, q[0], k[0], v[0])
+        engine.decode_step(session, q[1], k[1], v[1])
+        assert len(engine.history) == 2
+        assert engine.history[-1].algorithm == "decode-step"
+        assert session.steps_taken == 2
+
+
+class TestStackedDecode:
+    def test_stacked_matches_individual_steps(self):
+        mask = longformer_mask(reach=3, global_tokens=(0,))
+        length, dim, streams = 24, 6, 3
+        data = [random_qkv(length, dim, dtype=np.float32, seed=60 + s) for s in range(streams)]
+        stacked = [DecodeSession.start(mask, length, retain_outputs=True) for _ in range(streams)]
+        solo = [DecodeSession.start(mask, length, retain_outputs=True) for _ in range(streams)]
+        for s in range(streams):
+            q, k, v = data[s]
+            stacked[s].prefill(q[:8], k[:8], v[:8])
+            solo[s].prefill(q[:8], k[:8], v[:8])
+        for i in range(8, length):
+            results = stacked_decode_step(
+                stacked,
+                [data[s][0][i] for s in range(streams)],
+                [data[s][1][i] for s in range(streams)],
+                [data[s][2][i] for s in range(streams)],
+            )
+            assert all(r.meta["coalesced"] == streams for r in results)
+            for s in range(streams):
+                expected = solo[s].step(data[s][0][i], data[s][1][i], data[s][2][i])
+                np.testing.assert_array_equal(results[s].output, expected.output)
+
+    def test_mismatched_positions_rejected(self):
+        mask = LocalMask(window=3)
+        a = DecodeSession.start(mask, 16)
+        b = DecodeSession.start(mask, 16)
+        q, k, v = random_qkv(4, 4, dtype=np.float32, seed=67)
+        a.step(q[0], k[0], v[0])
+        with pytest.raises(ValueError):
+            stacked_decode_step([a, b], [q[1], q[1]], [k[1], k[1]], [v[1], v[1]])
+
+    def test_mismatched_plans_rejected(self):
+        a = DecodeSession.start(LocalMask(window=3), 16)
+        b = DecodeSession.start(LocalMask(window=5), 16)
+        q, k, v = random_qkv(2, 4, dtype=np.float32, seed=71)
+        with pytest.raises(ValueError):
+            stacked_decode_step([a, b], [q[0], q[0]], [k[0], k[0]], [v[0], v[0]])
+
+    def test_failed_stacked_step_leaves_no_session_advanced(self):
+        # a validation failure on a later tuple must not have appended tokens
+        # to earlier sessions' caches (no orphan tokens, no desynced streams)
+        mask = LocalMask(window=3)
+        a = DecodeSession.start(mask, 16)
+        b = DecodeSession.start(mask, 16)
+        q, k, v = random_qkv(2, 4, dtype=np.float32, seed=73)
+        a.step(q[0], k[0], v[0])
+        b.step(q[0], k[0], v[0])
+        bad_k = np.zeros(6, dtype=np.float32)  # wrong head dim on the second tuple
+        with pytest.raises(ValueError):
+            stacked_decode_step([a, b], [q[1], q[1]], [k[1], bad_k], [v[1], v[1]])
+        assert a.position == 1 and b.position == 1
+        good = stacked_decode_step([a, b], [q[1], q[1]], [k[1], k[1]], [v[1], v[1]])
+        assert all(r.meta["position"] == 1 for r in good)
+
+
+class TestServerStreaming:
+    def test_sessions_share_cached_decode_plan(self):
+        with AttentionServer(cache_capacity=8) as server:
+            mask = longformer_mask(reach=3, global_tokens=(0,))
+            first = server.open_decode_session(mask, 32)
+            second = server.open_decode_session(mask, 32)
+            assert not first.plan_cache_hit
+            assert second.plan_cache_hit
+            assert second.plan is first.plan
+            assert server.stats.decode_sessions == 2
+            assert server.stats.plans_compiled == 1
+
+    def test_decode_and_full_plans_cached_separately(self):
+        with AttentionServer(cache_capacity=8) as server:
+            mask = LocalMask(window=5)
+            decode_plan, _ = server.plan_for(mask, 32, mode="decode")
+            full_plan, _ = server.plan_for(mask, 32)
+            assert decode_plan.mode == "decode" and full_plan.mode == "full"
+            assert decode_plan.key != full_plan.key
+            assert server.stats.plans_compiled == 2
+
+    def test_decode_steps_coalesce_and_match_solo(self):
+        mask = longformer_mask(reach=3, global_tokens=(0,))
+        length, dim, streams = 24, 6, 3
+        data = [random_qkv(length, dim, dtype=np.float32, seed=80 + s) for s in range(streams)]
+        with AttentionServer(cache_capacity=8) as server:
+            sessions = [
+                server.open_decode_session(mask, length, retain_outputs=True)
+                for _ in range(streams)
+            ]
+            for s, (q, k, v) in zip(sessions, data):
+                s.prefill(q[:8], k[:8], v[:8])
+            for i in range(8, length):
+                responses = server.decode_steps(
+                    [(s, data[j][0][i], data[j][1][i], data[j][2][i]) for j, s in enumerate(sessions)]
+                )
+                assert len(responses) == streams
+            steps = (length - 8) * streams
+            assert server.stats.decode_steps == steps
+            assert server.stats.decode_coalesced_steps == steps
+            assert server.stats.decode_stacked_executions == length - 8
+            assert server.stats.decode_steps_per_second > 0
+        for s in range(streams):
+            solo = DecodeSession.start(mask, length, retain_outputs=True)
+            q, k, v = data[s]
+            solo.prefill(q[:8], k[:8], v[:8])
+            for i in range(8, length):
+                solo.step(q[i], k[i], v[i])
+            np.testing.assert_array_equal(sessions[s].outputs(), solo.outputs())
+
+    def test_ragged_sessions_form_singleton_groups(self):
+        with AttentionServer(cache_capacity=8) as server:
+            a = server.open_decode_session(LocalMask(window=3), 16)
+            b = server.open_decode_session(LocalMask(window=5), 16)
+            q, k, v = random_qkv(2, 4, dtype=np.float32, seed=91)
+            responses = server.decode_steps(
+                [(a, q[0], k[0], v[0]), (b, q[0], k[0], v[0])]
+            )
+            assert len(responses) == 2
+            assert server.stats.decode_stacked_executions == 0
+
+    def test_single_session_step_helper(self):
+        with AttentionServer(cache_capacity=8) as server:
+            session = server.open_decode_session(LocalMask(window=3), 16)
+            q, k, v = random_qkv(1, 4, dtype=np.float32, seed=93)
+            response = server.decode_step(session, q[0], k[0], v[0])
+            assert response.result.meta["position"] == 0
+            assert response.plan_key == session.plan.key
+
+    def test_duplicate_session_in_one_call_rejected(self):
+        with AttentionServer(cache_capacity=8) as server:
+            session = server.open_decode_session(LocalMask(window=3), 16)
+            q, k, v = random_qkv(2, 4, dtype=np.float32, seed=97)
+            with pytest.raises(ValueError):
+                server.decode_steps(
+                    [(session, q[0], k[0], v[0]), (session, q[1], k[1], v[1])]
+                )

@@ -11,7 +11,7 @@ from repro.masks.presets import bigbird_mask, longformer_mask
 from repro.masks.random_ import RandomMask
 from repro.masks.windowed import Dilated1DMask, LocalMask
 from repro.perfmodel.devices import A100_SXM4_80GB, L40_48GB
-from repro.serve.plan import ExecutionPlan, compile_plan, mask_key, plan_cache_key
+from repro.serve.plan import compile_plan, mask_key, plan_cache_key
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.utils.validation import assert_allclose_paper

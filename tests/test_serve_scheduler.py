@@ -128,16 +128,19 @@ class TestThreadPool:
         mask = longformer_mask(reach=4, global_tokens=(0,))
         reqs_serial = _requests(6, mask=mask)
         reqs_threaded = _requests(6, mask=mask)
-        serial = AttentionServer(cache_capacity=4).serve(reqs_serial)
-        threaded = AttentionServer(cache_capacity=4, max_workers=3).serve(reqs_threaded)
+        with AttentionServer(cache_capacity=4) as serial_server:
+            serial = serial_server.serve(reqs_serial)
+        with AttentionServer(cache_capacity=4, max_workers=3) as threaded_server:
+            threaded = threaded_server.serve(reqs_threaded)
+        assert threaded_server._pool is None  # context exit released the pool
         for a, b in zip(serial, threaded):
             np.testing.assert_array_equal(a.output, b.output)
         assert [r.request_id for r in threaded] == [r.request_id for r in serial]
 
     def test_more_workers_than_requests(self):
-        server = AttentionServer(max_workers=8)
-        responses = server.serve(_requests(2, mask=LocalMask(window=5)))
-        assert len(responses) == 2
+        with AttentionServer(max_workers=8) as server:
+            responses = server.serve(_requests(2, mask=LocalMask(window=5)))
+            assert len(responses) == 2
 
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
@@ -153,6 +156,27 @@ class TestThreadPool:
             assert server._pool is None
             responses = server.serve(_requests(2, mask=LocalMask(window=5), seed0=40))
             assert len(responses) == 2
+
+    def test_close_is_idempotent(self):
+        server = AttentionServer(max_workers=2)
+        server.serve(_requests(2, mask=LocalMask(window=5)))
+        server.close()
+        server.close()  # second close must be a no-op, not an error
+        assert server._pool is None
+
+    def test_pool_released_when_server_is_garbage_collected(self):
+        server = AttentionServer(max_workers=2)
+        # two distinct masks -> two execution groups, so the pool spins up
+        server.serve(
+            _requests(2, mask=LocalMask(window=5)) + _requests(2, mask=LocalMask(window=7))
+        )
+        pool = server._pool
+        assert pool is not None
+        threads = list(pool._threads)
+        del server  # __del__ must shut the lazily created pool down
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in threads)
 
 
 class TestWorkerBins:
