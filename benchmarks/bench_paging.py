@@ -1,0 +1,202 @@
+"""Paged KV cache vs. private per-session buffers: sessions-per-GB capacity.
+
+N concurrent decode streams that share 90% of their prompt store that prefix
+once under the paged allocator (chained-hash prefix sharing) and N times
+under PR 3's private ``KVCache`` buffers.  This benchmark opens real
+sessions through one :class:`~repro.serve.AttentionServer` with a shared
+:class:`~repro.serve.paging.BlockPool`, decodes a few tokens on every
+stream, verifies the paged outputs are **bit-identical** to private-cache
+decoding (and match the one-shot oracle), and then compares the measured
+bytes per stream — reported as sessions-per-GB — against the dense
+exact-token footprint and against the analytical model
+(:func:`repro.perfmodel.decode.paged_sessions_supported`).
+
+Acceptance: with a 90%-shared prompt the paged allocator must fit >= 3x the
+sessions per byte of the dense layout (both in ``--quick`` CI mode and in
+the full run); the script exits non-zero otherwise.
+
+Results are appended as one JSON record to ``BENCH_paging.json`` at the
+repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_paging.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.windowed import LocalMask
+from repro.perfmodel.decode import (
+    kv_cache_bytes,
+    paged_sessions_supported,
+    paging_fragmentation_overhead,
+)
+from repro.serve import AttentionServer
+from repro.serve.decode import DecodeSession, decode_reference_mask
+from repro.utils.rng import random_qkv
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_paging.json"
+
+#: Acceptance threshold: paged sessions-per-byte over the dense layout.
+CAPACITY_THRESHOLD = 3.0
+
+GIB = float(1 << 30)
+
+
+def _measure(streams, prompt, shared, decode_tokens, block_size, dim, window):
+    mask = LocalMask(window=window)
+    horizon = prompt + decode_tokens
+    # one shared prefix; every stream gets its own prompt tail + decode tokens
+    sq, sk, sv = random_qkv(shared, dim, dtype=np.float32, seed=1)
+    tails = [
+        random_qkv(horizon - shared, dim, dtype=np.float32, seed=100 + s)
+        for s in range(streams)
+    ]
+
+    server = AttentionServer(cache_capacity=8)
+    pool = server.create_block_pool(
+        key_dim=dim,
+        num_blocks=streams * (horizon // block_size + 2),
+        block_size=block_size,
+    )
+
+    sessions = []
+    for s in range(streams):
+        session = server.open_decode_session(
+            mask, horizon, retain_outputs=True, paged=True, reserve_tokens=0
+        )
+        tq, tk, tv = tails[s]
+        q = np.concatenate([sq, tq])
+        k = np.concatenate([sk, tk])
+        v = np.concatenate([sv, tv])
+        session.prefill(q[:prompt], k[:prompt], v[:prompt])
+        sessions.append((session, q, k, v))
+    for i in range(prompt, horizon):
+        server.decode_steps([(s, q[i], k[i], v[i]) for s, q, k, v in sessions])
+
+    # correctness gate: paged decoding must be bit-identical to a private
+    # cache and match the one-shot engine before the capacity numbers count
+    session, q, k, v = sessions[0]
+    private = DecodeSession.start(mask, horizon, retain_outputs=True)
+    private.prefill(q[:prompt], k[:prompt], v[:prompt])
+    for i in range(prompt, horizon):
+        private.step(q[i], k[i], v[i])
+    np.testing.assert_array_equal(session.outputs(), private.outputs())
+    oracle = GraphAttentionEngine().run(q, k, v, decode_reference_mask(mask, horizon))
+    np.testing.assert_allclose(session.outputs(), oracle.output, atol=1e-5, rtol=1e-5)
+
+    paged_bytes = pool.used_bytes
+    private_allocated = private.kv_cache_bytes * streams
+    dense_exact = streams * kv_cache_bytes(horizon, dim, dtype="fp32")
+    stats = pool.stats.snapshot()
+    for session, *_ in sessions:
+        server.close_decode_session(session)
+    assert pool.blocks_in_use == 0
+    server.close()
+
+    modelled = paged_sessions_supported(
+        int(GIB),
+        prompt_tokens=prompt,
+        shared_prefix_tokens=shared,
+        decode_tokens=decode_tokens,
+        block_size=block_size,
+        head_dim=dim,
+        dtype="fp32",
+    )
+    return {
+        "streams": streams,
+        "prompt_tokens": prompt,
+        "shared_prefix_tokens": shared,
+        "shared_fraction": shared / prompt,
+        "decode_tokens": decode_tokens,
+        "block_size": block_size,
+        "dim": dim,
+        "paged_bytes_total": int(paged_bytes),
+        "dense_exact_bytes_total": int(dense_exact),
+        "private_allocated_bytes_total": int(private_allocated),
+        "capacity_ratio_vs_dense": dense_exact / paged_bytes,
+        "capacity_ratio_vs_allocated": private_allocated / paged_bytes,
+        "sessions_per_gib_paged": streams * GIB / paged_bytes,
+        "sessions_per_gib_dense": streams * GIB / dense_exact,
+        "modelled_sessions_per_gib_paged": modelled,
+        "share_hits": stats.share_hits,
+        "shared_tokens_saved": stats.shared_tokens_saved,
+        "cow_copies": stats.cow_copies,
+        "fragmentation_overhead_single_stream": paging_fragmentation_overhead(
+            horizon, block_size
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced CI configuration")
+    args = parser.parse_args()
+
+    dim, window, block_size = 64, 65, 8
+    prompt, shared, decode_tokens = 256, 232, 8  # 90.6% shared prefix
+    streams = 8 if args.quick else 32
+
+    print(
+        f"== Paged KV capacity: {streams} streams, {prompt}-token prompt "
+        f"({shared / prompt:.0%} shared), +{decode_tokens} decoded, "
+        f"block_size={block_size}"
+    )
+    row = _measure(streams, prompt, shared, decode_tokens, block_size, dim, window)
+    print(
+        f"   paged  : {row['paged_bytes_total'] / 1e6:8.2f} MB total "
+        f"({row['sessions_per_gib_paged']:,.0f} sessions/GiB, "
+        f"{row['share_hits']} share hits, {row['shared_tokens_saved']:,} tokens saved)"
+    )
+    print(
+        f"   dense  : {row['dense_exact_bytes_total'] / 1e6:8.2f} MB exact "
+        f"({row['sessions_per_gib_dense']:,.0f} sessions/GiB); private buffers "
+        f"actually allocated {row['private_allocated_bytes_total'] / 1e6:.2f} MB"
+    )
+    print(
+        f"   ratio  : {row['capacity_ratio_vs_dense']:.2f}x vs dense exact, "
+        f"{row['capacity_ratio_vs_allocated']:.2f}x vs allocated "
+        f"(modelled {row['modelled_sessions_per_gib_paged']:,} sessions/GiB)"
+    )
+
+    record = {
+        "benchmark": "bench_paging",
+        "quick": bool(args.quick),
+        "results": [row],
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"   record appended to {RECORD_PATH.name}")
+
+    if row["capacity_ratio_vs_dense"] < CAPACITY_THRESHOLD:
+        print(
+            f"FAIL: capacity ratio {row['capacity_ratio_vs_dense']:.2f}x below "
+            f"the {CAPACITY_THRESHOLD:.0f}x threshold",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"   acceptance ok: paged layout fits "
+        f"{row['capacity_ratio_vs_dense']:.1f}x the sessions per byte "
+        f"(threshold {CAPACITY_THRESHOLD:.0f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

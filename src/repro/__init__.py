@@ -46,10 +46,13 @@ from repro.serve import (
     AttentionRequest,
     AttentionResponse,
     AttentionServer,
+    BlockPool,
     DecodeSession,
     ExecutionPlan,
     KVCache,
+    PagedKVCache,
     PlanCache,
+    PoolExhausted,
     ServingSession,
     compile_plan,
     decode_reference_mask,
@@ -67,6 +70,7 @@ __all__ = [
     "AttentionResponse",
     "AttentionResult",
     "AttentionServer",
+    "BlockPool",
     "COOMatrix",
     "CSRMatrix",
     "DecodeSession",
@@ -74,7 +78,9 @@ __all__ = [
     "GraphAttentionEngine",
     "KVCache",
     "OpCounts",
+    "PagedKVCache",
     "PlanCache",
+    "PoolExhausted",
     "ServingSession",
     "__version__",
     "bigbird_attention",

@@ -42,9 +42,13 @@ from repro.perfmodel.context_limits import (
 from repro.perfmodel.decode import (
     DecodeRuntimeModel,
     DecodeStepEstimate,
+    blocks_for_tokens,
     decode_step_flops,
     kv_cache_bytes,
     max_cached_tokens,
+    paged_kv_cache_bytes,
+    paged_sessions_supported,
+    paging_fragmentation_overhead,
 )
 
 __all__ = [
@@ -61,6 +65,7 @@ __all__ = [
     "RuntimeEstimate",
     "RuntimeModel",
     "V100_SXM2_32GB",
+    "blocks_for_tokens",
     "combine_estimates",
     "context_limit_sweep",
     "context_limit_table",
@@ -69,4 +74,7 @@ __all__ = [
     "kv_cache_bytes",
     "max_cached_tokens",
     "max_context_length",
+    "paged_kv_cache_bytes",
+    "paged_sessions_supported",
+    "paging_fragmentation_overhead",
 ]

@@ -62,6 +62,90 @@ def kv_cache_bytes(
     return int(batch * heads * length * (head_dim + value_dim) * element)
 
 
+def blocks_for_tokens(length: int, block_size: int) -> int:
+    """Physical blocks a ``length``-token stream occupies (last one partial)."""
+    require(length >= 0, "length must be non-negative")
+    require(block_size >= 1, "block size must be >= 1")
+    return -(-length // block_size)  # ceil
+
+
+def paged_kv_cache_bytes(
+    length: int,
+    head_dim: int,
+    *,
+    block_size: int,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp16",
+) -> int:
+    """Bytes a paged KV cache maps for ``length`` tokens.
+
+    The block granularity rounds the footprint up to whole blocks — the
+    *internal fragmentation* a paged allocator pays in exchange for zero
+    external fragmentation and prefix sharing.
+    """
+    padded = blocks_for_tokens(length, block_size) * block_size
+    return kv_cache_bytes(
+        padded, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
+    )
+
+
+def paging_fragmentation_overhead(length: int, block_size: int) -> float:
+    """Fractional byte overhead of paging vs. an exact dense buffer.
+
+    ``0.0`` when ``length`` is block-aligned; at worst
+    ``(block_size - 1) / length``.  The dense-buffer comparison point is the
+    exact live-token footprint — a geometrically-doubled private buffer
+    typically wastes far more (up to ~2x) in slack capacity.
+    """
+    require(length >= 1, "length must be positive")
+    padded = blocks_for_tokens(length, block_size) * block_size
+    return (padded - length) / length
+
+
+def paged_sessions_supported(
+    budget_bytes: int,
+    *,
+    prompt_tokens: int,
+    shared_prefix_tokens: int,
+    decode_tokens: int = 0,
+    block_size: int,
+    head_dim: int,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp16",
+) -> int:
+    """Concurrent paged streams a KV byte budget holds with a shared prompt.
+
+    The first ``shared_prefix_tokens`` of every prompt map the same physical
+    blocks (paid once); only full blocks of the shared prefix share cleanly,
+    so the remainder counts as private.  Each stream then owns its private
+    prompt tail plus ``decode_tokens`` generated tokens, rounded up to
+    blocks.  This is the capacity model ``benchmarks/bench_paging.py``
+    validates against the real :class:`~repro.serve.paging.BlockPool`.
+    """
+    require(budget_bytes >= 0, "budget must be non-negative")
+    require(
+        0 <= shared_prefix_tokens <= prompt_tokens,
+        "shared prefix cannot exceed the prompt",
+    )
+    block_bytes = kv_cache_bytes(
+        block_size, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
+    )
+    total_blocks = budget_bytes // block_bytes
+    shared_blocks = shared_prefix_tokens // block_size
+    private_tokens = (
+        prompt_tokens - shared_blocks * block_size + max(0, int(decode_tokens))
+    )
+    per_session = blocks_for_tokens(private_tokens, block_size)
+    if per_session == 0:
+        # fully-shared prompts and no generation: bounded only by the budget
+        return int(total_blocks) if shared_blocks <= total_blocks else 0
+    return max(0, int((total_blocks - shared_blocks) // per_session))
+
+
 def decode_step_flops(
     row_edges: int,
     head_dim: int,
@@ -209,6 +293,7 @@ def max_cached_tokens(
     batch: int = 1,
     dtype: str = "fp16",
     reserved_bytes: int = 0,
+    block_size: Optional[int] = None,
 ) -> int:
     """Longest decode stream whose KV cache fits in device memory.
 
@@ -216,9 +301,27 @@ def max_cached_tokens(
     remainder divides by the per-token cache footprint (the decode analogue
     of the Table II context-length limits — linear in ``L`` instead of the
     quadratic score-matrix inequality).
+
+    With ``block_size`` the budget is spent at block granularity instead:
+    the stream holds at most ``num_blocks · block_size`` tokens, where only
+    whole blocks fit the budget — the paged allocator's accounting, slightly
+    below the dense bound when the budget is not block-aligned but immune to
+    the up-to-2x slack a geometrically-doubled private buffer reserves.
     """
+    budget = device.memory_bytes - int(reserved_bytes)
+    if budget <= 0:
+        return 0
+    if block_size is not None:
+        block_bytes = kv_cache_bytes(
+            block_size,
+            head_dim,
+            value_dim=value_dim,
+            heads=heads,
+            batch=batch,
+            dtype=dtype,
+        )
+        return int(budget // block_bytes) * int(block_size)
     per_token = kv_cache_bytes(
         1, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
     )
-    budget = device.memory_bytes - int(reserved_bytes)
     return max(0, budget // per_token)

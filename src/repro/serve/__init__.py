@@ -16,6 +16,11 @@ Three layers turn the paper's kernels into a serving stack:
   :class:`DecodeSession` KV-cache streams whose per-token steps cost O(edges
   of the new token's mask row), with same-plan steps from concurrent
   sessions coalesced into stacked kernel passes (continuous batching).
+* :mod:`repro.serve.paging` — paged KV memory: a refcounted
+  :class:`BlockPool` of fixed-size K/V blocks shared by every paged session,
+  :class:`PagedKVCache` block tables with chained-hash prefix sharing and
+  copy-on-write divergence, LRU eviction of finished sessions' blocks, and
+  reject-or-queue admission control on the server.
 
 Quick start::
 
@@ -36,6 +41,13 @@ from repro.serve.decode import (
     decode_reference_mask,
     stacked_decode_step,
 )
+from repro.serve.paging import (
+    DEFAULT_BLOCK_SIZE,
+    BlockPool,
+    BlockPoolStats,
+    PagedKVCache,
+    PoolExhausted,
+)
 from repro.serve.plan import (
     DEFAULT_HEAD_DIM,
     ExecutionPlan,
@@ -44,7 +56,7 @@ from repro.serve.plan import (
     mask_key,
     plan_cache_key,
 )
-from repro.serve.scheduler import AttentionServer, RequestBatch
+from repro.serve.scheduler import AttentionServer, DecodeTicket, RequestBatch
 from repro.serve.session import (
     AttentionRequest,
     AttentionResponse,
@@ -56,13 +68,19 @@ __all__ = [
     "AttentionRequest",
     "AttentionResponse",
     "AttentionServer",
+    "BlockPool",
+    "BlockPoolStats",
     "CacheStats",
+    "DEFAULT_BLOCK_SIZE",
     "DEFAULT_HEAD_DIM",
     "DecodeSession",
+    "DecodeTicket",
     "ExecutionPlan",
     "KVCache",
+    "PagedKVCache",
     "PlanCache",
     "PlanStep",
+    "PoolExhausted",
     "RequestBatch",
     "ServerStats",
     "ServingSession",

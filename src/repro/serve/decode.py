@@ -32,7 +32,7 @@ run over :func:`decode_reference_mask`.
 from __future__ import annotations
 
 from math import prod
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from repro.core.result import AttentionResult, OpCounts
 from repro.masks.base import as_mask_spec
 from repro.masks.rows import compile_row_program
 from repro.masks.structured import DenseMask
+from repro.serve.paging import BlockPool, PagedKVCache
 from repro.serve.plan import ExecutionPlan, compile_plan
 from repro.sparse.csr import CSRMatrix
 from repro.utils.validation import require
@@ -82,6 +83,10 @@ class KVCache:
         self.key_dim = int(key_dim)
         self.value_dim = int(value_dim)
         self.max_length = int(max_length) if max_length is not None else None
+        require(
+            self.max_length is None or self.max_length >= 1,
+            "max_length must be >= 1 when given",
+        )
         if self.max_length is not None:
             capacity = min(capacity, self.max_length)
         self._keys = np.empty(self.batch_shape + (capacity, self.key_dim), dtype=dtype)
@@ -117,6 +122,29 @@ class KVCache:
         """View of the live value rows, ``batch_shape + (length, d_v)``."""
         return self._values[..., : self._length, :]
 
+    def _check_live(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions)
+        require(
+            positions.size == 0 or int(positions.max(initial=0)) < self._length,
+            "gather past the live token range",
+        )
+        return positions
+
+    def gather_keys(self, positions: np.ndarray) -> np.ndarray:
+        """Key rows of live token ``positions``, ``batch_shape + (E, d_k)``.
+
+        Same contract as :meth:`PagedKVCache.gather_keys
+        <repro.serve.paging.PagedKVCache.gather_keys>` — the kernels consume
+        only gathered views, so contiguous and paged caches interchange
+        (including the refusal to read past the live rows into slack
+        capacity).
+        """
+        return self._keys[..., self._check_live(positions), :]
+
+    def gather_values(self, positions: np.ndarray) -> np.ndarray:
+        """Value rows of live token ``positions``, ``batch_shape + (E, d_v)``."""
+        return self._values[..., self._check_live(positions), :]
+
     # ------------------------------------------------------------------ #
     def _ensure_capacity(self, extra: int) -> None:
         needed = self._length + extra
@@ -142,6 +170,7 @@ class KVCache:
         """Append a block of tokens; returns the first appended position."""
         k_block = np.asarray(k_block)
         v_block = np.asarray(v_block)
+        require(k_block.ndim >= 2, "key block must be batch_shape + (T, d_k)")
         count = int(k_block.shape[-2])
         require(
             k_block.shape == self.batch_shape + (count, self.key_dim),
@@ -201,9 +230,14 @@ def _edge_attention(
     return state.finalize(dtype=out_dtype), state
 
 
+#: Either cache flavour a session may own: the private contiguous buffer or a
+#: block-table view over a shared pool.  Kernels only ever see gathered rows.
+AnyKVCache = Union[KVCache, PagedKVCache]
+
+
 def _rows_attention(
     q_rows: np.ndarray,
-    cache: KVCache,
+    cache: AnyKVCache,
     cols_list: Sequence[np.ndarray],
     *,
     scale: Optional[float],
@@ -214,8 +248,8 @@ def _rows_attention(
     scale_value = resolve_scale(scale, q_rows.shape[-1])
     output, state = _edge_attention(
         q_rows,
-        cache.keys()[..., cols, :],
-        cache.values()[..., cols, :],
+        cache.gather_keys(cols),
+        cache.gather_values(cols),
         indptr,
         scale_value=scale_value,
         out_dtype=q_rows.dtype,
@@ -247,6 +281,7 @@ class DecodeSession:
         retain_outputs: bool = False,
         initial_capacity: int = DEFAULT_INITIAL_CAPACITY,
         session_id: Optional[int] = None,
+        cache: Optional[AnyKVCache] = None,
     ) -> None:
         require(
             plan.mode == "decode" and plan.decode is not None,
@@ -257,7 +292,11 @@ class DecodeSession:
         self.retain_outputs = bool(retain_outputs)
         self.initial_capacity = int(initial_capacity)
         self.session_id = session_id
-        self.cache: Optional[KVCache] = None
+        #: ``None`` until the first tokens arrive (layout is inferred), unless
+        #: a pre-built cache — typically a :class:`~repro.serve.paging.
+        #: PagedKVCache` over a shared pool — was injected at open.
+        self.cache: Optional[AnyKVCache] = cache
+        self.closed = False
         self.ops = OpCounts()
         self.steps_taken = 0
         self.prefilled_tokens = 0
@@ -276,16 +315,23 @@ class DecodeSession:
         executor: str = "vectorized",
         retain_outputs: bool = False,
         initial_capacity: int = DEFAULT_INITIAL_CAPACITY,
+        pool: Optional[BlockPool] = None,
     ) -> "DecodeSession":
         """Compile a decode plan for ``mask`` at ``horizon`` and open a session.
 
         The plan keeps its canonical cache key, so independently started
         sessions over the same mask shape can still coalesce their steps
-        (see :func:`stacked_decode_step`).
+        (see :func:`stacked_decode_step`).  Passing ``pool`` backs the session
+        with a :class:`~repro.serve.paging.PagedKVCache` over that shared
+        block pool instead of a private buffer.
         """
         plan = compile_plan(mask, horizon, executor=executor, scale=scale, mode="decode")
+        cache = PagedKVCache(pool, max_length=horizon) if pool is not None else None
         return cls(
-            plan, retain_outputs=retain_outputs, initial_capacity=initial_capacity
+            plan,
+            retain_outputs=retain_outputs,
+            initial_capacity=initial_capacity,
+            cache=cache,
         )
 
     # ------------------------------------------------------------------ #
@@ -306,12 +352,26 @@ class DecodeSession:
 
     @property
     def kv_cache_bytes(self) -> int:
-        """Bytes currently allocated to the KV cache."""
+        """Bytes currently allocated (private) or mapped (paged) by the cache."""
         return self.cache.nbytes if self.cache is not None else 0
+
+    @property
+    def paged(self) -> bool:
+        """Whether the session's KV cache lives in a shared block pool."""
+        return isinstance(self.cache, PagedKVCache)
 
     # ------------------------------------------------------------------ #
     def _ensure_cache(self, k_block: np.ndarray, v_block: np.ndarray) -> None:
         if self.cache is not None:
+            require(
+                k_block.shape[:-2] == self.cache.batch_shape
+                and k_block.shape[-1] == self.cache.key_dim
+                and v_block.shape[-1] == self.cache.value_dim,
+                f"token batch shape {k_block.shape[:-2]} / dims "
+                f"({k_block.shape[-1]}, {v_block.shape[-1]}) do not match the "
+                f"cache layout {self.cache.batch_shape} + "
+                f"({self.cache.key_dim}, {self.cache.value_dim})",
+            )
             return
         self.cache = KVCache(
             k_block.shape[:-2],
@@ -332,13 +392,22 @@ class DecodeSession:
         array = np.asarray(array)
         if self.cache is not None:
             row_ndim = len(self.cache.batch_shape) + 1
-        else:
-            row_ndim = 1  # before the cache exists, only a bare (d,) vector is a row
-        if array.ndim == row_ndim:
-            return array[..., None, :]
+            if array.ndim == row_ndim:
+                return array[..., None, :]
+            require(
+                array.ndim == row_ndim + 1 and array.shape[-2] == 1,
+                "decode steps take exactly one token: (..., d) or (..., 1, d)",
+            )
+            return array
+        # before the cache exists, the batch shape is unknown: a bare (d,)
+        # vector is a row, anything batched must carry the explicit token
+        # axis — (..., 1, d) — or the leading axes would be ambiguous
+        if array.ndim == 1:
+            return array[None, :]
         require(
-            array.ndim == row_ndim + 1 and array.shape[-2] == 1,
-            "decode steps take exactly one token: (..., d) or (..., 1, d)",
+            array.ndim >= 2 and array.shape[-2] == 1,
+            "first decode step with batch axes needs an explicit token axis: "
+            "pass (..., 1, d) (or prefill first)",
         )
         return array
 
@@ -350,6 +419,7 @@ class DecodeSession:
         row (keys up to and including themselves), in one vectorized pass
         over the block's edges.  May be called repeatedly (chunked prefill).
         """
+        require(not self.closed, "session is closed")
         q, k, v = np.asarray(q), np.asarray(k), np.asarray(v)
         require(q.ndim >= 2, "prefill takes (..., P, d) blocks")
         require(q.shape == k.shape, "q and k must have matching shapes")
@@ -387,6 +457,7 @@ class DecodeSession:
         ``(..., 1, d)``).  The returned result's output is
         ``batch_shape + (1, d_v)`` — the new token's attention row.
         """
+        require(not self.closed, "session is closed")
         q = self._as_token_slice(q)
         k = self._as_token_slice(k)
         v = self._as_token_slice(v)
@@ -417,6 +488,21 @@ class DecodeSession:
         return result
 
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Finish the stream: release paged blocks back to their pool.
+
+        Idempotent.  A closed session refuses further prefills and steps;
+        retained outputs stay readable.  For a private-cache session this
+        only marks the stream finished (the buffer is garbage-collected with
+        the session); for a paged session every block reference returns to
+        the pool, where prefix-registered blocks park in the evictable LRU.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if isinstance(self.cache, PagedKVCache):
+            self.cache.release()
+
     def outputs(self) -> np.ndarray:
         """All retained outputs concatenated to ``batch_shape + (length, d_v)``.
 
@@ -472,6 +558,7 @@ def stacked_decode_step(
     # must not leave earlier sessions' caches advanced with orphan tokens
     q_rows, k_rows, v_rows = [], [], []
     for session, q, k, v in zip(sessions, qs, ks, vs):
+        require(not session.closed, "decode step on a closed session")
         q, k, v = session._as_token_slice(q), session._as_token_slice(k), session._as_token_slice(v)
         require(q.shape == k.shape, "q and k must have matching shapes")
         require(v.shape[:-1] == q.shape[:-1], "v must cover the same rows as q")
@@ -491,17 +578,47 @@ def stacked_decode_step(
         q_rows.append(q)
         k_rows.append(k)
         v_rows.append(v)
-    for session, k, v in zip(sessions, k_rows, v_rows):
-        session._ensure_cache(k, v)
-        session.cache.extend(k, v)
+
+    # paged sessions reserve every block the batch needs atomically per pool
+    # BEFORE any cache advances — pool exhaustion fails the whole batch with
+    # no block table advanced (the PR 3 atomicity guarantee, extended)
+    reservations: Dict[int, Tuple[BlockPool, List[int]]] = {}
+    needed: Dict[int, int] = {}
+    for session in sessions:
+        if isinstance(session.cache, PagedKVCache):
+            pool = session.cache.pool
+            needed[id(pool)] = needed.get(id(pool), 0) + session.cache.plan_extend(1)
+            reservations.setdefault(id(pool), (pool, []))
+    try:
+        for pool_id, (pool, blocks) in reservations.items():
+            blocks.extend(pool.reserve(needed[pool_id]))
+    except Exception:
+        for pool, blocks in reservations.values():
+            if blocks:
+                pool.release(blocks)
+        raise
+    try:
+        for session, k, v in zip(sessions, k_rows, v_rows):
+            session._ensure_cache(k, v)
+            if isinstance(session.cache, PagedKVCache):
+                session.cache.extend(
+                    k, v, reserved=reservations[id(session.cache.pool)][1]
+                )
+            else:
+                session.cache.extend(k, v)
+    finally:
+        # share hits consume no reservation; return what the batch left over
+        for pool, blocks in reservations.values():
+            if blocks:
+                pool.release(blocks)
 
     cols = first.program.causal_row(position)
     indptr = np.array([0, cols.size], dtype=np.int64)
     scale_value = resolve_scale(first.plan.scale, q_rows[0].shape[-1])
     # stack sessions on a new leading axis: (S,) + batch_shape + (E, d)
     q_stack = np.stack(q_rows)
-    k_sel = np.stack([s.cache.keys()[..., cols, :] for s in sessions])
-    v_sel = np.stack([s.cache.values()[..., cols, :] for s in sessions])
+    k_sel = np.stack([s.cache.gather_keys(cols) for s in sessions])
+    v_sel = np.stack([s.cache.gather_values(cols) for s in sessions])
     output, state = _edge_attention(
         q_stack, k_sel, v_sel, indptr, scale_value=scale_value, out_dtype=q_stack.dtype
     )

@@ -1,0 +1,761 @@
+"""Paged KV-cache: block pools, block tables, prefix sharing, copy-on-write.
+
+PR 3's :class:`~repro.serve.decode.KVCache` gives every decoding stream a
+private geometrically-doubling buffer, so N concurrent streams with one
+shared prompt store N copies of its keys and values and the server has no
+global notion of memory.  This module pages the cache instead — the vLLM
+recipe applied to the repo's numpy serving stack:
+
+* :class:`BlockPool` — one preallocated pair of K/V arenas shaped
+  ``batch_shape + (num_blocks · block_size, d)``, carved into fixed-size
+  *blocks* handed out through a free list.  Blocks are refcounted: several
+  sessions may map one physical block, and a block whose refcount drops to
+  zero while still registered under a prefix fingerprint parks in an LRU of
+  *evictable* blocks — a finished session's prompt stays warm for the next
+  identical prompt until memory pressure actually reclaims it.
+* :class:`PagedKVCache` — the drop-in replacement for ``KVCache``: the same
+  ``extend``/``append``/``gather`` API, but backed by a *block table* of
+  physical block ids instead of a contiguous buffer.  Prefill chunks are
+  fingerprinted with a chained content hash (hash of this block's bytes
+  chained onto the hash of everything before it), so two sessions prefilling
+  the same prompt map the same physical blocks (*prefix sharing*), including
+  a partially-filled tail block.  Appending into a block mapped by more than
+  one session copies it first (*copy-on-write on divergence*).
+* :exc:`PoolExhausted` — raised when an allocation (or a server admission
+  check) cannot be satisfied even after evicting every unreferenced block;
+  the serving layer turns it into reject-or-queue admission control.
+
+All pool mutations happen under one lock, so concurrent sessions on a thread
+pool can share a pool; reservation (:meth:`BlockPool.reserve`) is
+all-or-nothing, which is what lets a batched decode step fail *before*
+touching any session's block table.
+
+The gather/scatter contract keeps decoding bit-exact: a block table lookup
+maps logical token positions to physical arena rows, and the kernels consume
+exactly the same gathered ``(..., E, d)`` views they would have read from a
+contiguous cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from math import prod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.dtypes import INDEX_DTYPE
+from repro.utils.validation import require
+
+#: Default tokens per block — small enough that a short prompt's padding
+#: waste stays low, large enough that block tables stay short.
+DEFAULT_BLOCK_SIZE = 16
+
+
+class PoolExhausted(RuntimeError):
+    """No free or evictable block can satisfy an allocation or admission."""
+
+
+def _fingerprint(parent: str, k_bytes: bytes, v_bytes: bytes, fill: int) -> str:
+    """Chained content hash of one block given the fingerprint of its prefix."""
+    digest = hashlib.sha1()
+    digest.update(parent.encode())
+    digest.update(fill.to_bytes(4, "little"))
+    digest.update(k_bytes)
+    digest.update(v_bytes)
+    return digest.hexdigest()
+
+
+@dataclass
+class BlockPoolStats:
+    """Counters and gauges of one :class:`BlockPool` (gauges updated under its lock)."""
+
+    num_blocks: int = 0
+    block_size: int = 0
+    allocations: int = 0
+    share_hits: int = 0
+    shared_tokens_saved: int = 0
+    cow_copies: int = 0
+    evictions: int = 0
+    failed_reservations: int = 0
+    free_blocks: int = 0
+    evictable_blocks: int = 0
+    blocks_in_use: int = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of physical blocks currently mapped by at least one cache."""
+        return self.blocks_in_use / self.num_blocks if self.num_blocks else 0.0
+
+    def snapshot(self) -> "BlockPoolStats":
+        return BlockPoolStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
+
+
+class BlockPool:
+    """Refcounted fixed-size block arena shared by paged KV caches.
+
+    The K and V arenas are allocated once, shaped
+    ``batch_shape + (num_blocks · block_size, d)`` so a block table lookup
+    turns token positions into flat physical rows and every kernel gather is
+    a single fancy-index on the arena.  All sessions sharing a pool must
+    share its layout (batch shape, head dims, dtype) — the same constraint a
+    real paged-attention arena has, since blocks are raw ``(block_size, d)``
+    tiles of one tensor.
+
+    Thread safety: every mutating method takes the pool lock, and
+    :meth:`reserve` is all-or-nothing, so concurrent sessions can allocate
+    from one pool without ever observing a partially-applied batch.
+    """
+
+    def __init__(
+        self,
+        num_blocks: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        *,
+        key_dim: int,
+        value_dim: Optional[int] = None,
+        batch_shape: Tuple[int, ...] = (),
+        dtype=np.float32,
+    ) -> None:
+        require(num_blocks >= 1, "pool needs at least one block")
+        require(block_size >= 1, "block size must be >= 1")
+        require(key_dim > 0, "key dim must be positive")
+        value_dim = key_dim if value_dim is None else value_dim
+        require(value_dim > 0, "value dim must be positive")
+        self.num_blocks = int(num_blocks)
+        self.block_size = int(block_size)
+        self.key_dim = int(key_dim)
+        self.value_dim = int(value_dim)
+        self.batch_shape = tuple(int(s) for s in batch_shape)
+        rows = self.num_blocks * self.block_size
+        self._keys = np.zeros(self.batch_shape + (rows, self.key_dim), dtype=dtype)
+        self._values = np.zeros(self.batch_shape + (rows, self.value_dim), dtype=dtype)
+        self._refcounts = np.zeros(self.num_blocks, dtype=np.int64)
+        self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
+        #: refcount-0 blocks still registered under a fingerprint, LRU order
+        self._evictable: "OrderedDict[int, None]" = OrderedDict()
+        self._fingerprint_to_block: Dict[str, int] = {}
+        self._block_to_fingerprint: Dict[int, str] = {}
+        self._lock = threading.RLock()
+        self.stats = BlockPoolStats(num_blocks=self.num_blocks, block_size=self.block_size)
+        self._refresh_gauges()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_budget(
+        cls,
+        memory_budget_bytes: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        *,
+        key_dim: int,
+        value_dim: Optional[int] = None,
+        batch_shape: Tuple[int, ...] = (),
+        dtype=np.float32,
+    ) -> "BlockPool":
+        """Size a pool to a byte budget: as many blocks as the arenas can hold."""
+        value_dim = key_dim if value_dim is None else value_dim
+        element = np.dtype(dtype).itemsize
+        per_block = (
+            prod(batch_shape or (1,)) * block_size * (key_dim + value_dim) * element
+        )
+        num_blocks = int(memory_budget_bytes) // per_block
+        require(
+            num_blocks >= 1,
+            f"memory budget {memory_budget_bytes} bytes is below one "
+            f"{per_block}-byte block",
+        )
+        return cls(
+            num_blocks,
+            block_size,
+            key_dim=key_dim,
+            value_dim=value_dim,
+            batch_shape=batch_shape,
+            dtype=dtype,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dtype(self) -> np.dtype:
+        return self._keys.dtype
+
+    @property
+    def block_bytes(self) -> int:
+        """Physical bytes of one block (its K and V tiles across the batch)."""
+        rows = prod(self.batch_shape) if self.batch_shape else 1
+        element = self._keys.dtype.itemsize
+        return int(rows * self.block_size * (self.key_dim + self.value_dim) * element)
+
+    @property
+    def nbytes(self) -> int:
+        """Total arena bytes (the fixed memory budget the pool occupies)."""
+        return int(self._keys.nbytes + self._values.nbytes)
+
+    @property
+    def free_blocks(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    @property
+    def evictable_blocks(self) -> int:
+        with self._lock:
+            return len(self._evictable)
+
+    @property
+    def available_blocks(self) -> int:
+        """Blocks an allocation could obtain right now (free + evictable)."""
+        with self._lock:
+            return len(self._free) + len(self._evictable)
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Blocks mapped by at least one live cache (refcount > 0)."""
+        with self._lock:
+            return int(np.count_nonzero(self._refcounts))
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of the blocks currently mapped by live caches."""
+        return self.blocks_in_use * self.block_bytes
+
+    def refcount(self, block: int) -> int:
+        with self._lock:
+            return int(self._refcounts[block])
+
+    def _refresh_gauges(self) -> None:
+        self.stats.free_blocks = len(self._free)
+        self.stats.evictable_blocks = len(self._evictable)
+        self.stats.blocks_in_use = int(np.count_nonzero(self._refcounts))
+
+    # ------------------------------------------------------------------ #
+    # Allocation
+    # ------------------------------------------------------------------ #
+    def _evict_locked(self) -> int:
+        block, _ = self._evictable.popitem(last=False)  # least recently parked
+        fingerprint = self._block_to_fingerprint.pop(block, None)
+        if fingerprint is not None:
+            self._fingerprint_to_block.pop(fingerprint, None)
+        self.stats.evictions += 1
+        return block
+
+    def _alloc_locked(self) -> int:
+        if self._free:
+            block = self._free.pop()
+        elif self._evictable:
+            block = self._evict_locked()
+        else:
+            raise PoolExhausted(
+                f"all {self.num_blocks} blocks are referenced by live sessions"
+            )
+        self._refcounts[block] = 1
+        self.stats.allocations += 1
+        return block
+
+    def reserve(self, count: int) -> List[int]:
+        """Atomically allocate ``count`` blocks (refcount 1 each) or none.
+
+        Raises :exc:`PoolExhausted` without side effects when fewer than
+        ``count`` blocks are free or evictable — the all-or-nothing shape a
+        batched decode step needs so a failed batch mutates nothing.
+        """
+        require(count >= 0, "reserve count must be non-negative")
+        with self._lock:
+            if len(self._free) + len(self._evictable) < count:
+                self.stats.failed_reservations += 1
+                raise PoolExhausted(
+                    f"need {count} blocks, only "
+                    f"{len(self._free) + len(self._evictable)} available"
+                )
+            blocks = [self._alloc_locked() for _ in range(count)]
+            self._refresh_gauges()
+            return blocks
+
+    def incref(self, block: int) -> None:
+        with self._lock:
+            require(self._refcounts[block] > 0, "incref on an unreferenced block")
+            self._refcounts[block] += 1
+
+    def release(self, blocks: Sequence[int]) -> None:
+        """Drop one reference from each block; unreferenced blocks park or free.
+
+        A block still registered under a prefix fingerprint becomes
+        *evictable* (kept warm for future identical prefixes, reclaimed LRU
+        under pressure); an unregistered block returns straight to the free
+        list.
+        """
+        with self._lock:
+            for block in blocks:
+                count = int(self._refcounts[block])
+                require(count > 0, f"double free of block {block}")
+                self._refcounts[block] = count - 1
+                if count == 1:
+                    if block in self._block_to_fingerprint:
+                        self._evictable[block] = None
+                        self._evictable.move_to_end(block)
+                    else:
+                        self._free.append(block)
+            self._refresh_gauges()
+
+    # ------------------------------------------------------------------ #
+    # Prefix sharing
+    # ------------------------------------------------------------------ #
+    def lookup(self, fingerprint: str) -> Optional[int]:
+        """Map a chained prefix fingerprint to its physical block, if cached.
+
+        A hit increfs the block (reviving it from the evictable LRU when its
+        last session already finished) — the caller now maps it.
+        """
+        with self._lock:
+            block = self._fingerprint_to_block.get(fingerprint)
+            if block is None:
+                return None
+            if self._refcounts[block] == 0:
+                self._evictable.pop(block, None)
+                self._refcounts[block] = 1
+            else:
+                self._refcounts[block] += 1
+            self.stats.share_hits += 1
+            self._refresh_gauges()
+            return block
+
+    def register(self, fingerprint: str, block: int) -> None:
+        """Publish a block under its chained fingerprint for future sharing."""
+        with self._lock:
+            if fingerprint in self._fingerprint_to_block:
+                return  # first writer wins; the duplicate stays private
+            stale = self._block_to_fingerprint.pop(block, None)
+            if stale is not None:
+                self._fingerprint_to_block.pop(stale, None)
+            self._fingerprint_to_block[fingerprint] = block
+            self._block_to_fingerprint[block] = fingerprint
+
+    def invalidate(self, block: int) -> None:
+        """Withdraw a block's fingerprint before its content is mutated."""
+        with self._lock:
+            fingerprint = self._block_to_fingerprint.pop(block, None)
+            if fingerprint is not None:
+                self._fingerprint_to_block.pop(fingerprint, None)
+
+    def prepare_append(self, block: int) -> bool:
+        """Atomically claim ``block`` for an in-place write.
+
+        Returns ``True`` after withdrawing its fingerprint (no new sharer can
+        map it anymore) when this caller is the sole reference; ``False`` when
+        the block is shared, in which case the caller must copy-on-write.
+        The check and the invalidation happen under one lock — a concurrent
+        :meth:`lookup` either shares the block *before* (forcing the COW
+        path) or misses *after*, never in between.
+        """
+        with self._lock:
+            if self._refcounts[block] > 1:
+                return False
+            self.invalidate(block)
+            return True
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def write(
+        self, block: int, offset: int, k_rows: np.ndarray, v_rows: np.ndarray
+    ) -> None:
+        """Scatter token rows into ``block`` starting at ``offset``."""
+        count = int(k_rows.shape[-2])
+        require(offset >= 0 and offset + count <= self.block_size, "write exceeds block")
+        start = block * self.block_size + offset
+        self._keys[..., start : start + count, :] = k_rows
+        self._values[..., start : start + count, :] = v_rows
+
+    def copy_block(self, src: int, dst: int, fill: int) -> None:
+        """Copy the first ``fill`` rows of ``src`` into ``dst`` (the COW copy)."""
+        s, d = src * self.block_size, dst * self.block_size
+        self._keys[..., d : d + fill, :] = self._keys[..., s : s + fill, :]
+        self._values[..., d : d + fill, :] = self._values[..., s : s + fill, :]
+        self.stats.cow_copies += 1
+
+    def gather(self, physical_rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather ``(..., E, d)`` K/V views for flat physical arena rows."""
+        return self._keys[..., physical_rows, :], self._values[..., physical_rows, :]
+
+    def block_rows(self, block: int, fill: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous views of one block's first ``fill`` K/V rows."""
+        start = block * self.block_size
+        return (
+            self._keys[..., start : start + fill, :],
+            self._values[..., start : start + fill, :],
+        )
+
+    # ------------------------------------------------------------------ #
+    def check_consistency(self) -> None:
+        """Assert pool invariants (test hook): no leaks, no double mapping."""
+        with self._lock:
+            free = set(self._free)
+            evictable = set(self._evictable)
+            require(len(free) == len(self._free), "free list holds duplicates")
+            require(not (free & evictable), "block is both free and evictable")
+            referenced = {int(b) for b in np.flatnonzero(self._refcounts)}
+            require(
+                not (referenced & free) and not (referenced & evictable),
+                "referenced block sits on the free/evictable lists",
+            )
+            require(
+                len(free) + len(evictable) + len(referenced) == self.num_blocks,
+                "blocks leaked: free + evictable + referenced != num_blocks",
+            )
+            for fingerprint, block in self._fingerprint_to_block.items():
+                require(
+                    self._block_to_fingerprint.get(block) == fingerprint,
+                    "fingerprint maps are out of sync",
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Paged cache
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Tail:
+    """Mutable state of the (single) partially-filled tail block."""
+
+    fill: int = 0  # tokens in the last block; 0 means the table is block-aligned
+
+
+class PagedKVCache:
+    """Block-table KV cache over a shared :class:`BlockPool`.
+
+    Exposes the same surface a :class:`~repro.serve.decode.DecodeSession`
+    drives on the private :class:`~repro.serve.decode.KVCache` — ``extend``/
+    ``append``, ``length``, ``gather_keys``/``gather_values``,
+    ``keys``/``values`` — but the storage is a list of physical block ids.
+
+    Prefill chunks are fingerprinted block-by-block with a chained content
+    hash; a fingerprint already published in the pool maps the existing
+    physical block instead of writing a copy (prefix sharing, including a
+    partially-filled tail).  Appending into a block referenced by another
+    session copies it first (copy-on-write), so divergence after a shared
+    prefix never corrupts a sibling stream.  :meth:`release` returns every
+    block reference; released caches refuse further writes, which is what
+    makes double-free structurally impossible.
+    """
+
+    def __init__(self, pool: BlockPool, *, max_length: Optional[int] = None) -> None:
+        self.pool = pool
+        self.batch_shape = pool.batch_shape
+        self.key_dim = pool.key_dim
+        self.value_dim = pool.value_dim
+        self.max_length = int(max_length) if max_length is not None else None
+        require(
+            self.max_length is None or self.max_length >= 1,
+            "max_length must be >= 1 when given",
+        )
+        self._blocks: List[int] = []
+        self._length = 0
+        self._chain = "root"  # fingerprint of the full-block prefix
+        self._tail = _Tail()
+        #: pending prepare_append outcome from plan_extend (None = not claimed)
+        self._tail_claimed: Optional[bool] = None
+        #: admission-reserved blocks, consumed before any pool allocation
+        self._prereserved: List[int] = []
+        self.released = False
+        self.share_hits = 0
+        self.cow_copies = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dtype(self) -> np.dtype:
+        return self.pool.dtype
+
+    @property
+    def length(self) -> int:
+        """Number of live tokens."""
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        """Token slots the current block table holds without a new allocation."""
+        return len(self._blocks) * self.pool.block_size
+
+    @property
+    def blocks_used(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def block_table(self) -> Tuple[int, ...]:
+        """Physical block ids backing logical positions, in order."""
+        return tuple(self._blocks)
+
+    @property
+    def nbytes(self) -> int:
+        """Physical bytes this cache maps (shared blocks count fully here)."""
+        return len(self._blocks) * self.pool.block_bytes
+
+    @property
+    def prereserved_blocks(self) -> int:
+        """Admission-reserved blocks not yet holding tokens."""
+        return len(self._prereserved)
+
+    def prereserve(self, blocks: int) -> None:
+        """Hold ``blocks`` pool blocks for this cache ahead of any append.
+
+        This is what makes server admission *real* rather than advisory: the
+        blocks are refcounted to this cache immediately (atomically, or
+        :exc:`PoolExhausted` with no side effects), so a stream admitted for
+        N tokens cannot lose them to a racing stream between admission and
+        prefill.  Appends consume the reservation before touching the pool;
+        whatever prefix sharing leaves unused returns at :meth:`release`.
+        """
+        require(not self.released, "cache was released back to the pool")
+        self._prereserved.extend(self.pool.reserve(blocks))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def _physical(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size:
+            require(
+                int(positions.max(initial=0)) < self._length,
+                "gather past the live token range",
+            )
+        size = self.pool.block_size
+        table = np.asarray(self._blocks, dtype=np.int64)
+        return table[positions // size] * size + positions % size
+
+    def gather_keys(self, positions: np.ndarray) -> np.ndarray:
+        """Key rows of logical token ``positions``, ``batch_shape + (E, d_k)``."""
+        return self.pool._keys[..., self._physical(positions), :]
+
+    def gather_values(self, positions: np.ndarray) -> np.ndarray:
+        """Value rows of logical token ``positions``, ``batch_shape + (E, d_v)``."""
+        return self.pool._values[..., self._physical(positions), :]
+
+    def keys(self) -> np.ndarray:
+        """All live key rows gathered contiguously (copy, for inspection/tests)."""
+        return self.gather_keys(np.arange(self._length, dtype=INDEX_DTYPE))
+
+    def values(self) -> np.ndarray:
+        """All live value rows gathered contiguously (copy, for inspection/tests)."""
+        return self.gather_values(np.arange(self._length, dtype=INDEX_DTYPE))
+
+    # ------------------------------------------------------------------ #
+    # Growth
+    # ------------------------------------------------------------------ #
+    def plan_extend(self, count: int) -> int:
+        """Exact physical blocks an ``extend`` of ``count`` tokens will need.
+
+        When a partially-filled tail block exists, this *claims* it: the pool
+        atomically either withdraws its fingerprint (no new sharer can map it
+        anymore — the extend will write in place) or reports it shared (the
+        extend will copy-on-write into one extra block).  The decision is
+        remembered and consumed by the next :meth:`extend`, so the
+        reservation a batched caller makes from this count can never run dry
+        under concurrent sharing.  Chunks that end up shared via fingerprint
+        hits consume no reservation; callers release what ``extend`` leaves
+        in the list.
+        """
+        require(count >= 0, "count must be non-negative")
+        if count == 0:
+            return 0
+        size = self.pool.block_size
+        fill = self._tail.fill
+        if fill == 0:
+            raw = -(-count // size)  # ceil
+        else:
+            if self._tail_claimed is None:
+                self._tail_claimed = self.pool.prepare_append(self._blocks[-1])
+            remaining = count - (size - fill)
+            fresh = max(0, -(-remaining // size)) if remaining > 0 else 0
+            raw = fresh + (0 if self._tail_claimed else 1)
+        return max(0, raw - len(self._prereserved))
+
+    def _take(self, reserved: List[int]) -> int:
+        require(len(reserved) > 0, "reservation exhausted mid-extend")
+        return reserved.pop()
+
+    def extend(
+        self,
+        k_block: np.ndarray,
+        v_block: np.ndarray,
+        *,
+        reserved: Optional[List[int]] = None,
+    ) -> int:
+        """Append a block of tokens; returns the first appended position.
+
+        Allocation is atomic: every needed physical block is reserved before
+        any write, so a :exc:`PoolExhausted` leaves the cache (and the pool)
+        exactly as they were.  Pass ``reserved`` (from
+        :meth:`BlockPool.reserve`) to move that reservation out to a batch;
+        unused entries stay in the list for the caller to release.
+        """
+        require(not self.released, "cache was released back to the pool")
+        k_block = np.asarray(k_block)
+        v_block = np.asarray(v_block)
+        require(k_block.ndim >= 2, "key block must be batch_shape + (T, d_k)")
+        count = int(k_block.shape[-2])
+        require(
+            k_block.shape == self.batch_shape + (count, self.key_dim),
+            "key block shape does not match the pool layout",
+        )
+        require(
+            v_block.shape == self.batch_shape + (count, self.value_dim),
+            "value block shape does not match the pool layout",
+        )
+        require(
+            self.max_length is None or self._length + count <= self.max_length,
+            f"KV cache full: {self._length + count} tokens exceed the decode "
+            f"horizon {self.max_length}",
+        )
+        start = self._length
+        if count == 0:
+            return start
+        snapshot = (
+            list(self._blocks),
+            self._length,
+            self._chain,
+            self._tail.fill,
+        )
+        acquired: List[int] = []  # references this extend took (alloc or share)
+        held: List[int] = []  # blocks drawn from the admission prereserve
+        deferred: List[int] = []  # COW'd old tails, released only on success
+        try:
+            self._extend_walk(k_block, v_block, count, reserved, acquired, held, deferred)
+        except Exception:
+            # full rollback: restore the table, return every new reference and
+            # put admission-held blocks back, so a failed extend advances
+            # nothing (evictions and fingerprint invalidations that already
+            # happened are harmless metadata loss)
+            self._blocks, self._length, self._chain, self._tail.fill = snapshot
+            self._tail_claimed = None
+            self._prereserved.extend(held)
+            if acquired:
+                self.pool.release(acquired)
+            raise
+        if deferred:
+            self.pool.release(deferred)
+        return start
+
+    def append(self, k_row: np.ndarray, v_row: np.ndarray) -> int:
+        """Append one token (rows shaped ``batch_shape + (d,)``); returns its position."""
+        return self.extend(
+            np.asarray(k_row)[..., None, :], np.asarray(v_row)[..., None, :]
+        )
+
+    # ------------------------------------------------------------------ #
+    def _acquire(
+        self, reserved: Optional[List[int]], acquired: List[int], held: List[int]
+    ) -> int:
+        if self._prereserved:
+            block = self._prereserved.pop()
+            held.append(block)
+            return block
+        block = self._take(reserved) if reserved is not None else self.pool.reserve(1)[0]
+        acquired.append(block)
+        return block
+
+    def _extend_walk(
+        self,
+        k_block: np.ndarray,
+        v_block: np.ndarray,
+        count: int,
+        reserved: Optional[List[int]],
+        acquired: List[int],
+        held: List[int],
+        deferred: List[int],
+    ) -> None:
+        size = self.pool.block_size
+        pos = 0
+        while pos < count:
+            fill = self._tail.fill
+            if fill == 0:
+                take = min(size, count - pos)
+                k_rows = np.ascontiguousarray(k_block[..., pos : pos + take, :])
+                v_rows = np.ascontiguousarray(v_block[..., pos : pos + take, :])
+                fingerprint = _fingerprint(
+                    self._chain, k_rows.tobytes(), v_rows.tobytes(), take
+                )
+                # lookup precedes allocation: a prefix parked in the evictable
+                # LRU must be shared, not evicted to make room for its copy
+                shared = self.pool.lookup(fingerprint)
+                if shared is not None:
+                    self._blocks.append(shared)
+                    acquired.append(shared)
+                    self.share_hits += 1
+                    self.pool.stats.shared_tokens_saved += take
+                else:
+                    block = self._acquire(reserved, acquired, held)
+                    self.pool.write(block, 0, k_rows, v_rows)
+                    self.pool.register(fingerprint, block)
+                    self._blocks.append(block)
+                if take == size:
+                    self._chain = fingerprint
+                    self._tail.fill = 0
+                else:
+                    self._tail.fill = take
+            else:
+                tail = self._blocks[-1]
+                claimed = self._tail_claimed
+                if claimed is None:
+                    claimed = self.pool.prepare_append(tail)
+                self._tail_claimed = None
+                if not claimed:
+                    # copy-on-write: divergence after a shared partial prefix;
+                    # the old tail is released only if the whole extend lands
+                    fresh = self._acquire(reserved, acquired, held)
+                    self.pool.copy_block(tail, fresh, fill)
+                    deferred.append(tail)
+                    self._blocks[-1] = fresh
+                    tail = fresh
+                    self.cow_copies += 1
+                take = min(size - fill, count - pos)
+                self.pool.write(
+                    tail, fill, k_block[..., pos : pos + take, :],
+                    v_block[..., pos : pos + take, :],
+                )
+                new_fill = fill + take
+                if new_fill == size:
+                    k_rows, v_rows = self.pool.block_rows(tail, size)
+                    fingerprint = _fingerprint(
+                        self._chain,
+                        np.ascontiguousarray(k_rows).tobytes(),
+                        np.ascontiguousarray(v_rows).tobytes(),
+                        size,
+                    )
+                    self.pool.register(fingerprint, tail)
+                    self._chain = fingerprint
+                    self._tail.fill = 0
+                else:
+                    self._tail.fill = new_fill
+            pos += take
+            self._length += take
+        # partial tails written by the fresh-chunk branch were registered in
+        # the loop (a prompt's tail is shareable, COW on divergence); the
+        # tail-append branch deliberately leaves its partial tail
+        # unregistered — re-fingerprinting it every single-token decode step
+        # would be pure per-token hashing overhead, invalidated by the very
+        # next step's claim
+
+    # ------------------------------------------------------------------ #
+    def release(self) -> None:
+        """Return every block reference to the pool; idempotent.
+
+        Blocks still fingerprint-registered park in the pool's evictable LRU
+        (a finished session's prompt stays warm); the rest free immediately.
+        """
+        if self.released:
+            return
+        self.released = True
+        blocks = self._blocks + self._prereserved
+        self._blocks, self._prereserved = [], []
+        self._length = 0
+        self._tail.fill = 0
+        self._tail_claimed = None
+        self.pool.release(blocks)
+
+
+__all__ = [
+    "BlockPool",
+    "BlockPoolStats",
+    "DEFAULT_BLOCK_SIZE",
+    "PagedKVCache",
+    "PoolExhausted",
+]

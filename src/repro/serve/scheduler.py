@@ -34,9 +34,10 @@ from __future__ import annotations
 
 import itertools
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +49,12 @@ from repro.sparse.csr import CSRMatrix
 from repro.perfmodel.devices import DeviceSpec
 from repro.serve.cache import PlanCache
 from repro.serve.decode import DecodeSession, stacked_decode_step
+from repro.serve.paging import (
+    DEFAULT_BLOCK_SIZE,
+    BlockPool,
+    PagedKVCache,
+    PoolExhausted,
+)
 from repro.serve.plan import ExecutionPlan, compile_plan, plan_cache_key
 from repro.serve.session import AttentionRequest, AttentionResponse, ServerStats
 from repro.utils.validation import require
@@ -64,6 +71,28 @@ class RequestBatch:
     @property
     def size(self) -> int:
         return len(self.requests)
+
+
+@dataclass
+class DecodeTicket:
+    """Admission-queue entry for a paged decode session.
+
+    Returned by :meth:`AttentionServer.request_decode_session`: when the pool
+    had room the ticket is already admitted (``session`` set); otherwise it
+    waits FIFO until :meth:`AttentionServer.close_decode_session` (or an
+    explicit :meth:`AttentionServer.admit_queued`) frees enough blocks.
+    """
+
+    mask: MaskInput
+    horizon: int
+    retain_outputs: bool
+    pool: "BlockPool"
+    reserve_tokens: Optional[int]
+    session: Optional[DecodeSession] = None
+
+    @property
+    def admitted(self) -> bool:
+        return self.session is not None
 
 
 @dataclass
@@ -119,6 +148,7 @@ class AttentionServer:
         device: Optional[DeviceSpec] = None,
         head_dim: Optional[int] = None,
         max_workers: Optional[int] = None,
+        block_pool: Optional[BlockPool] = None,
     ) -> None:
         require(max_workers is None or max_workers >= 1, "max_workers must be >= 1")
         self.executor = executor
@@ -128,8 +158,13 @@ class AttentionServer:
         self.head_dim = head_dim
         self.max_workers = max_workers
         self.cache = PlanCache(cache_capacity)
-        self.stats = ServerStats(cache=self.cache.stats)
+        self.block_pool = block_pool
+        self.stats = ServerStats(
+            cache=self.cache.stats,
+            pool=block_pool.stats if block_pool is not None else None,
+        )
         self._pending: List[AttentionRequest] = []
+        self._admission_queue: Deque[DecodeTicket] = deque()
         self._ids = itertools.count()
         self._pool: Optional[ThreadPoolExecutor] = None
 
@@ -234,8 +269,103 @@ class AttentionServer:
     # ------------------------------------------------------------------ #
     # Streaming decode
     # ------------------------------------------------------------------ #
+    def create_block_pool(
+        self,
+        *,
+        key_dim: int,
+        value_dim: Optional[int] = None,
+        batch_shape: Tuple[int, ...] = (),
+        dtype=np.float32,
+        memory_budget_bytes: Optional[int] = None,
+        num_blocks: Optional[int] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> BlockPool:
+        """Install the server's shared KV block pool and return it.
+
+        Size it either by ``memory_budget_bytes`` (the global KV memory the
+        server may spend — blocks are carved until the budget is full) or by
+        an explicit ``num_blocks``.  Every paged session the server opens
+        afterwards draws from this pool and shares identical prefixes.
+        """
+        require(
+            (memory_budget_bytes is None) != (num_blocks is None),
+            "size the pool with exactly one of memory_budget_bytes / num_blocks",
+        )
+        if memory_budget_bytes is not None:
+            pool = BlockPool.from_budget(
+                memory_budget_bytes,
+                block_size,
+                key_dim=key_dim,
+                value_dim=value_dim,
+                batch_shape=batch_shape,
+                dtype=dtype,
+            )
+        else:
+            pool = BlockPool(
+                num_blocks,
+                block_size,
+                key_dim=key_dim,
+                value_dim=value_dim,
+                batch_shape=batch_shape,
+                dtype=dtype,
+            )
+        self.block_pool = pool
+        self.stats.pool = pool.stats
+        return pool
+
+    def _admission_blocks(self, pool: BlockPool, reserve_tokens: Optional[int]) -> int:
+        tokens = pool.block_size if reserve_tokens is None else int(reserve_tokens)
+        require(tokens >= 0, "reserve_tokens must be non-negative")
+        return -(-tokens // pool.block_size)  # ceil
+
+    def _try_open_paged(
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool,
+        pool: BlockPool,
+        reserve_tokens: Optional[int],
+    ) -> DecodeSession:
+        """Open a paged session, atomically holding its admission blocks.
+
+        The cache prereserves ``ceil(reserve_tokens / block_size)`` blocks up
+        front (all-or-nothing), so admission is a real capacity grant — a
+        racing stream cannot take the blocks between admission and prefill.
+        Raises :exc:`~repro.serve.paging.PoolExhausted` untouched; callers
+        decide between reject and queue.
+        """
+        # compile (or fetch) the plan BEFORE touching the pool: an invalid
+        # mask must fail with no blocks held, or repeated bad opens would
+        # leak the pool dry
+        key = self.key_for(mask, horizon, mode="decode")
+        plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
+        cache = PagedKVCache(pool, max_length=horizon)
+        cache.prereserve(self._admission_blocks(pool, reserve_tokens))
+        try:
+            session = DecodeSession(
+                plan,
+                retain_outputs=retain_outputs,
+                session_id=self.next_request_id(),
+                cache=cache,
+            )
+        except Exception:
+            cache.release()
+            raise
+        session.plan_cache_hit = hit
+        self.stats.decode_sessions += 1
+        self.stats.paged_sessions += 1
+        return session
+
     def open_decode_session(
-        self, mask: MaskInput, horizon: int, *, retain_outputs: bool = False
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool = False,
+        paged: bool = False,
+        pool: Optional[BlockPool] = None,
+        reserve_tokens: Optional[int] = None,
     ) -> DecodeSession:
         """Open an autoregressive decoding stream against this server.
 
@@ -243,7 +373,33 @@ class AttentionServer:
         compiled into — the shared :class:`~repro.serve.cache.PlanCache`, so
         concurrent sessions over one mask shape pay compilation once and can
         coalesce their steps in :meth:`decode_steps`.
+
+        With ``paged=True`` (or an explicit ``pool``) the session's KV cache
+        is a :class:`~repro.serve.paging.PagedKVCache` over the shared block
+        pool — identical prompts map the same physical blocks.  Admission is
+        a real capacity grant: blocks for ``reserve_tokens`` tokens (default:
+        one block) are held by the session up front, or the session is
+        *rejected* with :exc:`~repro.serve.paging.PoolExhausted`.  Use
+        :meth:`request_decode_session` for queue-instead-of-reject admission.
         """
+        pool = pool if pool is not None else (self.block_pool if paged else None)
+        if paged or pool is not None:
+            require(
+                pool is not None,
+                "paged sessions need a shared pool: call create_block_pool first "
+                "or pass pool=",
+            )
+            try:
+                return self._try_open_paged(
+                    mask,
+                    horizon,
+                    retain_outputs=retain_outputs,
+                    pool=pool,
+                    reserve_tokens=reserve_tokens,
+                )
+            except PoolExhausted:
+                self.stats.admission_rejected += 1
+                raise
         key = self.key_for(mask, horizon, mode="decode")
         plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
         session = DecodeSession(
@@ -252,6 +408,91 @@ class AttentionServer:
         session.plan_cache_hit = hit
         self.stats.decode_sessions += 1
         return session
+
+    def request_decode_session(
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool = False,
+        pool: Optional[BlockPool] = None,
+        reserve_tokens: Optional[int] = None,
+    ) -> DecodeTicket:
+        """Queue-mode admission: always returns a :class:`DecodeTicket`.
+
+        When the pool has room the ticket comes back admitted (``session``
+        set); otherwise it joins a FIFO queue that
+        :meth:`close_decode_session` drains as finished sessions return their
+        blocks.
+        """
+        pool = pool if pool is not None else self.block_pool
+        require(pool is not None, "request_decode_session needs a shared block pool")
+        ticket = DecodeTicket(
+            mask=mask,
+            horizon=horizon,
+            retain_outputs=retain_outputs,
+            pool=pool,
+            reserve_tokens=reserve_tokens,
+        )
+        if not self._admission_queue:
+            try:
+                ticket.session = self._try_open_paged(
+                    mask,
+                    horizon,
+                    retain_outputs=retain_outputs,
+                    pool=pool,
+                    reserve_tokens=reserve_tokens,
+                )
+                return ticket
+            except PoolExhausted:
+                pass
+        self._admission_queue.append(ticket)
+        self.stats.admission_queued += 1
+        return ticket
+
+    @property
+    def queued_sessions(self) -> int:
+        """Tickets waiting for admission."""
+        return len(self._admission_queue)
+
+    def admit_queued(self) -> List[DecodeTicket]:
+        """Admit queued tickets FIFO while their pools have room.
+
+        Stops at the first ticket that still does not fit (head-of-line
+        order keeps admission fair).  Returns the tickets admitted now.
+        """
+        admitted: List[DecodeTicket] = []
+        while self._admission_queue:
+            # pop before opening: a ticket whose spec turns out invalid is
+            # dropped as its error propagates, not left poisoning the head
+            ticket = self._admission_queue.popleft()
+            try:
+                ticket.session = self._try_open_paged(
+                    ticket.mask,
+                    ticket.horizon,
+                    retain_outputs=ticket.retain_outputs,
+                    pool=ticket.pool,
+                    reserve_tokens=ticket.reserve_tokens,
+                )
+            except PoolExhausted:
+                self._admission_queue.appendleft(ticket)  # still next in line
+                break
+            self.stats.admission_admitted += 1
+            admitted.append(ticket)
+        return admitted
+
+    def close_decode_session(self, session: DecodeSession) -> List[DecodeTicket]:
+        """Finish a stream: release its blocks, then admit queued tickets.
+
+        A paged session's prefix-registered blocks park in the pool's
+        evictable LRU (the prompt stays warm for the next identical prompt);
+        the freed capacity admits as many queued tickets as now fit, FIFO.
+        """
+        already_closed = session.closed
+        session.close()
+        if not already_closed:
+            self.stats.sessions_closed += 1
+        return self.admit_queued()
 
     def decode_step(
         self, session: DecodeSession, q: np.ndarray, k: np.ndarray, v: np.ndarray

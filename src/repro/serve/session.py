@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.engine import MaskInput
 from repro.core.result import AttentionResult
 from repro.serve.cache import CacheStats
+from repro.serve.paging import BlockPoolStats
 from repro.utils.validation import require
 
 
@@ -96,7 +97,14 @@ class ServerStats:
     decode_stacked_executions: int = 0
     decode_coalesced_steps: int = 0
     decode_wall_seconds: float = 0.0
+    paged_sessions: int = 0
+    sessions_closed: int = 0
+    admission_rejected: int = 0
+    admission_queued: int = 0
+    admission_admitted: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Live stats of the server's shared block pool (``None`` until one exists).
+    pool: Optional[BlockPoolStats] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -114,6 +122,16 @@ class ServerStats:
         if self.decode_wall_seconds <= 0:
             return 0.0
         return self.decode_steps / self.decode_wall_seconds
+
+    @property
+    def block_occupancy(self) -> float:
+        """Fraction of the shared pool's blocks mapped by live sessions."""
+        return self.pool.occupancy if self.pool is not None else 0.0
+
+    @property
+    def block_share_hits(self) -> int:
+        """Prefix-sharing hits in the shared pool (blocks mapped, not copied)."""
+        return self.pool.share_hits if self.pool is not None else 0
 
 
 class ServingSession:

@@ -1,17 +1,39 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and hypothesis profiles for the test suite.
 
 The fixtures mirror the paper's verification setup (Section V-A): Q/K/V drawn
 from the uniform distribution on [0, 1), context length 256, embedded
 dimension 32, compared against the dense masked SDP reference with
 ``atol=1e-8``, ``rtol=1e-5``.
+
+Hypothesis runs under one of two profiles selected by the
+``HYPOTHESIS_PROFILE`` environment variable: ``ci`` (the default — few
+examples, fast enough for the tier-1 gate) or ``nightly`` (an order of
+magnitude more examples for the scheduled thorough run).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.utils.rng import random_qkv
+
+settings.register_profile(
+    "ci",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "nightly",
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(scope="session")

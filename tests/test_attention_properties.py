@@ -12,7 +12,7 @@ Invariants:
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.dense import sdp_attention
@@ -23,8 +23,7 @@ from repro.masks.windowed import Dilated1DMask, LocalMask
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import random_qkv
 
-settings.register_profile("repro-attention", deadline=None, max_examples=25)
-settings.load_profile("repro-attention")
+# hypothesis profile (ci/nightly) is selected globally in tests/conftest.py
 
 dims = st.integers(min_value=1, max_value=12)
 lengths = st.integers(min_value=2, max_value=48)

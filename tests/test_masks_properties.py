@@ -9,7 +9,7 @@ Invariants:
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.masks.dilated2d import Dilated2DMask
@@ -17,8 +17,7 @@ from repro.masks.global_ import GlobalNonLocalMask
 from repro.masks.structured import BlockDiagonalMask, CausalMask, StridedMask
 from repro.masks.windowed import Dilated1DMask, LocalMask
 
-settings.register_profile("repro-masks", deadline=None, max_examples=30)
-settings.load_profile("repro-masks")
+# hypothesis profile (ci/nightly) is selected globally in tests/conftest.py
 
 lengths = st.integers(min_value=1, max_value=48)
 

@@ -4,9 +4,13 @@ import pytest
 
 from repro.perfmodel.decode import (
     DecodeRuntimeModel,
+    blocks_for_tokens,
     decode_step_flops,
     kv_cache_bytes,
     max_cached_tokens,
+    paged_kv_cache_bytes,
+    paged_sessions_supported,
+    paging_fragmentation_overhead,
 )
 from repro.perfmodel.devices import A100_SXM4_80GB, V100_SXM2_32GB
 
@@ -98,3 +102,61 @@ class TestMaxCachedTokens:
             )
             == 0
         )
+
+
+class TestPagedAccounting:
+    def test_blocks_round_up(self):
+        assert blocks_for_tokens(0, 16) == 0
+        assert blocks_for_tokens(1, 16) == 1
+        assert blocks_for_tokens(16, 16) == 1
+        assert blocks_for_tokens(17, 16) == 2
+
+    def test_paged_bytes_pad_to_whole_blocks(self):
+        exact = kv_cache_bytes(32, 64, dtype="fp16")
+        assert paged_kv_cache_bytes(32, 64, block_size=16, dtype="fp16") == exact
+        assert paged_kv_cache_bytes(33, 64, block_size=16, dtype="fp16") == kv_cache_bytes(
+            48, 64, dtype="fp16"
+        )
+
+    def test_fragmentation_bounds(self):
+        assert paging_fragmentation_overhead(32, 16) == 0.0
+        assert paging_fragmentation_overhead(17, 16) == pytest.approx(15 / 17)
+        # never worse than one block minus one token, vanishing with length
+        assert paging_fragmentation_overhead(10_001, 16) < 16 / 10_001
+
+    def test_max_cached_tokens_block_granularity(self):
+        dense = max_cached_tokens(A100_SXM4_80GB, head_dim=64)
+        paged = max_cached_tokens(A100_SXM4_80GB, head_dim=64, block_size=16)
+        assert paged <= dense
+        assert dense - paged < 16  # loses at most the trailing partial block
+
+    def test_shared_prompt_multiplies_sessions(self):
+        budget = 1 << 30
+        kwargs = dict(block_size=16, head_dim=64, dtype="fp16")
+        private = paged_sessions_supported(
+            budget, prompt_tokens=256, shared_prefix_tokens=0, **kwargs
+        )
+        shared = paged_sessions_supported(
+            budget, prompt_tokens=256, shared_prefix_tokens=224, **kwargs
+        )
+        assert shared > 3 * private  # the benchmark's capacity-win shape
+
+    def test_fully_shared_prompt_is_budget_bound(self):
+        sessions = paged_sessions_supported(
+            1 << 20,
+            prompt_tokens=64,
+            shared_prefix_tokens=64,
+            block_size=16,
+            head_dim=64,
+        )
+        assert sessions > 0
+
+    def test_shared_prefix_cannot_exceed_prompt(self):
+        with pytest.raises(ValueError):
+            paged_sessions_supported(
+                1 << 20,
+                prompt_tokens=16,
+                shared_prefix_tokens=32,
+                block_size=16,
+                head_dim=64,
+            )

@@ -322,3 +322,94 @@ class TestServerStreaming:
                 server.decode_steps(
                     [(session, q[0], k[0], v[0]), (session, q[1], k[1], v[1])]
                 )
+
+
+class TestKVCacheEdgeCases:
+    """Regressions for the capacity/shape edge cases the paging work exposed."""
+
+    def test_extend_zero_tokens_is_a_noop(self):
+        cache = KVCache((), 4, 4, capacity=2)
+        cache.append(np.ones(4), np.ones(4))
+        start = cache.extend(np.empty((0, 4)), np.empty((0, 4)))
+        assert start == 1 and cache.length == 1
+
+    def test_extend_rejects_bare_vectors(self):
+        cache = KVCache((), 4, 4)
+        with pytest.raises(ValueError):
+            cache.extend(np.ones(4), np.ones(4))  # missing the token axis
+
+    def test_append_exactly_at_capacity_and_max_length(self):
+        cache = KVCache((), 4, 4, capacity=4, max_length=4)
+        cache.extend(np.zeros((3, 4)), np.zeros((3, 4)))
+        cache.append(np.ones(4), np.ones(4))  # lands exactly on the cap
+        assert cache.length == cache.capacity == 4
+        assert cache.grows == 0
+        with pytest.raises(ValueError):
+            cache.append(np.ones(4), np.ones(4))
+
+    def test_doubling_clipped_exactly_to_max_length(self):
+        cache = KVCache((), 4, 4, capacity=3, max_length=8)
+        cache.extend(np.zeros((3, 4)), np.zeros((3, 4)))
+        cache.extend(np.zeros((5, 4)), np.zeros((5, 4)))  # 3 -> 6 -> clip 8
+        assert cache.capacity == 8 and cache.length == 8
+
+    def test_nonpositive_max_length_rejected(self):
+        with pytest.raises(ValueError):
+            KVCache((), 4, 4, max_length=0)
+
+    def test_zero_length_prefill_rejected_cleanly(self):
+        session = DecodeSession.start(LocalMask(window=3), 8)
+        q = np.empty((0, 4), dtype=np.float32)
+        with pytest.raises(ValueError):
+            session.prefill(q, q, q)
+
+    def test_batched_first_step_with_explicit_token_axis(self):
+        # regression: a (B, H, 1, d) first step used to be rejected outright,
+        # so batched generation-from-scratch required a dummy prefill
+        mask = LocalMask(window=3)
+        length, dim = 6, 4
+        q, k, v = random_qkv(length, dim, heads=2, batch=2, seed=101)
+        session = DecodeSession.start(mask, length, retain_outputs=True)
+        for i in range(length):
+            session.step(
+                q[..., i : i + 1, :], k[..., i : i + 1, :], v[..., i : i + 1, :]
+            )
+        assert session.batch_shape == (2, 2)
+        reference = GraphAttentionEngine().run(q, k, v, decode_reference_mask(mask, length))
+        np.testing.assert_allclose(session.outputs(), reference.output, atol=1e-6, rtol=1e-6)
+
+    def test_ambiguous_batched_first_step_rejected(self):
+        session = DecodeSession.start(LocalMask(window=3), 8)
+        q, k, v = random_qkv(8, 4, heads=3, seed=103)
+        with pytest.raises(ValueError):
+            session.step(q[..., 0, :], k[..., 0, :], v[..., 0, :])  # (3, d): batch or token?
+
+    def test_batch_shape_mismatch_between_prefill_and_step(self):
+        mask = LocalMask(window=3)
+        q, k, v = random_qkv(8, 4, heads=2, seed=107)
+        session = DecodeSession.start(mask, 8)
+        session.prefill(q[..., :4, :], k[..., :4, :], v[..., :4, :])
+        single_q, single_k, single_v = random_qkv(8, 4, seed=109)
+        with pytest.raises(ValueError):
+            session.step(single_q[4], single_k[4], single_v[4])
+
+    def test_prefill_batch_shape_mismatch_rejected(self):
+        mask = LocalMask(window=3)
+        q, k, v = random_qkv(8, 4, heads=2, seed=113)
+        session = DecodeSession.start(mask, 8)
+        session.prefill(q[..., :4, :], k[..., :4, :], v[..., :4, :])
+        other_q, other_k, other_v = random_qkv(8, 4, heads=3, seed=115)
+        with pytest.raises(ValueError):
+            session.prefill(other_q[..., 4:, :], other_k[..., 4:, :], other_v[..., 4:, :])
+
+    def test_closed_session_refuses_tokens(self):
+        session = DecodeSession.start(LocalMask(window=3), 8, retain_outputs=True)
+        q, k, v = random_qkv(8, 4, seed=117)
+        session.prefill(q[:4], k[:4], v[:4])
+        session.close()
+        session.close()  # idempotent
+        with pytest.raises(ValueError):
+            session.step(q[4], k[4], v[4])
+        with pytest.raises(ValueError):
+            session.prefill(q[4:], k[4:], v[4:])
+        assert session.outputs().shape == (4, 4)  # retained outputs survive

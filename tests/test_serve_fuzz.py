@@ -1,0 +1,176 @@
+"""Differential fuzzing of the serving front-end against per-request oracles.
+
+Random mixed workloads — batched one-shot requests and concurrent paged
+decode streams — run through **one** :class:`~repro.serve.AttentionServer`,
+and every response is checked against an independent per-request
+``engine.run`` (decode streams against the causally clipped reference mask).
+The hypothesis-driven tests shrink failing workloads to minimal programs;
+the seed-sweep test drives the same oracle from bare integer seeds and
+prints the failing seed so a crash reproduces with one environment variable:
+
+    REPRO_FUZZ_SEED=<seed> pytest tests/test_serve_fuzz.py -k replay
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.presets import longformer_mask
+from repro.masks.structured import CausalMask
+from repro.masks.windowed import Dilated1DMask, LocalMask
+from repro.serve import AttentionRequest, AttentionServer
+from repro.serve.decode import decode_reference_mask
+from repro.utils.rng import random_qkv
+
+DIM = 4
+MASKS = [
+    LocalMask(window=3),
+    LocalMask(window=7),
+    Dilated1DMask(window=5, dilation=2),
+    CausalMask(),
+    longformer_mask(reach=2, global_tokens=(0,)),
+    None,  # dense
+]
+
+request_spec = st.fixed_dictionaries(
+    {
+        "mask": st.integers(min_value=0, max_value=len(MASKS) - 1),
+        "length": st.integers(min_value=1, max_value=24),
+        "batch": st.integers(min_value=0, max_value=2),  # 0 = bare (L, d)
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+stream_spec = st.fixed_dictionaries(
+    {
+        "mask": st.integers(min_value=0, max_value=len(MASKS) - 2),  # no dense
+        "length": st.integers(min_value=1, max_value=16),
+        "prompt": st.integers(min_value=0, max_value=16),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def _request_tensors(spec):
+    batch = {0: {}, 1: {"heads": 2}, 2: {"heads": 2, "batch": 2}}[spec["batch"]]
+    return random_qkv(spec["length"], DIM, dtype=np.float32, seed=spec["seed"], **batch)
+
+
+def _run_workload(requests, streams, *, flush_every, engine):
+    """One server, mixed traffic; returns [(actual, expected), ...]."""
+    server = AttentionServer(cache_capacity=16)
+    server.create_block_pool(key_dim=DIM, num_blocks=256, block_size=4)
+    pairs = []
+
+    pending = []
+    for spec in requests:
+        q, k, v = _request_tensors(spec)
+        mask = MASKS[spec["mask"]]
+        pending.append(AttentionRequest(q=q, k=k, v=v, mask=mask))
+        if len(pending) >= flush_every:
+            for request, response in zip(pending, server.serve(pending)):
+                expected = engine.run(request.q, request.k, request.v, request.mask)
+                pairs.append((response.output, expected.output))
+            pending = []
+    for request, response in zip(pending, server.serve(pending)):
+        expected = engine.run(request.q, request.k, request.v, request.mask)
+        pairs.append((response.output, expected.output))
+
+    # decode streams advance in lockstep so same-plan steps coalesce
+    live = []
+    for spec in streams:
+        mask = MASKS[spec["mask"]]
+        length = spec["length"]
+        session = server.open_decode_session(mask, length, retain_outputs=True, paged=True)
+        q, k, v = random_qkv(length, DIM, dtype=np.float32, seed=spec["seed"])
+        prompt = min(spec["prompt"], length)
+        if prompt:
+            session.prefill(q[:prompt], k[:prompt], v[:prompt])
+        live.append({"session": session, "q": q, "k": k, "v": v, "at": prompt})
+    while any(s["at"] < s["session"].horizon for s in live):
+        batch = [s for s in live if s["at"] < s["session"].horizon]
+        server.decode_steps(
+            [
+                (s["session"], s["q"][s["at"]], s["k"][s["at"]], s["v"][s["at"]])
+                for s in batch
+            ]
+        )
+        for s in batch:
+            s["at"] += 1
+    for s in live:
+        session = s["session"]
+        reference = engine.run(
+            s["q"], s["k"], s["v"],
+            decode_reference_mask(MASKS[streams[live.index(s)]["mask"]], session.horizon),
+        )
+        pairs.append((session.outputs(), reference.output))
+        server.close_decode_session(session)
+    assert server.block_pool.blocks_in_use == 0
+    server.block_pool.check_consistency()
+    server.close()
+    return pairs
+
+
+class TestDifferentialFuzz:
+    @given(
+        requests=st.lists(request_spec, max_size=6),
+        streams=st.lists(stream_spec, max_size=4),
+        flush_every=st.integers(min_value=1, max_value=4),
+    )
+    def test_mixed_workload_matches_per_request_oracle(
+        self, requests, streams, flush_every
+    ):
+        engine = GraphAttentionEngine()
+        for actual, expected in _run_workload(
+            requests, streams, flush_every=flush_every, engine=engine
+        ):
+            np.testing.assert_allclose(actual, expected, atol=1e-6, rtol=1e-6)
+
+
+def _seeded_workload(seed):
+    rng = np.random.default_rng(seed)
+    requests = [
+        {
+            "mask": int(rng.integers(len(MASKS))),
+            "length": int(rng.integers(1, 24)),
+            "batch": int(rng.integers(3)),
+            "seed": int(rng.integers(2**16)),
+        }
+        for _ in range(int(rng.integers(1, 6)))
+    ]
+    streams = [
+        {
+            "mask": int(rng.integers(len(MASKS) - 1)),
+            "length": int(rng.integers(1, 16)),
+            "prompt": int(rng.integers(16)),
+            "seed": int(rng.integers(2**16)),
+        }
+        for _ in range(int(rng.integers(1, 4)))
+    ]
+    return requests, streams, int(rng.integers(1, 4))
+
+
+@pytest.mark.parametrize(
+    "seed",
+    [int(s) for s in os.environ["REPRO_FUZZ_SEED"].split(",")]
+    if os.environ.get("REPRO_FUZZ_SEED")
+    else list(range(8)),
+)
+def test_seed_replay(seed):
+    """Seed-addressable fuzz sweep; a failure names its replay seed."""
+    engine = GraphAttentionEngine()
+    requests, streams, flush_every = _seeded_workload(seed)
+    try:
+        for actual, expected in _run_workload(
+            requests, streams, flush_every=flush_every, engine=engine
+        ):
+            np.testing.assert_allclose(actual, expected, atol=1e-6, rtol=1e-6)
+    except Exception as error:  # pragma: no cover - only on regression
+        raise AssertionError(
+            f"fuzz workload failed; replay with REPRO_FUZZ_SEED={seed} "
+            f"pytest tests/test_serve_fuzz.py -k replay"
+        ) from error

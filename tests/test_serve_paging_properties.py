@@ -1,0 +1,271 @@
+"""Property-based tests for the paged KV cache (repro.serve.paging).
+
+The load-bearing invariants, driven by hypothesis over random block sizes,
+shared-prefix lengths and session interleavings:
+
+* paged decode is **bit-identical** to private-``KVCache`` decode and matches
+  one-shot ``engine.run`` over the causal reference mask;
+* after every session closes, no block is referenced (refcounts all zero)
+  and ``free + evictable + referenced == num_blocks`` — nothing leaks;
+* the pool never double-frees (releasing an unreferenced block raises);
+* identical prefixes map identical physical blocks, and divergence after a
+  shared partial tail copies-on-write instead of corrupting the sibling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.presets import longformer_mask
+from repro.masks.structured import CausalMask
+from repro.masks.windowed import LocalMask
+from repro.serve.decode import DecodeSession, decode_reference_mask
+from repro.serve.paging import BlockPool, PagedKVCache, PoolExhausted
+from repro.utils.rng import random_qkv
+
+DIM = 4
+
+mask_strategy = st.one_of(
+    st.integers(min_value=1, max_value=9).map(lambda w: LocalMask(window=w)),
+    st.just(CausalMask()),
+    st.just(longformer_mask(reach=3, global_tokens=(0,))),
+)
+
+
+def _decode(session, q, k, v, prompt, length):
+    if prompt:
+        session.prefill(q[..., :prompt, :], k[..., :prompt, :], v[..., :prompt, :])
+    for i in range(prompt, length):
+        session.step(q[..., i, :], k[..., i, :], v[..., i, :])
+    return session.outputs()
+
+
+class TestPagedEqualsPrivate:
+    @given(
+        mask=mask_strategy,
+        length=st.integers(min_value=1, max_value=32),
+        block_size=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_paged_decode_bit_identical(self, mask, length, block_size, data):
+        prompt = data.draw(st.integers(min_value=0, max_value=length))
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        q, k, v = random_qkv(length, DIM, dtype=np.float32, seed=seed)
+        pool = BlockPool(2 * length // block_size + 4, block_size, key_dim=DIM)
+
+        paged = DecodeSession.start(mask, length, retain_outputs=True, pool=pool)
+        private = DecodeSession.start(mask, length, retain_outputs=True)
+        out_paged = _decode(paged, q, k, v, prompt, length)
+        out_private = _decode(private, q, k, v, prompt, length)
+        # same gathered rows, same kernel, same accumulation order: bit-exact
+        np.testing.assert_array_equal(out_paged, out_private)
+
+        reference = GraphAttentionEngine().run(
+            q, k, v, decode_reference_mask(mask, length)
+        )
+        np.testing.assert_allclose(out_paged, reference.output, atol=1e-6, rtol=1e-6)
+
+        paged.close()
+        pool.check_consistency()
+        assert pool.blocks_in_use == 0
+
+    @given(
+        length=st.integers(min_value=2, max_value=28),
+        block_size=st.integers(min_value=1, max_value=8),
+        batch=st.integers(min_value=1, max_value=2),
+        heads=st.integers(min_value=1, max_value=3),
+    )
+    def test_batched_layout_paged_decode(self, length, block_size, batch, heads):
+        mask = LocalMask(window=4)
+        q, k, v = random_qkv(length, DIM, heads=heads, batch=batch, seed=5)
+        pool = BlockPool(
+            length // block_size + 2, block_size, key_dim=DIM, batch_shape=(batch, heads)
+        )
+        paged = DecodeSession.start(mask, length, retain_outputs=True, pool=pool)
+        private = DecodeSession.start(mask, length, retain_outputs=True)
+        prompt = length // 2
+        np.testing.assert_array_equal(
+            _decode(paged, q, k, v, prompt, length),
+            _decode(private, q, k, v, prompt, length),
+        )
+
+
+class TestPrefixSharing:
+    @given(
+        length=st.integers(min_value=4, max_value=32),
+        block_size=st.integers(min_value=1, max_value=8),
+        shared=st.integers(min_value=1, max_value=32),
+        sessions=st.integers(min_value=2, max_value=4),
+        data=st.data(),
+    )
+    def test_shared_prefix_maps_shared_blocks(
+        self, length, block_size, shared, sessions, data
+    ):
+        shared = min(shared, length - 1)
+        mask = CausalMask()
+        q, k, v = random_qkv(length, DIM, dtype=np.float32, seed=9)
+        # room for one private copy of everything, so sharing is what keeps
+        # the later sessions admissible, not slack
+        pool = BlockPool(
+            sessions * (length // block_size + 2), block_size, key_dim=DIM
+        )
+        reference = GraphAttentionEngine().run(
+            q, k, v, decode_reference_mask(mask, length)
+        )
+
+        streams = []
+        for _ in range(sessions):
+            session = DecodeSession.start(mask, length, retain_outputs=True, pool=pool)
+            session.prefill(q[:shared], k[:shared], v[:shared])
+            streams.append(session)
+
+        first = streams[0].cache.block_table
+        for session in streams[1:]:
+            assert session.cache.block_table == first  # physical sharing
+        full_shared_blocks = shared // block_size
+        if full_shared_blocks:
+            assert pool.stats.share_hits >= (sessions - 1) * full_shared_blocks
+        # one copy resident, not `sessions` copies
+        assert pool.blocks_in_use == -(-shared // block_size)
+
+        # interleaved divergence: hypothesis picks the step order
+        order = data.draw(st.permutations(list(range(sessions)) * 2))
+        positions = {id(s): shared for s in streams}
+        for index in order:
+            session = streams[index]
+            i = positions[id(session)]
+            if i < length:
+                session.step(q[i], k[i], v[i])
+                positions[id(session)] = i + 1
+        for session in streams:
+            for i in range(positions[id(session)], length):
+                session.step(q[i], k[i], v[i])
+        for session in streams:
+            np.testing.assert_allclose(
+                session.outputs(), reference.output, atol=1e-6, rtol=1e-6
+            )
+        for session in streams:
+            session.close()
+        pool.check_consistency()
+        assert pool.blocks_in_use == 0
+
+    def test_partial_tail_shared_then_cow_on_divergence(self):
+        mask = CausalMask()
+        length, block_size = 16, 4
+        q, k, v = random_qkv(length, DIM, dtype=np.float32, seed=11)
+        pool = BlockPool(12, block_size, key_dim=DIM)
+        a = DecodeSession.start(mask, length, retain_outputs=True, pool=pool)
+        b = DecodeSession.start(mask, length, retain_outputs=True, pool=pool)
+        a.prefill(q[:6], k[:6], v[:6])  # blocks: [full, partial fill=2]
+        b.prefill(q[:6], k[:6], v[:6])
+        assert a.cache.block_table == b.cache.block_table
+        assert pool.refcount(a.cache.block_table[-1]) == 2
+
+        a.step(q[6], k[6], v[6])  # diverge: must COW, not mutate the shared tail
+        assert pool.stats.cow_copies == 1
+        assert a.cache.block_table[-1] != b.cache.block_table[-1]
+
+        # b's view of tokens 0..5 must be untouched by a's divergence
+        np.testing.assert_array_equal(b.cache.keys(), k[:6])
+        b.step(q[6], k[6], v[6])
+        reference = GraphAttentionEngine().run(
+            q[:7], k[:7], v[:7], decode_reference_mask(mask, 7, horizon=length)
+        )
+        np.testing.assert_allclose(b.outputs(), reference.output, atol=1e-6, rtol=1e-6)
+        np.testing.assert_array_equal(a.outputs(), b.outputs())
+
+    def test_finished_session_blocks_stay_warm_until_evicted(self):
+        mask = CausalMask()
+        length, block_size = 8, 4
+        q, k, v = random_qkv(length, DIM, dtype=np.float32, seed=13)
+        pool = BlockPool(2, block_size, key_dim=DIM)
+        a = DecodeSession.start(mask, length, pool=pool)
+        a.prefill(q, k, v)
+        a.close()
+        assert pool.blocks_in_use == 0
+        assert pool.evictable_blocks == 2  # prompt parked, not freed
+
+        # the identical prompt revives the parked blocks: zero new writes
+        b = DecodeSession.start(mask, length, pool=pool)
+        b.prefill(q, k, v)
+        assert pool.stats.share_hits == 2
+        b.close()
+
+        # memory pressure reclaims parked blocks LRU instead of failing
+        c = DecodeSession.start(mask, length, pool=pool)
+        c.prefill(q + 1.0, k + 1.0, v + 1.0)
+        assert pool.stats.evictions >= 1
+        c.close()
+        pool.check_consistency()
+
+
+class TestPoolInvariants:
+    @given(
+        block_size=st.integers(min_value=1, max_value=4),
+        num_blocks=st.integers(min_value=1, max_value=8),
+        data=st.data(),
+    )
+    def test_random_alloc_release_never_double_frees(self, block_size, num_blocks, data):
+        pool = BlockPool(num_blocks, block_size, key_dim=DIM)
+        held = []
+        for _ in range(data.draw(st.integers(min_value=1, max_value=24))):
+            if held and data.draw(st.booleans()):
+                pool.release([held.pop(data.draw(
+                    st.integers(min_value=0, max_value=len(held) - 1)
+                ))])
+            else:
+                want = data.draw(st.integers(min_value=0, max_value=num_blocks))
+                try:
+                    held.extend(pool.reserve(want))
+                except PoolExhausted:
+                    assert pool.available_blocks < want
+            pool.check_consistency()
+        seen = pool.stats
+        assert seen.blocks_in_use == len(held)
+        pool.release(held)
+        assert pool.blocks_in_use == 0
+        pool.check_consistency()
+
+    def test_double_free_raises(self):
+        pool = BlockPool(2, 2, key_dim=DIM)
+        (block,) = pool.reserve(1)
+        pool.release([block])
+        with pytest.raises(ValueError):
+            pool.release([block])
+
+    def test_released_cache_is_inert_and_idempotent(self):
+        pool = BlockPool(4, 2, key_dim=DIM)
+        cache = PagedKVCache(pool)
+        cache.extend(np.ones((3, DIM)), np.ones((3, DIM)))
+        cache.release()
+        cache.release()  # idempotent: no double-free
+        assert pool.blocks_in_use == 0
+        with pytest.raises(ValueError):
+            cache.append(np.ones(DIM), np.ones(DIM))
+        pool.check_consistency()
+
+    def test_reservation_is_all_or_nothing(self):
+        pool = BlockPool(3, 2, key_dim=DIM)
+        held = pool.reserve(2)
+        state = (pool.free_blocks, pool.blocks_in_use)
+        with pytest.raises(PoolExhausted):
+            pool.reserve(2)
+        assert (pool.free_blocks, pool.blocks_in_use) == state
+        pool.release(held)
+
+    def test_from_budget_respects_byte_budget(self):
+        pool = BlockPool.from_budget(10_000, 8, key_dim=16, value_dim=16)
+        assert pool.nbytes <= 10_000
+        per_block = 8 * (16 + 16) * 4
+        assert pool.num_blocks == 10_000 // per_block
+
+    def test_exhaustion_error_names_the_shortfall(self):
+        pool = BlockPool(1, 2, key_dim=DIM)
+        cache = PagedKVCache(pool)
+        with pytest.raises(PoolExhausted):
+            cache.extend(np.ones((5, DIM)), np.ones((5, DIM)))
+        # atomic: the failed extend left nothing behind
+        assert cache.length == 0 and pool.blocks_in_use == 0
+        pool.check_consistency()

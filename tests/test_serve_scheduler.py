@@ -10,6 +10,7 @@ from repro.core.engine import GraphAttentionEngine
 from repro.distributed.partition_balance import balanced_worker_bins
 from repro.masks.presets import longformer_mask
 from repro.masks.windowed import LocalMask
+from repro.serve.paging import PoolExhausted
 from repro.serve.scheduler import AttentionServer
 from repro.serve.session import AttentionRequest
 from repro.utils.rng import random_qkv
@@ -248,3 +249,105 @@ class TestStats:
             f"warm serving ({warm_seconds:.3f}s) should beat per-request "
             f"dispatch ({engine_seconds:.3f}s) for {n} requests"
         )
+
+
+class TestPagedAdmission:
+    DIM = 4
+
+    def _server(self, num_blocks=4, block_size=4):
+        server = AttentionServer(cache_capacity=8)
+        server.create_block_pool(
+            key_dim=self.DIM, num_blocks=num_blocks, block_size=block_size
+        )
+        return server
+
+    def test_paged_session_requires_a_pool(self):
+        with AttentionServer() as server:
+            with pytest.raises(ValueError):
+                server.open_decode_session(LocalMask(window=3), 8, paged=True)
+
+    def test_create_block_pool_needs_exactly_one_sizing(self):
+        with AttentionServer() as server:
+            with pytest.raises(ValueError):
+                server.create_block_pool(key_dim=4)
+            with pytest.raises(ValueError):
+                server.create_block_pool(
+                    key_dim=4, num_blocks=4, memory_budget_bytes=1 << 20
+                )
+
+    def test_budget_sized_pool_and_occupancy_stats(self):
+        with AttentionServer() as server:
+            pool = server.create_block_pool(
+                key_dim=self.DIM, memory_budget_bytes=1 << 16, block_size=4
+            )
+            assert pool.nbytes <= 1 << 16
+            assert server.stats.block_occupancy == 0.0
+            session = server.open_decode_session(LocalMask(window=3), 16, paged=True)
+            q, k, v = random_qkv(8, self.DIM, seed=1)
+            session.prefill(q, k, v)
+            assert server.stats.block_occupancy > 0.0
+            assert server.stats.paged_sessions == 1
+            server.close_decode_session(session)
+            assert server.stats.block_occupancy == 0.0
+            assert server.stats.sessions_closed == 1
+
+    def test_admission_rejects_when_pool_is_full(self):
+        with self._server(num_blocks=2, block_size=4) as server:
+            first = server.open_decode_session(
+                LocalMask(window=3), 8, paged=True, reserve_tokens=8
+            )
+            q, k, v = random_qkv(8, self.DIM, seed=2)
+            first.prefill(q, k, v)  # owns both blocks
+            with pytest.raises(PoolExhausted):
+                server.open_decode_session(
+                    LocalMask(window=3), 8, paged=True, reserve_tokens=8
+                )
+            assert server.stats.admission_rejected == 1
+
+    def test_queued_ticket_admitted_when_blocks_free(self):
+        with self._server(num_blocks=2, block_size=4) as server:
+            first = server.open_decode_session(
+                LocalMask(window=3), 8, paged=True, reserve_tokens=8
+            )
+            q, k, v = random_qkv(8, self.DIM, seed=3)
+            first.prefill(q, k, v)
+            ticket = server.request_decode_session(
+                LocalMask(window=3), 8, reserve_tokens=8
+            )
+            assert not ticket.admitted
+            assert server.queued_sessions == 1
+            assert server.stats.admission_queued == 1
+            admitted = server.close_decode_session(first)
+            assert ticket in admitted and ticket.admitted
+            assert server.queued_sessions == 0
+            assert server.stats.admission_admitted == 1
+            # the queued session is fully usable once admitted
+            ticket.session.prefill(q, k, v)
+            assert ticket.session.position == 8
+
+    def test_queue_preserves_fifo_order(self):
+        with self._server(num_blocks=2, block_size=4) as server:
+            first = server.open_decode_session(
+                LocalMask(window=3), 8, paged=True, reserve_tokens=8
+            )
+            q, k, v = random_qkv(8, self.DIM, seed=4)
+            first.prefill(q, k, v)
+            tickets = [
+                server.request_decode_session(LocalMask(window=3), 8, reserve_tokens=4)
+                for _ in range(3)
+            ]
+            server.close_decode_session(first)
+            # two single-block-reserving tickets fit; head-of-line order holds
+            assert [t.admitted for t in tickets] == [True, True, False]
+
+    def test_failed_open_with_invalid_mask_leaks_no_blocks(self):
+        # regression: prereserving before plan compilation leaked blocks on
+        # every invalid open until the pool was wedged shut
+        with self._server(num_blocks=4, block_size=4) as server:
+            for _ in range(6):
+                with pytest.raises(ValueError):
+                    server.open_decode_session(np.ones((3, 5)), 8, paged=True)
+            assert server.block_pool.blocks_in_use == 0
+            session = server.open_decode_session(LocalMask(window=3), 8, paged=True)
+            assert session.paged
+            server.close_decode_session(session)

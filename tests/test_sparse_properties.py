@@ -9,15 +9,14 @@ Invariants exercised:
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
-settings.register_profile("repro", deadline=None, max_examples=40)
-settings.load_profile("repro")
+# hypothesis profile (ci/nightly) is selected globally in tests/conftest.py
 
 
 def dense_masks(max_side=24):
