@@ -124,10 +124,15 @@ class KVCache:
 
     def _check_live(self, positions: np.ndarray) -> np.ndarray:
         positions = np.asarray(positions)
-        require(
-            positions.size == 0 or int(positions.max(initial=0)) < self._length,
-            "gather past the live token range",
-        )
+        if positions.size:
+            require(
+                int(positions.min(initial=0)) >= 0,
+                "gather with negative positions",
+            )
+            require(
+                int(positions.max(initial=0)) < self._length,
+                "gather past the live token range",
+            )
         return positions
 
     def gather_keys(self, positions: np.ndarray) -> np.ndarray:
@@ -582,18 +587,17 @@ def stacked_decode_step(
     # paged sessions reserve every block the batch needs atomically per pool
     # BEFORE any cache advances — pool exhaustion fails the whole batch with
     # no block table advanced (the PR 3 atomicity guarantee, extended)
-    reservations: Dict[int, Tuple[BlockPool, List[int]]] = {}
-    needed: Dict[int, int] = {}
+    pending: Dict[BlockPool, int] = {}
     for session in sessions:
         if isinstance(session.cache, PagedKVCache):
             pool = session.cache.pool
-            needed[id(pool)] = needed.get(id(pool), 0) + session.cache.plan_extend(1)
-            reservations.setdefault(id(pool), (pool, []))
+            pending[pool] = pending.get(pool, 0) + session.cache.plan_extend(1)
+    reservations: Dict[BlockPool, List[int]] = {pool: [] for pool in pending}
     try:
-        for pool_id, (pool, blocks) in reservations.items():
-            blocks.extend(pool.reserve(needed[pool_id]))
+        for pool, count in pending.items():
+            reservations[pool].extend(pool.reserve(count))
     except Exception:
-        for pool, blocks in reservations.values():
+        for pool, blocks in reservations.items():
             if blocks:
                 pool.release(blocks)
         raise
@@ -601,14 +605,12 @@ def stacked_decode_step(
         for session, k, v in zip(sessions, k_rows, v_rows):
             session._ensure_cache(k, v)
             if isinstance(session.cache, PagedKVCache):
-                session.cache.extend(
-                    k, v, reserved=reservations[id(session.cache.pool)][1]
-                )
+                session.cache.extend(k, v, reserved=reservations[session.cache.pool])
             else:
                 session.cache.extend(k, v)
     finally:
         # share hits consume no reservation; return what the batch left over
-        for pool, blocks in reservations.values():
+        for pool, blocks in reservations.items():
             if blocks:
                 pool.release(blocks)
 

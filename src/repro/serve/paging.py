@@ -43,10 +43,11 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from math import prod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.perfmodel.decode import blocks_for_tokens
 from repro.utils.dtypes import INDEX_DTYPE
 from repro.utils.validation import require
 
@@ -134,6 +135,7 @@ class BlockPool:
         self._keys = np.zeros(self.batch_shape + (rows, self.key_dim), dtype=dtype)
         self._values = np.zeros(self.batch_shape + (rows, self.value_dim), dtype=dtype)
         self._refcounts = np.zeros(self.num_blocks, dtype=np.int64)
+        self._in_use = 0  # blocks with refcount > 0, maintained on 0<->1 edges
         self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
         #: refcount-0 blocks still registered under a fingerprint, LRU order
         self._evictable: "OrderedDict[int, None]" = OrderedDict()
@@ -213,7 +215,7 @@ class BlockPool:
     def blocks_in_use(self) -> int:
         """Blocks mapped by at least one live cache (refcount > 0)."""
         with self._lock:
-            return int(np.count_nonzero(self._refcounts))
+            return self._in_use
 
     @property
     def used_bytes(self) -> int:
@@ -227,7 +229,7 @@ class BlockPool:
     def _refresh_gauges(self) -> None:
         self.stats.free_blocks = len(self._free)
         self.stats.evictable_blocks = len(self._evictable)
-        self.stats.blocks_in_use = int(np.count_nonzero(self._refcounts))
+        self.stats.blocks_in_use = self._in_use
 
     # ------------------------------------------------------------------ #
     # Allocation
@@ -250,6 +252,7 @@ class BlockPool:
                 f"all {self.num_blocks} blocks are referenced by live sessions"
             )
         self._refcounts[block] = 1
+        self._in_use += 1
         self.stats.allocations += 1
         return block
 
@@ -276,6 +279,8 @@ class BlockPool:
         with self._lock:
             require(self._refcounts[block] > 0, "incref on an unreferenced block")
             self._refcounts[block] += 1
+            # no gauge refresh: gauges move only on 0<->1 refcount edges and
+            # free/evictable list changes, none of which can happen here
 
     def release(self, blocks: Sequence[int]) -> None:
         """Drop one reference from each block; unreferenced blocks park or free.
@@ -291,9 +296,11 @@ class BlockPool:
                 require(count > 0, f"double free of block {block}")
                 self._refcounts[block] = count - 1
                 if count == 1:
+                    self._in_use -= 1
                     if block in self._block_to_fingerprint:
+                        # a 1 -> 0 transition cannot already be parked, so the
+                        # fresh insertion lands most-recently-parked
                         self._evictable[block] = None
-                        self._evictable.move_to_end(block)
                     else:
                         self._free.append(block)
             self._refresh_gauges()
@@ -301,11 +308,13 @@ class BlockPool:
     # ------------------------------------------------------------------ #
     # Prefix sharing
     # ------------------------------------------------------------------ #
-    def lookup(self, fingerprint: str) -> Optional[int]:
+    def lookup(self, fingerprint: str, *, tokens: int = 0) -> Optional[int]:
         """Map a chained prefix fingerprint to its physical block, if cached.
 
         A hit increfs the block (reviving it from the evictable LRU when its
-        last session already finished) — the caller now maps it.
+        last session already finished) — the caller now maps it.  ``tokens``
+        is the token count the hit deduplicates, credited to the pool's
+        ``shared_tokens_saved`` counter under the lock.
         """
         with self._lock:
             block = self._fingerprint_to_block.get(fingerprint)
@@ -314,20 +323,27 @@ class BlockPool:
             if self._refcounts[block] == 0:
                 self._evictable.pop(block, None)
                 self._refcounts[block] = 1
+                self._in_use += 1
             else:
                 self._refcounts[block] += 1
             self.stats.share_hits += 1
+            self.stats.shared_tokens_saved += int(tokens)
             self._refresh_gauges()
             return block
 
     def register(self, fingerprint: str, block: int) -> None:
-        """Publish a block under its chained fingerprint for future sharing."""
+        """Publish a block under its chained fingerprint for future sharing.
+
+        The block's previous fingerprint (if any) is withdrawn first, even
+        when the new fingerprint loses the first-writer-wins race — the block
+        holds new content either way, so its old mapping must never survive.
+        """
         with self._lock:
+            stale = self._block_to_fingerprint.pop(block, None)
+            if stale is not None and self._fingerprint_to_block.get(stale) == block:
+                self._fingerprint_to_block.pop(stale)
             if fingerprint in self._fingerprint_to_block:
                 return  # first writer wins; the duplicate stays private
-            stale = self._block_to_fingerprint.pop(block, None)
-            if stale is not None:
-                self._fingerprint_to_block.pop(stale, None)
             self._fingerprint_to_block[fingerprint] = block
             self._block_to_fingerprint[block] = fingerprint
 
@@ -337,6 +353,12 @@ class BlockPool:
             fingerprint = self._block_to_fingerprint.pop(block, None)
             if fingerprint is not None:
                 self._fingerprint_to_block.pop(fingerprint, None)
+
+    def retract_shares(self, hits: int, tokens: int) -> None:
+        """Back out the share credit of lookups whose extend then failed."""
+        with self._lock:
+            self.stats.share_hits -= int(hits)
+            self.stats.shared_tokens_saved -= int(tokens)
 
     def prepare_append(self, block: int) -> bool:
         """Atomically claim ``block`` for an in-place write.
@@ -372,11 +394,8 @@ class BlockPool:
         s, d = src * self.block_size, dst * self.block_size
         self._keys[..., d : d + fill, :] = self._keys[..., s : s + fill, :]
         self._values[..., d : d + fill, :] = self._values[..., s : s + fill, :]
-        self.stats.cow_copies += 1
-
-    def gather(self, physical_rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Gather ``(..., E, d)`` K/V views for flat physical arena rows."""
-        return self._keys[..., physical_rows, :], self._values[..., physical_rows, :]
+        with self._lock:
+            self.stats.cow_copies += 1
 
     def block_rows(self, block: int, fill: int) -> Tuple[np.ndarray, np.ndarray]:
         """Contiguous views of one block's first ``fill`` K/V rows."""
@@ -400,6 +419,10 @@ class BlockPool:
                 "referenced block sits on the free/evictable lists",
             )
             require(
+                self._in_use == len(referenced),
+                "in-use counter diverged from the refcount array",
+            )
+            require(
                 len(free) + len(evictable) + len(referenced) == self.num_blocks,
                 "blocks leaked: free + evictable + referenced != num_blocks",
             )
@@ -418,6 +441,16 @@ class _Tail:
     """Mutable state of the (single) partially-filled tail block."""
 
     fill: int = 0  # tokens in the last block; 0 means the table is block-aligned
+
+
+class _Step(NamedTuple):
+    """One probed extend chunk, executed verbatim by the commit phase."""
+
+    kind: str  # "tail" (append into the partial tail), "share", or "fresh"
+    take: int  # tokens this chunk covers
+    fingerprint: Optional[str]  # registered on commit; None for a partial tail
+    block: Optional[int] = None  # share: the physical block to map
+    pos: int = 0  # fresh: offset of the chunk in the input rows
 
 
 class PagedKVCache:
@@ -449,6 +482,9 @@ class PagedKVCache:
             "max_length must be >= 1 when given",
         )
         self._blocks: List[int] = []
+        self._blocks_set: set = set()  # mirrors _blocks for O(1) membership
+        self._table_cache = np.zeros(0, dtype=np.int64)  # _blocks as ndarray
+        self._table_dirty = False
         self._length = 0
         self._chain = "root"  # fingerprint of the full-block prefix
         self._tail = _Tail()
@@ -514,12 +550,18 @@ class PagedKVCache:
         positions = np.asarray(positions, dtype=np.int64)
         if positions.size:
             require(
+                int(positions.min(initial=0)) >= 0,
+                "gather with negative positions",
+            )
+            require(
                 int(positions.max(initial=0)) < self._length,
                 "gather past the live token range",
             )
         size = self.pool.block_size
-        table = np.asarray(self._blocks, dtype=np.int64)
-        return table[positions // size] * size + positions % size
+        if self._table_dirty:
+            self._table_cache = np.asarray(self._blocks, dtype=np.int64)
+            self._table_dirty = False
+        return self._table_cache[positions // size] * size + positions % size
 
     def gather_keys(self, positions: np.ndarray) -> np.ndarray:
         """Key rows of logical token ``positions``, ``batch_shape + (E, d_k)``."""
@@ -559,12 +601,12 @@ class PagedKVCache:
         size = self.pool.block_size
         fill = self._tail.fill
         if fill == 0:
-            raw = -(-count // size)  # ceil
+            raw = blocks_for_tokens(count, size)
         else:
             if self._tail_claimed is None:
                 self._tail_claimed = self.pool.prepare_append(self._blocks[-1])
             remaining = count - (size - fill)
-            fresh = max(0, -(-remaining // size)) if remaining > 0 else 0
+            fresh = blocks_for_tokens(remaining, size) if remaining > 0 else 0
             raw = fresh + (0 if self._tail_claimed else 1)
         return max(0, raw - len(self._prereserved))
 
@@ -581,11 +623,16 @@ class PagedKVCache:
     ) -> int:
         """Append a block of tokens; returns the first appended position.
 
-        Allocation is atomic: every needed physical block is reserved before
-        any write, so a :exc:`PoolExhausted` leaves the cache (and the pool)
-        exactly as they were.  Pass ``reserved`` (from
-        :meth:`BlockPool.reserve`) to move that reservation out to a batch;
-        unused entries stay in the list for the caller to release.
+        Two phases keep this atomic without sacrificing sharing: a *probe*
+        fingerprints every chunk and takes share references first (reviving
+        parked prefixes — lookup strictly precedes allocation), then the
+        exact fresh-block shortfall is reserved all-or-nothing before any
+        write.  A :exc:`PoolExhausted` therefore leaves the cache (and the
+        pool) exactly as they were — a failed multi-block prefill neither
+        writes a row nor cascade-evicts the warm prefix LRU.  Pass
+        ``reserved`` (from :meth:`BlockPool.reserve`, sized by
+        :meth:`plan_extend`) to move the reservation out to a batch instead;
+        unused entries then stay in the list for the caller to release.
         """
         require(not self.released, "cache was released back to the pool")
         k_block = np.asarray(k_block)
@@ -608,28 +655,64 @@ class PagedKVCache:
         start = self._length
         if count == 0:
             return start
+        owns_reservation = reserved is None
         snapshot = (
             list(self._blocks),
             self._length,
             self._chain,
             self._tail.fill,
+            self.share_hits,
+            self.cow_copies,
         )
         acquired: List[int] = []  # references this extend took (alloc or share)
         held: List[int] = []  # blocks drawn from the admission prereserve
         deferred: List[int] = []  # COW'd old tails, released only on success
+        pending: List[Tuple[str, int]] = []  # fingerprints published on commit
+        shares: List[int] = []  # token counts credited per probe share hit
         try:
-            self._extend_walk(k_block, v_block, count, reserved, acquired, held, deferred)
+            steps, fresh_needed, chain = self._probe_extend(
+                k_block, v_block, count, acquired, shares
+            )
+            if owns_reservation:
+                shortfall = max(0, fresh_needed - len(self._prereserved))
+                reserved = self.pool.reserve(shortfall) if shortfall else []
+            self._commit_extend(
+                k_block, v_block, steps, reserved, acquired, held, deferred, pending
+            )
+            self._chain = chain
         except Exception:
             # full rollback: restore the table, return every new reference and
             # put admission-held blocks back, so a failed extend advances
             # nothing (evictions and fingerprint invalidations that already
-            # happened are harmless metadata loss)
-            self._blocks, self._length, self._chain, self._tail.fill = snapshot
+            # happened are harmless metadata loss).  Fingerprints are only
+            # published below, after the commit — a failed extend must never
+            # leave a fingerprint pointing at a block it just rolled back
+            # into the free pool or the admission prereserve, or a retry
+            # could share that block while _acquire hands it out again
+            (
+                self._blocks,
+                self._length,
+                self._chain,
+                self._tail.fill,
+                self.share_hits,
+                self.cow_copies,
+            ) = snapshot
+            self._blocks_set = set(self._blocks)
+            self._table_dirty = True
             self._tail_claimed = None
             self._prereserved.extend(held)
             if acquired:
                 self.pool.release(acquired)
+            if shares:
+                # shares that never materialized must not skew the telemetry
+                self.pool.retract_shares(len(shares), sum(shares))
+            if owns_reservation and reserved:
+                self.pool.release(reserved)  # entries _take never popped
             raise
+        for fingerprint, block in pending:
+            self.pool.register(fingerprint, block)
+        if owns_reservation and reserved:
+            self.pool.release(reserved)  # exact on success, so normally empty
         if deferred:
             self.pool.release(deferred)
         return start
@@ -647,55 +730,136 @@ class PagedKVCache:
         if self._prereserved:
             block = self._prereserved.pop()
             held.append(block)
-            return block
-        block = self._take(reserved) if reserved is not None else self.pool.reserve(1)[0]
-        acquired.append(block)
+        else:
+            block = (
+                self._take(reserved) if reserved is not None else self.pool.reserve(1)[0]
+            )
+            acquired.append(block)
+        # a write target must be private to this call: a block already in the
+        # table would be silently overwritten by the coming pool.write
+        require(
+            block not in self._blocks_set,
+            f"pool handed out block {block} already mapped by this cache",
+        )
         return block
 
-    def _extend_walk(
+    def _probe_extend(
         self,
         k_block: np.ndarray,
         v_block: np.ndarray,
         count: int,
+        acquired: List[int],
+        shares: List[int],
+    ) -> Tuple[List[_Step], int, str]:
+        """Dry-run an extend: fingerprint every chunk, write nothing.
+
+        Returns ``(steps, fresh_needed, chain)``: the step list
+        :meth:`_commit_extend` executes, the exact number of physical blocks
+        the commit will acquire (tail copy-on-write included), and the chain
+        fingerprint after the extend.  Share hits are increfed *here* —
+        lookup strictly precedes any allocation, so a prefix parked in the
+        evictable LRU is revived rather than evicted to make room for its
+        own copy; the references land in ``acquired`` (and their token
+        counts in ``shares``) so a failed reservation rolls back both the
+        references and the share credit.
+        """
+        size = self.pool.block_size
+        dtype = self.pool.dtype
+        steps: List[_Step] = []
+        fresh_needed = 0
+        chain = self._chain
+        fill = self._tail.fill
+        pos = 0
+        if fill:
+            # the leading segment lands in the existing partial tail: claim
+            # it now (atomically, no new sharer can map it afterwards) or
+            # learn we must copy-on-write into one extra block
+            if self._tail_claimed is None:
+                self._tail_claimed = self.pool.prepare_append(self._blocks[-1])
+            if not self._tail_claimed:
+                fresh_needed += 1
+            take = min(size - fill, count)
+            fingerprint = None
+            if fill + take == size:
+                k_old, v_old = self.pool.block_rows(self._blocks[-1], fill)
+                k_full = np.concatenate(
+                    [k_old, np.asarray(k_block[..., :take, :], dtype=dtype)], axis=-2
+                )
+                v_full = np.concatenate(
+                    [v_old, np.asarray(v_block[..., :take, :], dtype=dtype)], axis=-2
+                )
+                fingerprint = _fingerprint(
+                    chain,
+                    np.ascontiguousarray(k_full).tobytes(),
+                    np.ascontiguousarray(v_full).tobytes(),
+                    size,
+                )
+                chain = fingerprint
+            steps.append(_Step("tail", take, fingerprint))
+            pos = take
+        while pos < count:
+            take = min(size, count - pos)
+            k_rows = np.ascontiguousarray(k_block[..., pos : pos + take, :], dtype=dtype)
+            v_rows = np.ascontiguousarray(v_block[..., pos : pos + take, :], dtype=dtype)
+            fingerprint = _fingerprint(chain, k_rows.tobytes(), v_rows.tobytes(), take)
+            shared = self.pool.lookup(fingerprint, tokens=take)
+            if shared is not None:
+                acquired.append(shared)
+                shares.append(take)
+                steps.append(_Step("share", take, fingerprint, block=shared))
+            else:
+                fresh_needed += 1
+                steps.append(_Step("fresh", take, fingerprint, pos=pos))
+            if take == size:
+                chain = fingerprint
+            pos += take
+        return steps, fresh_needed, chain
+
+    def _commit_extend(
+        self,
+        k_block: np.ndarray,
+        v_block: np.ndarray,
+        steps: List[_Step],
         reserved: Optional[List[int]],
         acquired: List[int],
         held: List[int],
         deferred: List[int],
+        pending: List[Tuple[str, int]],
     ) -> None:
+        """Execute a probe's step list: acquire blocks, scatter rows.
+
+        Partial fresh chunks are queued for registration (a prompt's tail is
+        shareable, COW on divergence); the tail-append step deliberately
+        leaves a still-partial tail unregistered — re-fingerprinting it
+        every single-token decode step would be pure per-token hashing
+        overhead, invalidated by the very next step's claim.
+        """
         size = self.pool.block_size
-        pos = 0
-        while pos < count:
-            fill = self._tail.fill
-            if fill == 0:
-                take = min(size, count - pos)
-                k_rows = np.ascontiguousarray(k_block[..., pos : pos + take, :])
-                v_rows = np.ascontiguousarray(v_block[..., pos : pos + take, :])
-                fingerprint = _fingerprint(
-                    self._chain, k_rows.tobytes(), v_rows.tobytes(), take
+        for step in steps:
+            take = step.take
+            if step.kind == "share":
+                block = step.block
+                self._blocks.append(block)
+                self._blocks_set.add(block)
+                self._table_dirty = True
+                self.share_hits += 1
+                self._tail.fill = 0 if take == size else take
+            elif step.kind == "fresh":
+                pos = step.pos
+                block = self._acquire(reserved, acquired, held)
+                self.pool.write(
+                    block, 0, k_block[..., pos : pos + take, :],
+                    v_block[..., pos : pos + take, :],
                 )
-                # lookup precedes allocation: a prefix parked in the evictable
-                # LRU must be shared, not evicted to make room for its copy
-                shared = self.pool.lookup(fingerprint)
-                if shared is not None:
-                    self._blocks.append(shared)
-                    acquired.append(shared)
-                    self.share_hits += 1
-                    self.pool.stats.shared_tokens_saved += take
-                else:
-                    block = self._acquire(reserved, acquired, held)
-                    self.pool.write(block, 0, k_rows, v_rows)
-                    self.pool.register(fingerprint, block)
-                    self._blocks.append(block)
-                if take == size:
-                    self._chain = fingerprint
-                    self._tail.fill = 0
-                else:
-                    self._tail.fill = take
-            else:
+                pending.append((step.fingerprint, block))
+                self._blocks.append(block)
+                self._blocks_set.add(block)
+                self._table_dirty = True
+                self._tail.fill = 0 if take == size else take
+            else:  # tail append
+                fill = self._tail.fill
                 tail = self._blocks[-1]
                 claimed = self._tail_claimed
-                if claimed is None:
-                    claimed = self.pool.prepare_append(tail)
                 self._tail_claimed = None
                 if not claimed:
                     # copy-on-write: divergence after a shared partial prefix;
@@ -704,35 +868,20 @@ class PagedKVCache:
                     self.pool.copy_block(tail, fresh, fill)
                     deferred.append(tail)
                     self._blocks[-1] = fresh
+                    self._blocks_set.discard(tail)
+                    self._blocks_set.add(fresh)
+                    self._table_dirty = True
                     tail = fresh
                     self.cow_copies += 1
-                take = min(size - fill, count - pos)
                 self.pool.write(
-                    tail, fill, k_block[..., pos : pos + take, :],
-                    v_block[..., pos : pos + take, :],
+                    tail, fill, k_block[..., :take, :], v_block[..., :take, :]
                 )
-                new_fill = fill + take
-                if new_fill == size:
-                    k_rows, v_rows = self.pool.block_rows(tail, size)
-                    fingerprint = _fingerprint(
-                        self._chain,
-                        np.ascontiguousarray(k_rows).tobytes(),
-                        np.ascontiguousarray(v_rows).tobytes(),
-                        size,
-                    )
-                    self.pool.register(fingerprint, tail)
-                    self._chain = fingerprint
+                if step.fingerprint is not None:
+                    pending.append((step.fingerprint, tail))
                     self._tail.fill = 0
                 else:
-                    self._tail.fill = new_fill
-            pos += take
+                    self._tail.fill = fill + take
             self._length += take
-        # partial tails written by the fresh-chunk branch were registered in
-        # the loop (a prompt's tail is shareable, COW on divergence); the
-        # tail-append branch deliberately leaves its partial tail
-        # unregistered — re-fingerprinting it every single-token decode step
-        # would be pure per-token hashing overhead, invalidated by the very
-        # next step's claim
 
     # ------------------------------------------------------------------ #
     def release(self) -> None:
@@ -746,6 +895,8 @@ class PagedKVCache:
         self.released = True
         blocks = self._blocks + self._prereserved
         self._blocks, self._prereserved = [], []
+        self._blocks_set = set()
+        self._table_dirty = True
         self._length = 0
         self._tail.fill = 0
         self._tail_claimed = None

@@ -33,11 +33,12 @@ stacked kernel pass (continuous batching).
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -46,6 +47,7 @@ from repro.distributed.partition_balance import balanced_worker_bins
 from repro.masks.base import as_mask_spec
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.perfmodel.decode import blocks_for_tokens
 from repro.perfmodel.devices import DeviceSpec
 from repro.serve.cache import PlanCache
 from repro.serve.decode import DecodeSession, stacked_decode_step
@@ -89,6 +91,10 @@ class DecodeTicket:
     pool: "BlockPool"
     reserve_tokens: Optional[int]
     session: Optional[DecodeSession] = None
+    #: decode plan compiled at request time (outside the admission lock), so
+    #: admitting the ticket later is a pure capacity grant
+    plan: Optional[ExecutionPlan] = None
+    plan_cache_hit: bool = False
 
     @property
     def admitted(self) -> bool:
@@ -165,6 +171,10 @@ class AttentionServer:
         )
         self._pending: List[AttentionRequest] = []
         self._admission_queue: Deque[DecodeTicket] = deque()
+        #: serializes queue-mode admission (request/admit/queue inspection):
+        #: the queue-empty check and the open-or-enqueue decision must be one
+        #: atomic step, or concurrent callers admit out of FIFO order
+        self._admission_lock = threading.Lock()
         self._ids = itertools.count()
         self._pool: Optional[ThreadPoolExecutor] = None
 
@@ -316,30 +326,37 @@ class AttentionServer:
     def _admission_blocks(self, pool: BlockPool, reserve_tokens: Optional[int]) -> int:
         tokens = pool.block_size if reserve_tokens is None else int(reserve_tokens)
         require(tokens >= 0, "reserve_tokens must be non-negative")
-        return -(-tokens // pool.block_size)  # ceil
+        blocks = blocks_for_tokens(tokens, pool.block_size)
+        # an infeasible grant must fail its caller now: queued, it would wedge
+        # the FIFO head forever (PoolExhausted on every admit, even empty)
+        require(
+            blocks <= pool.num_blocks,
+            f"reserve_tokens={tokens} needs {blocks} blocks but the pool "
+            f"holds only {pool.num_blocks}",
+        )
+        return blocks
 
-    def _try_open_paged(
+    def _grant_paged(
         self,
-        mask: MaskInput,
+        plan: ExecutionPlan,
+        hit: bool,
         horizon: int,
         *,
         retain_outputs: bool,
         pool: BlockPool,
         reserve_tokens: Optional[int],
     ) -> DecodeSession:
-        """Open a paged session, atomically holding its admission blocks.
+        """The admission capacity grant: prereserve blocks, build the session.
 
         The cache prereserves ``ceil(reserve_tokens / block_size)`` blocks up
         front (all-or-nothing), so admission is a real capacity grant — a
         racing stream cannot take the blocks between admission and prefill.
         Raises :exc:`~repro.serve.paging.PoolExhausted` untouched; callers
-        decide between reject and queue.
+        decide between reject and queue.  Callers compile ``plan`` *before*
+        taking the admission lock (an invalid mask must fail with no blocks
+        held and no lock held, or repeated bad opens would leak the pool dry
+        and serialize every other open behind the compile).
         """
-        # compile (or fetch) the plan BEFORE touching the pool: an invalid
-        # mask must fail with no blocks held, or repeated bad opens would
-        # leak the pool dry
-        key = self.key_for(mask, horizon, mode="decode")
-        plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
         cache = PagedKVCache(pool, max_length=horizon)
         cache.prereserve(self._admission_blocks(pool, reserve_tokens))
         try:
@@ -381,27 +398,39 @@ class AttentionServer:
         one block) are held by the session up front, or the session is
         *rejected* with :exc:`~repro.serve.paging.PoolExhausted`.  Use
         :meth:`request_decode_session` for queue-instead-of-reject admission.
+
+        Reject-mode opens serialize with queue-mode admission under the
+        server's admission lock, but they do not *wait behind* the FIFO
+        queue: an open that fits is admitted even while tickets are queued
+        (the two are different admission policies — mix them knowing
+        reject-mode callers can take capacity ahead of queued tickets).
         """
         pool = pool if pool is not None else (self.block_pool if paged else None)
+        # compile outside the admission lock: concurrent opens over distinct
+        # masks pay compilation in parallel, and the lock is held only for
+        # the capacity grant itself
+        key = self.key_for(mask, horizon, mode="decode")
+        plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
         if paged or pool is not None:
             require(
                 pool is not None,
                 "paged sessions need a shared pool: call create_block_pool first "
                 "or pass pool=",
             )
-            try:
-                return self._try_open_paged(
-                    mask,
-                    horizon,
-                    retain_outputs=retain_outputs,
-                    pool=pool,
-                    reserve_tokens=reserve_tokens,
-                )
-            except PoolExhausted:
-                self.stats.admission_rejected += 1
-                raise
-        key = self.key_for(mask, horizon, mode="decode")
-        plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
+            with self._admission_lock:
+                try:
+                    return self._grant_paged(
+                        plan,
+                        hit,
+                        horizon,
+                        retain_outputs=retain_outputs,
+                        pool=pool,
+                        reserve_tokens=reserve_tokens,
+                    )
+                except PoolExhausted:
+                    # counted under the lock like the other admission stats
+                    self.stats.admission_rejected += 1
+                    raise
         session = DecodeSession(
             plan, retain_outputs=retain_outputs, session_id=self.next_request_id()
         )
@@ -427,6 +456,10 @@ class AttentionServer:
         """
         pool = pool if pool is not None else self.block_pool
         require(pool is not None, "request_decode_session needs a shared block pool")
+        # validate the reservation spec now: a bad ticket must fail its own
+        # caller, not explode out of someone else's close_decode_session when
+        # admit_queued finally pops it
+        self._admission_blocks(pool, reserve_tokens)
         ticket = DecodeTicket(
             mask=mask,
             horizon=horizon,
@@ -434,51 +467,84 @@ class AttentionServer:
             pool=pool,
             reserve_tokens=reserve_tokens,
         )
-        if not self._admission_queue:
-            try:
-                ticket.session = self._try_open_paged(
-                    mask,
-                    horizon,
-                    retain_outputs=retain_outputs,
-                    pool=pool,
-                    reserve_tokens=reserve_tokens,
-                )
-                return ticket
-            except PoolExhausted:
-                pass
-        self._admission_queue.append(ticket)
-        self.stats.admission_queued += 1
-        return ticket
+        # compile outside the admission lock: an invalid mask fails here,
+        # before the ticket queues, and the ticket carries its compiled plan
+        # so admitting it later is a pure capacity grant
+        key = self.key_for(mask, horizon, mode="decode")
+        plan, hit = self._plan_for_key(key, mask, horizon, "auto", mode="decode")
+        ticket.plan, ticket.plan_cache_hit = plan, hit
+        with self._admission_lock:
+            # drain first: capacity freed by a direct session.close() (not
+            # through close_decode_session) would otherwise strand the queue
+            # head forever while this request queued behind it
+            self._admit_queued_locked()
+            # FIFO is per pool: only a waiting ticket for *this* pool forces
+            # the new request behind it
+            if not any(t.pool is pool for t in self._admission_queue):
+                try:
+                    ticket.session = self._grant_paged(
+                        plan,
+                        hit,
+                        horizon,
+                        retain_outputs=retain_outputs,
+                        pool=pool,
+                        reserve_tokens=reserve_tokens,
+                    )
+                    return ticket
+                except PoolExhausted:
+                    pass
+            self._admission_queue.append(ticket)
+            self.stats.admission_queued += 1
+            return ticket
 
     @property
     def queued_sessions(self) -> int:
         """Tickets waiting for admission."""
-        return len(self._admission_queue)
+        with self._admission_lock:
+            return len(self._admission_queue)
 
     def admit_queued(self) -> List[DecodeTicket]:
-        """Admit queued tickets FIFO while their pools have room.
+        """Admit queued tickets FIFO-per-pool while their pools have room.
 
-        Stops at the first ticket that still does not fit (head-of-line
-        order keeps admission fair).  Returns the tickets admitted now.
+        Within each pool, the first ticket that does not fit blocks the ones
+        behind it (head-of-line order keeps admission fair); tickets bound
+        for *other* pools keep draining, so one exhausted pool cannot starve
+        the rest.  Returns the tickets admitted now.
         """
+        with self._admission_lock:
+            return self._admit_queued_locked()
+
+    def _admit_queued_locked(self) -> List[DecodeTicket]:
         admitted: List[DecodeTicket] = []
-        while self._admission_queue:
-            # pop before opening: a ticket whose spec turns out invalid is
-            # dropped as its error propagates, not left poisoning the head
-            ticket = self._admission_queue.popleft()
-            try:
-                ticket.session = self._try_open_paged(
-                    ticket.mask,
-                    ticket.horizon,
-                    retain_outputs=ticket.retain_outputs,
-                    pool=ticket.pool,
-                    reserve_tokens=ticket.reserve_tokens,
-                )
-            except PoolExhausted:
-                self._admission_queue.appendleft(ticket)  # still next in line
-                break
-            self.stats.admission_admitted += 1
-            admitted.append(ticket)
+        exhausted: Set[BlockPool] = set()  # pools whose head ticket did not fit
+        kept: List[DecodeTicket] = []
+        try:
+            while self._admission_queue:
+                # pop before opening: a ticket whose spec turns out invalid is
+                # dropped as its error propagates, not left poisoning the head
+                ticket = self._admission_queue.popleft()
+                if ticket.pool in exhausted:
+                    kept.append(ticket)  # FIFO holds behind its pool's head
+                    continue
+                try:
+                    ticket.session = self._grant_paged(
+                        ticket.plan,
+                        ticket.plan_cache_hit,
+                        ticket.horizon,
+                        retain_outputs=ticket.retain_outputs,
+                        pool=ticket.pool,
+                        reserve_tokens=ticket.reserve_tokens,
+                    )
+                except PoolExhausted:
+                    exhausted.add(ticket.pool)
+                    kept.append(ticket)
+                    continue
+                self.stats.admission_admitted += 1
+                admitted.append(ticket)
+        finally:
+            # waiting tickets return to the head in arrival order — also when
+            # an invalid ticket's error propagates mid-drain
+            self._admission_queue.extendleft(reversed(kept))
         return admitted
 
     def close_decode_session(self, session: DecodeSession) -> List[DecodeTicket]:

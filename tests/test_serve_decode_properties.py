@@ -11,6 +11,7 @@ shapes through the invariants the deterministic decode tests spot-check:
 """
 
 import numpy as np
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -184,3 +185,11 @@ class TestKVCacheProperties:
             np.testing.assert_array_equal(
                 cache.gather_keys(cols), np.stack(expected_k)[cols]
             )
+
+    def test_gather_rejects_positions_outside_live_range(self):
+        cache = KVCache((), DIM, DIM, capacity=4)
+        cache.extend(np.ones((3, DIM)), np.ones((3, DIM)))
+        with pytest.raises(ValueError):
+            cache.gather_keys(np.array([3]))  # past the live rows
+        with pytest.raises(ValueError):
+            cache.gather_keys(np.array([-1]))  # negative would wrap the buffer

@@ -269,3 +269,109 @@ class TestPoolInvariants:
         # atomic: the failed extend left nothing behind
         assert cache.length == 0 and pool.blocks_in_use == 0
         pool.check_consistency()
+
+    def test_failed_extend_publishes_no_fingerprints(self):
+        # regression: a walk that wrote (and used to register) chunks before
+        # running out of blocks must withdraw everything on rollback — a
+        # later identical prefill must not share a block that rolled back
+        # into this cache's admission prereserve
+        pool = BlockPool(3, 2, key_dim=DIM)
+        blocker = pool.reserve(1)
+        cache = PagedKVCache(pool)
+        cache.prereserve(2)
+        rng = np.random.default_rng(7)
+        k = rng.standard_normal((6, DIM)).astype(np.float32)
+        v = rng.standard_normal((6, DIM)).astype(np.float32)
+        with pytest.raises(PoolExhausted):
+            cache.extend(k, v)  # needs 3 blocks, only the 2 prereserved exist
+        assert cache.length == 0 and cache.prereserved_blocks == 2
+        pool.release(blocker)
+        other = PagedKVCache(pool)
+        other.extend(k[:2], v[:2])
+        assert other.share_hits == 0  # the failed walk published nothing
+        other.release()
+        cache.release()
+        pool.check_consistency()
+
+    def test_retry_after_failed_extend_is_bit_exact(self):
+        # regression: retrying after a rolled-back extend must rebuild the
+        # cache from its own blocks — never alias a block both via a stale
+        # fingerprint hit and via the prereserve it rolled back into
+        pool = BlockPool(3, 2, key_dim=DIM)
+        blocker = pool.reserve(1)
+        cache = PagedKVCache(pool)
+        cache.prereserve(2)
+        rng = np.random.default_rng(11)
+        k = rng.standard_normal((6, DIM)).astype(np.float32)
+        v = rng.standard_normal((6, DIM)).astype(np.float32)
+        with pytest.raises(PoolExhausted):
+            cache.extend(k, v)
+        pool.release(blocker)
+        k2, v2 = k.copy(), v.copy()
+        k2[2:] += 1.0  # same first chunk, divergent afterwards
+        cache.extend(k2, v2)
+        assert len(set(cache.block_table)) == len(cache.block_table)
+        np.testing.assert_array_equal(cache.keys(), k2)
+        np.testing.assert_array_equal(cache.values(), v2)
+        cache.release()
+        pool.check_consistency()
+
+    def test_failed_prefill_does_not_evict_warm_blocks(self):
+        # regression: an over-large prefill must fail atomically in the
+        # reserve, not allocate block-by-block and cascade-evict the parked
+        # warm prefix on its way to the failure
+        pool = BlockPool(4, 2, key_dim=DIM)
+        rng = np.random.default_rng(3)
+        k = rng.standard_normal((4, DIM)).astype(np.float32)
+        warm = PagedKVCache(pool)
+        warm.extend(k, k)
+        warm.release()  # 2 blocks parked evictable, fingerprints registered
+        assert pool.evictable_blocks == 2
+        evictions_before = pool.stats.evictions
+        big = PagedKVCache(pool)
+        with pytest.raises(PoolExhausted):
+            big.extend(np.ones((12, DIM)), np.ones((12, DIM)))  # needs 6 of 4
+        assert pool.stats.evictions == evictions_before
+        assert pool.evictable_blocks == 2
+
+        # a failing extend whose probe *shared* the warm prefix must back the
+        # share credit out again along with the references
+        stats_before = (pool.stats.share_hits, pool.stats.shared_tokens_saved)
+        sharer = PagedKVCache(pool)
+        huge = np.concatenate([k, np.ones((8, DIM), dtype=np.float32)])
+        with pytest.raises(PoolExhausted):
+            sharer.extend(huge, huge)  # 2 warm hits, then a 4-block shortfall
+        assert (pool.stats.share_hits, pool.stats.shared_tokens_saved) == stats_before
+        assert (sharer.share_hits, sharer.cow_copies) == (0, 0)  # rolled back too
+        assert pool.evictable_blocks == 2
+
+        again = PagedKVCache(pool)
+        again.extend(k, k)
+        assert again.share_hits == 2  # the warm prompt survived the failures
+        again.release()
+        sharer.release()
+        big.release()
+        pool.check_consistency()
+
+    def test_register_withdraws_stale_mapping_on_duplicate(self):
+        # regression: losing the first-writer-wins race must still clear the
+        # block's previous fingerprint, or the old fingerprint keeps serving
+        # the block's new, different content
+        pool = BlockPool(3, 2, key_dim=DIM)
+        a, b = pool.reserve(2)
+        pool.register("fp_old", a)
+        pool.register("fp_new", b)
+        pool.register("fp_new", a)  # a was rewritten; duplicate stays private
+        assert pool.lookup("fp_old") is None
+        assert pool.lookup("fp_new") == b
+        pool.release([b])  # lookup's incref
+        pool.release([a, b])
+        pool.check_consistency()
+
+    def test_negative_position_gather_raises(self):
+        pool = BlockPool(2, 2, key_dim=DIM)
+        cache = PagedKVCache(pool)
+        cache.extend(np.ones((3, DIM)), np.ones((3, DIM)))
+        with pytest.raises(ValueError):
+            cache.gather_keys(np.array([-1]))
+        cache.release()

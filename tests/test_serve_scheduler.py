@@ -10,7 +10,7 @@ from repro.core.engine import GraphAttentionEngine
 from repro.distributed.partition_balance import balanced_worker_bins
 from repro.masks.presets import longformer_mask
 from repro.masks.windowed import LocalMask
-from repro.serve.paging import PoolExhausted
+from repro.serve.paging import BlockPool, PoolExhausted
 from repro.serve.scheduler import AttentionServer
 from repro.serve.session import AttentionRequest
 from repro.utils.rng import random_qkv
@@ -339,6 +339,70 @@ class TestPagedAdmission:
             server.close_decode_session(first)
             # two single-block-reserving tickets fit; head-of-line order holds
             assert [t.admitted for t in tickets] == [True, True, False]
+
+    def test_request_drains_queue_after_direct_session_close(self):
+        # regression: capacity freed by session.close() (bypassing
+        # close_decode_session) left queued tickets stranded, and every later
+        # request queued behind them despite a fully free pool
+        with self._server(num_blocks=2, block_size=4) as server:
+            first = server.open_decode_session(
+                LocalMask(window=3), 8, paged=True, reserve_tokens=8
+            )
+            stranded = server.request_decode_session(
+                LocalMask(window=3), 8, reserve_tokens=8
+            )
+            assert not stranded.admitted
+            first.close()  # frees the pool without touching the server queue
+            later = server.request_decode_session(
+                LocalMask(window=3), 8, reserve_tokens=8
+            )
+            assert stranded.admitted  # drained before the new request decided
+            assert not later.admitted and server.queued_sessions == 1
+            server.close_decode_session(stranded.session)
+            assert later.admitted
+
+    def test_exhausted_pool_does_not_starve_other_pools(self):
+        # regression: the admission FIFO is per pool — a stuck head ticket
+        # for an exhausted pool must not block tickets (or fresh requests)
+        # bound for a different pool with free blocks
+        with self._server(num_blocks=2, block_size=4) as server:
+            hog = server.open_decode_session(
+                LocalMask(window=3), 8, paged=True, reserve_tokens=8
+            )
+            stuck = server.request_decode_session(
+                LocalMask(window=3), 8, reserve_tokens=8
+            )
+            assert not stuck.admitted
+            other_pool = BlockPool(2, 4, key_dim=self.DIM)
+            ticket = server.request_decode_session(
+                LocalMask(window=3), 8, pool=other_pool, reserve_tokens=8
+            )
+            assert ticket.admitted  # other pool has room; no cross-pool wait
+            drained = server.close_decode_session(ticket.session)
+            assert drained == [] and not stuck.admitted  # still head for its pool
+            server.close_decode_session(hog)
+            assert stuck.admitted
+            server.close_decode_session(stuck.session)
+
+    def test_infeasible_reserve_tokens_fails_its_caller(self):
+        # regression: a grant no pool state could ever satisfy must raise at
+        # request time — queued, it would wedge the FIFO head forever
+        with self._server(num_blocks=2, block_size=4) as server:
+            too_big = 2 * 4 + 1  # needs 3 blocks of 2
+            with pytest.raises(ValueError):
+                server.request_decode_session(
+                    LocalMask(window=3), 16, reserve_tokens=too_big
+                )
+            assert server.queued_sessions == 0
+            with pytest.raises(ValueError):
+                server.open_decode_session(
+                    LocalMask(window=3), 16, paged=True, reserve_tokens=too_big
+                )
+            # a feasible request still sails through afterwards
+            session = server.open_decode_session(
+                LocalMask(window=3), 8, paged=True, reserve_tokens=8
+            )
+            server.close_decode_session(session)
 
     def test_failed_open_with_invalid_mask_leaks_no_blocks(self):
         # regression: prereserving before plan compilation leaked blocks on
