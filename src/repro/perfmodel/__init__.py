@@ -42,6 +42,7 @@ from repro.perfmodel.context_limits import (
 from repro.perfmodel.decode import (
     DecodeRuntimeModel,
     DecodeStepEstimate,
+    PreemptionCostEstimate,
     blocks_for_tokens,
     decode_step_flops,
     kv_cache_bytes,
@@ -49,6 +50,7 @@ from repro.perfmodel.decode import (
     paged_kv_cache_bytes,
     paged_sessions_supported,
     paging_fragmentation_overhead,
+    preemption_cost,
 )
 
 __all__ = [
@@ -62,6 +64,7 @@ __all__ = [
     "DeviceSpec",
     "L40_48GB",
     "MemoryBreakdown",
+    "PreemptionCostEstimate",
     "RuntimeEstimate",
     "RuntimeModel",
     "V100_SXM2_32GB",
@@ -77,4 +80,5 @@ __all__ = [
     "paged_kv_cache_bytes",
     "paged_sessions_supported",
     "paging_fragmentation_overhead",
+    "preemption_cost",
 ]

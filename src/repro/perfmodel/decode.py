@@ -21,6 +21,13 @@ full invocation).  Autoregressive decoding has a different cost structure:
 against recomputing the whole prefix through the CSR kernel (what a stack
 without a KV cache pays per token); the margin widens linearly with the
 prefix's edge count, the effect ``benchmarks/bench_decode.py`` measures.
+
+**Preemption** adds a third cost axis: a serving loop that must evict a live
+stream under memory pressure either *swaps* its KV cache to host memory
+(paying the copy out and back in) or *drops* it and recomputes the prefix
+from the prompt on resume (paying the causal edges again).
+:func:`preemption_cost` prices both and names the cheaper one — the policy
+input the continuous-batching scheduler's ``preemption="auto"`` mode uses.
 """
 
 from __future__ import annotations
@@ -282,6 +289,104 @@ class DecodeRuntimeModel:
             nnz, length, head_dim, dtype=dtype, heads=heads, batch=batch
         )
         return full.seconds / step.seconds if step.seconds > 0 else float("inf")
+
+
+#: Fraction of DRAM bandwidth a host-side KV swap sustains.  Swap traffic
+#: crosses the device boundary (PCIe / pinned-host staging), so it moves far
+#: below the on-device rate the decode gathers enjoy; one quarter keeps the
+#: swap-vs-recompute break-even at realistic prefix lengths.
+SWAP_BANDWIDTH_FRACTION = 0.25
+
+
+@dataclass(frozen=True)
+class PreemptionCostEstimate:
+    """Modelled cost of evicting (and later resuming) one decode stream."""
+
+    device: str
+    tokens: int
+    swap_bytes: int
+    swap_out_seconds: float
+    swap_in_seconds: float
+    recompute_flops: float
+    recompute_seconds: float
+
+    @property
+    def swap_seconds(self) -> float:
+        """Round-trip swap cost: serialize out at eviction, restore at resume."""
+        return self.swap_out_seconds + self.swap_in_seconds
+
+    @property
+    def preferred(self) -> str:
+        """``"swap"`` or ``"recompute"`` — whichever resumes the stream cheaper."""
+        return "swap" if self.swap_seconds <= self.recompute_seconds else "recompute"
+
+
+def preemption_cost(
+    device: DeviceSpec,
+    tokens: int,
+    *,
+    prefix_nnz: int,
+    head_dim: int,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp16",
+    block_size: Optional[int] = None,
+    swap_bandwidth_fraction: float = SWAP_BANDWIDTH_FRACTION,
+) -> PreemptionCostEstimate:
+    """Price evicting a ``tokens``-long stream: swap round-trip vs. recompute.
+
+    *Swap* serializes the live KV rows to host memory and streams them back at
+    resume — two copies of the cache footprint (block-padded when
+    ``block_size`` is given) at ``swap_bandwidth_fraction`` of DRAM bandwidth,
+    each paying one launch overhead.  *Recompute* stores nothing and replays
+    the prompt's causal prefill on resume: one CSR pass over the prefix's
+    ``prefix_nnz`` causal edges (:meth:`DecodeRuntimeModel.estimate_recompute`).
+    Short prefixes over sparse rows recompute cheaper; long or dense prefixes
+    amortise the copy and prefer the swap.
+    """
+    require(tokens >= 0, "tokens must be non-negative")
+    require(prefix_nnz >= 0, "prefix_nnz must be non-negative")
+    require(0.0 < swap_bandwidth_fraction <= 1.0, "swap bandwidth fraction in (0, 1]")
+    if tokens == 0:
+        # nothing cached: both paths are free (callers drop the cache either way)
+        return PreemptionCostEstimate(
+            device=device.name,
+            tokens=0,
+            swap_bytes=0,
+            swap_out_seconds=0.0,
+            swap_in_seconds=0.0,
+            recompute_flops=0.0,
+            recompute_seconds=0.0,
+        )
+    if block_size is not None:
+        swap_bytes = paged_kv_cache_bytes(
+            tokens,
+            head_dim,
+            block_size=block_size,
+            value_dim=value_dim,
+            heads=heads,
+            batch=batch,
+            dtype=dtype,
+        )
+    else:
+        swap_bytes = kv_cache_bytes(
+            tokens, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
+        )
+    bandwidth = device.memory_bandwidth * swap_bandwidth_fraction
+    copy_seconds = swap_bytes / bandwidth + device.kernel_launch_overhead
+    recompute = DecodeRuntimeModel(device).estimate_recompute(
+        prefix_nnz, tokens, head_dim, dtype=dtype, heads=heads, batch=batch
+    )
+    return PreemptionCostEstimate(
+        device=device.name,
+        tokens=int(tokens),
+        swap_bytes=int(swap_bytes),
+        swap_out_seconds=copy_seconds,
+        swap_in_seconds=copy_seconds,
+        recompute_flops=recompute.flops,
+        recompute_seconds=recompute.seconds,
+    )
 
 
 def max_cached_tokens(

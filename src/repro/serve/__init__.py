@@ -19,8 +19,15 @@ Three layers turn the paper's kernels into a serving stack:
 * :mod:`repro.serve.paging` — paged KV memory: a refcounted
   :class:`BlockPool` of fixed-size K/V blocks shared by every paged session,
   :class:`PagedKVCache` block tables with chained-hash prefix sharing and
-  copy-on-write divergence, LRU eviction of finished sessions' blocks, and
-  reject-or-queue admission control on the server.
+  copy-on-write divergence, LRU eviction of finished sessions' blocks,
+  reject-or-queue admission control on the server, and a host-side
+  :class:`SwapStore` parking preempted sessions' serialized caches.
+* :mod:`repro.serve.loop` — iteration-level continuous batching: a
+  :class:`ContinuousBatchingScheduler` that owns the request lifecycle
+  (admission, chunked-prefill/decode batch formation, preemption by
+  swap-out or recompute, completion) under pluggable scheduling policies
+  (FCFS / priority / weighted-fair sampling) and an injected clock, so the
+  whole loop is testable on virtual time.
 
 Quick start::
 
@@ -40,6 +47,22 @@ from repro.serve.decode import (
     KVCache,
     decode_reference_mask,
     stacked_decode_step,
+    stacked_prefill,
+)
+from repro.serve.loop import (
+    ContinuousBatchingScheduler,
+    FCFSPolicy,
+    InfeasibleRequest,
+    IterationReport,
+    LoopRequest,
+    LoopStats,
+    PriorityPolicy,
+    RequestTelemetry,
+    SchedulingPolicy,
+    VirtualClock,
+    WallClock,
+    WeightedFairPolicy,
+    scheduling_policy,
 )
 from repro.serve.paging import (
     DEFAULT_BLOCK_SIZE,
@@ -47,6 +70,9 @@ from repro.serve.paging import (
     BlockPoolStats,
     PagedKVCache,
     PoolExhausted,
+    SwapHandle,
+    SwapStore,
+    SwapStoreStats,
 )
 from repro.serve.plan import (
     DEFAULT_HEAD_DIM,
@@ -71,22 +97,39 @@ __all__ = [
     "BlockPool",
     "BlockPoolStats",
     "CacheStats",
+    "ContinuousBatchingScheduler",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_HEAD_DIM",
     "DecodeSession",
     "DecodeTicket",
     "ExecutionPlan",
+    "FCFSPolicy",
+    "InfeasibleRequest",
+    "IterationReport",
     "KVCache",
+    "LoopRequest",
+    "LoopStats",
     "PagedKVCache",
     "PlanCache",
     "PlanStep",
     "PoolExhausted",
+    "PriorityPolicy",
     "RequestBatch",
+    "RequestTelemetry",
+    "SchedulingPolicy",
     "ServerStats",
     "ServingSession",
+    "SwapHandle",
+    "SwapStore",
+    "SwapStoreStats",
+    "VirtualClock",
+    "WallClock",
+    "WeightedFairPolicy",
     "compile_plan",
     "decode_reference_mask",
     "mask_key",
     "plan_cache_key",
+    "scheduling_policy",
     "stacked_decode_step",
+    "stacked_prefill",
 ]

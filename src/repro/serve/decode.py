@@ -15,10 +15,13 @@ that path:
   :class:`~repro.masks.rows.RowProgram` yields each new token's neighbour
   set), the growing KV cache, and the incremental attention step that scores
   one query row against the cached keys via the online-softmax state.
-* :func:`stacked_decode_step` — the continuous-batching primitive: decode
-  steps of several sessions that share one plan and position stack into a
-  single vectorized kernel pass (used by
-  :meth:`repro.serve.scheduler.AttentionServer.decode_steps`).
+* :func:`stacked_decode_step` / :func:`stacked_prefill` — the
+  continuous-batching primitives: decode steps (or same-position prompt
+  chunks) of several sessions that share one plan stack into a single
+  vectorized kernel pass (used by
+  :meth:`repro.serve.scheduler.AttentionServer.decode_steps` /
+  :meth:`~repro.serve.scheduler.AttentionServer.prefill_chunks` and the
+  iteration-level loop in :mod:`repro.serve.loop`).
 * :func:`decode_reference_mask` — the causally-clipped CSR mask a full decode
   loop attends, so ``engine.run`` on it reproduces an entire prefill+steps
   loop in one shot (the verification oracle for tests and benchmarks).
@@ -522,6 +525,162 @@ class DecodeSession:
 # --------------------------------------------------------------------------- #
 # Continuous batching: stacked same-plan decode steps
 # --------------------------------------------------------------------------- #
+def _require_shared_plan_and_position(sessions: Sequence["DecodeSession"], verb: str) -> int:
+    """Assert every session shares the first one's plan and position."""
+    first = sessions[0]
+    position = first.position
+    for session in sessions[1:]:
+        shared = session.plan is first.plan or (
+            first.plan.key is not None and session.plan.key == first.plan.key
+        )
+        require(shared, f"{verb} needs sessions sharing one plan")
+        require(session.position == position, f"{verb} needs sessions at one position")
+    return position
+
+
+def _stacked_extend(
+    sessions: Sequence["DecodeSession"],
+    k_rows: Sequence[np.ndarray],
+    v_rows: Sequence[np.ndarray],
+    tokens: int,
+) -> None:
+    """Atomically extend every session's cache by one ``tokens``-row block.
+
+    Paged sessions reserve every block the batch needs per pool BEFORE any
+    cache advances — pool exhaustion fails the whole batch with no block
+    table advanced (the PR 3 atomicity guarantee).  Prefix-share hits consume
+    no reservation; leftover entries return to their pools.
+    """
+    pending: Dict[BlockPool, int] = {}
+    for session in sessions:
+        if isinstance(session.cache, PagedKVCache):
+            pool = session.cache.pool
+            pending[pool] = pending.get(pool, 0) + session.cache.plan_extend(tokens)
+    reservations: Dict[BlockPool, List[int]] = {pool: [] for pool in pending}
+    try:
+        for pool, count in pending.items():
+            reservations[pool].extend(pool.reserve(count))
+    except Exception:
+        for pool, blocks in reservations.items():
+            if blocks:
+                pool.release(blocks)
+        raise
+    try:
+        for session, k, v in zip(sessions, k_rows, v_rows):
+            session._ensure_cache(k, v)
+            if isinstance(session.cache, PagedKVCache):
+                session.cache.extend(k, v, reserved=reservations[session.cache.pool])
+            else:
+                session.cache.extend(k, v)
+    finally:
+        # share hits consume no reservation; return what the batch left over
+        for pool, blocks in reservations.items():
+            if blocks:
+                pool.release(blocks)
+
+
+def stacked_prefill(
+    sessions: Sequence["DecodeSession"],
+    qs: Sequence[np.ndarray],
+    ks: Sequence[np.ndarray],
+    vs: Sequence[np.ndarray],
+) -> List[AttentionResult]:
+    """One prefill chunk for several sessions fused into a single kernel pass.
+
+    The chunked-prefill twin of :func:`stacked_decode_step`: sessions sharing
+    one plan and position append identically-shaped ``batch_shape + (P, d)``
+    prompt chunks, and all their causal rows run through one stacked
+    segment-softmax pass.  Block reservation is atomic per pool, so exhaustion
+    fails the whole group before any block table advances.  Returns one
+    per-session :class:`~repro.core.result.AttentionResult`, exactly equal to
+    what individual :meth:`DecodeSession.prefill` calls would produce.
+    """
+    require(len(sessions) >= 1, "need at least one session")
+    require(
+        len(sessions) == len(qs) == len(ks) == len(vs),
+        "sessions and prompt chunks must align",
+    )
+    first = sessions[0]
+    if len(sessions) == 1:
+        return [first.prefill(qs[0], ks[0], vs[0])]
+    position = _require_shared_plan_and_position(sessions, "stacked prefill")
+
+    # validate every chunk fully before mutating any session: a failure below
+    # must not leave earlier sessions' caches advanced with orphan tokens
+    q_list: List[np.ndarray] = []
+    k_list: List[np.ndarray] = []
+    v_list: List[np.ndarray] = []
+    for session, q, k, v in zip(sessions, qs, ks, vs):
+        require(not session.closed, "prefill on a closed session")
+        q, k, v = np.asarray(q), np.asarray(k), np.asarray(v)
+        require(q.ndim >= 2, "prefill takes (..., P, d) blocks")
+        require(q.shape == k.shape, "q and k must have matching shapes")
+        require(v.shape[:-1] == q.shape[:-1], "v must cover the same rows as q")
+        if q_list:
+            require(
+                q.shape == q_list[0].shape and v.shape == v_list[0].shape,
+                "stacked prefill needs identically-shaped chunks",
+            )
+        if session.cache is not None:
+            require(
+                k.shape[:-2] == session.cache.batch_shape
+                and k.shape[-1] == session.cache.key_dim
+                and v.shape[-1] == session.cache.value_dim,
+                "prompt chunk does not match the session's cache layout",
+            )
+        count = int(q.shape[-2])
+        require(count >= 1, "prefill needs at least one token")
+        require(
+            position + count <= session.horizon,
+            f"prefill of {count} tokens at position {position} exceeds "
+            f"horizon {session.horizon}",
+        )
+        q_list.append(q)
+        k_list.append(k)
+        v_list.append(v)
+    count = int(q_list[0].shape[-2])
+
+    _stacked_extend(sessions, k_list, v_list, count)
+
+    cols_list = [first.program.causal_row(i) for i in range(position, position + count)]
+    indptr = np.concatenate(([0], np.cumsum([c.size for c in cols_list]))).astype(np.int64)
+    cols = np.concatenate(cols_list) if len(cols_list) > 1 else np.asarray(cols_list[0])
+    scale_value = resolve_scale(first.plan.scale, q_list[0].shape[-1])
+    # stack sessions on a new leading axis: (S,) + batch_shape + (P|E, d)
+    q_stack = np.stack(q_list)
+    k_sel = np.stack([s.cache.gather_keys(cols) for s in sessions])
+    v_sel = np.stack([s.cache.gather_values(cols) for s in sessions])
+    output, state = _edge_attention(
+        q_stack, k_sel, v_sel, indptr, scale_value=scale_value, out_dtype=q_stack.dtype
+    )
+
+    edges = int(cols.size)
+    results: List[AttentionResult] = []
+    for index, session in enumerate(sessions):
+        ops = OpCounts.for_edges(
+            edges,
+            q_stack.shape[-1],
+            v_sel.shape[-1],
+            batch=prod(session.cache.batch_shape),
+        )
+        result = AttentionResult(
+            output=output[index],
+            row_max=state.row_max[index],
+            row_sum=state.row_sum[index],
+            ops=ops,
+            algorithm="decode-prefill",
+            meta={
+                "positions": (position, position + count),
+                "edges": edges,
+                "coalesced": len(sessions),
+            },
+        )
+        session.prefilled_tokens += count
+        session._absorb(result)
+        results.append(result)
+    return results
+
+
 def stacked_decode_step(
     sessions: Sequence[DecodeSession],
     qs: Sequence[np.ndarray],
@@ -548,16 +707,7 @@ def stacked_decode_step(
     if len(sessions) == 1:
         return [first.step(qs[0], ks[0], vs[0])]
 
-    position = first.position
-    for session in sessions[1:]:
-        shared = session.plan is first.plan or (
-            first.plan.key is not None and session.plan.key == first.plan.key
-        )
-        require(shared, "stacked decode steps need sessions sharing one plan")
-        require(
-            session.position == position,
-            "stacked decode steps need sessions at one position",
-        )
+    position = _require_shared_plan_and_position(sessions, "stacked decode steps")
 
     # validate every step fully before mutating any session: a failure below
     # must not leave earlier sessions' caches advanced with orphan tokens
@@ -584,35 +734,7 @@ def stacked_decode_step(
         k_rows.append(k)
         v_rows.append(v)
 
-    # paged sessions reserve every block the batch needs atomically per pool
-    # BEFORE any cache advances — pool exhaustion fails the whole batch with
-    # no block table advanced (the PR 3 atomicity guarantee, extended)
-    pending: Dict[BlockPool, int] = {}
-    for session in sessions:
-        if isinstance(session.cache, PagedKVCache):
-            pool = session.cache.pool
-            pending[pool] = pending.get(pool, 0) + session.cache.plan_extend(1)
-    reservations: Dict[BlockPool, List[int]] = {pool: [] for pool in pending}
-    try:
-        for pool, count in pending.items():
-            reservations[pool].extend(pool.reserve(count))
-    except Exception:
-        for pool, blocks in reservations.items():
-            if blocks:
-                pool.release(blocks)
-        raise
-    try:
-        for session, k, v in zip(sessions, k_rows, v_rows):
-            session._ensure_cache(k, v)
-            if isinstance(session.cache, PagedKVCache):
-                session.cache.extend(k, v, reserved=reservations[session.cache.pool])
-            else:
-                session.cache.extend(k, v)
-    finally:
-        # share hits consume no reservation; return what the batch left over
-        for pool, blocks in reservations.items():
-            if blocks:
-                pool.release(blocks)
+    _stacked_extend(sessions, k_rows, v_rows, 1)
 
     cols = first.program.causal_row(position)
     indptr = np.array([0, cols.size], dtype=np.int64)

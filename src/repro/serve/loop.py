@@ -1,0 +1,887 @@
+"""Iteration-level continuous batching: the preemptive serving loop.
+
+Everything below the serving front-end is *caller-driven*: clients assemble
+``decode_steps`` batches themselves, and an admitted long session holds its
+blocks until it finishes, so short requests queue behind it.  This module is
+the missing control plane — a :class:`ContinuousBatchingScheduler` that owns
+the request lifecycle end to end, in the shape the iteration-level serving
+systems (Orca's iteration scheduling, vLLM's preemptive paged serving) gave
+the field:
+
+1. **Admission** — queued :class:`LoopRequest`\\ s open paged decode sessions
+   through the PR-4 block-table admission path (blocks prereserved, or the
+   request keeps waiting), in the order a pluggable
+   :class:`SchedulingPolicy` dictates.
+2. **Batch formation** — each iteration mixes *prefill chunks* (at most
+   ``prefill_chunk`` prompt tokens per stream per iteration, so a long
+   prompt cannot monopolize an iteration) with one *decode step* per
+   generating stream; work is grouped by plan key and coalesced into one
+   stacked kernel pass per group
+   (:meth:`~repro.serve.scheduler.AttentionServer.prefill_chunks` /
+   :meth:`~repro.serve.scheduler.AttentionServer.decode_steps`).
+3. **Preemption** — when a group's atomic block reservation fails with
+   :exc:`~repro.serve.paging.PoolExhausted`, a policy-chosen victim is
+   evicted: either *swap-out* (its registered blocks park in the pool's warm
+   LRU while the live K/V serialize to a host-side
+   :class:`~repro.serve.paging.SwapStore`, restored on resume — usually by
+   re-sharing the very blocks it parked) or *recompute-from-prompt* (store
+   nothing, replay the causal prefill on resume), chosen per victim by
+   :func:`repro.perfmodel.decode.preemption_cost`.
+4. **Policy** — :class:`FCFSPolicy`, :class:`PriorityPolicy`, or
+   :class:`WeightedFairPolicy`: the last picks the next stream by
+   priority-weighted sampling, the way the stochastic Kaczmarz literature
+   picks the next row by norm-weighted sampling — every positive-weight
+   participant is sampled eventually, so no stream starves.
+
+The loop is driven through an injected clock: production threads a
+:class:`WallClock`; tests tick a :class:`VirtualClock`, which makes queueing
+delays, fairness ratios and starvation bounds exactly reproducible with no
+wall-clock flakiness (``tests/harness/simulation.py`` builds a whole
+deterministic workload driver on top of it).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from math import prod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import MaskInput
+from repro.perfmodel.decode import blocks_for_tokens, preemption_cost
+from repro.perfmodel.devices import DeviceSpec
+from repro.serve.decode import DecodeSession
+from repro.serve.paging import PagedKVCache, PoolExhausted, SwapStore
+from repro.utils.rng import default_rng
+from repro.utils.validation import require
+
+
+class InfeasibleRequest(RuntimeError):
+    """A stream needs more KV blocks than the pool could ever provide."""
+
+
+# --------------------------------------------------------------------------- #
+# Clocks
+# --------------------------------------------------------------------------- #
+class WallClock:
+    """Production clock: reads the host monotonic timer; ``tick`` is a no-op."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def tick(self) -> None:
+        """Wall time advances by itself."""
+
+
+class VirtualClock:
+    """Simulation clock: time moves only when the harness advances it.
+
+    The scheduler calls :meth:`tick` once per iteration (advancing
+    ``iteration_seconds``); workload drivers call :meth:`advance` to skip
+    idle gaps between arrivals.  Every queueing/fairness number derived from
+    this clock is exactly reproducible.
+    """
+
+    def __init__(self, *, start: float = 0.0, iteration_seconds: float = 1.0) -> None:
+        require(iteration_seconds >= 0.0, "iteration_seconds must be non-negative")
+        self._now = float(start)
+        self.iteration_seconds = float(iteration_seconds)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        require(seconds >= 0.0, "time cannot move backwards")
+        self._now += float(seconds)
+
+    def tick(self) -> None:
+        self.advance(self.iteration_seconds)
+
+
+# --------------------------------------------------------------------------- #
+# Requests and telemetry
+# --------------------------------------------------------------------------- #
+@dataclass(eq=False)
+class LoopRequest:
+    """One end-to-end stream for the loop: prompt plus tokens to generate.
+
+    ``q``/``k``/``v`` are the full stream tensors ``batch_shape + (T, d)``
+    (the attention-only analogue of prompt + generated token embeddings): the
+    first ``prompt_tokens`` rows are the prompt the scheduler prefills in
+    chunks, the remaining ``T - prompt_tokens`` rows feed one decode step
+    each.  ``priority`` weighs the request under priority/weighted-fair
+    policies (higher = more urgent; must be positive).  ``request_id`` is
+    assigned by the scheduler at submit (ids double as swap-store keys, so
+    they come from one collision-free counter).
+    """
+
+    q: np.ndarray
+    k: np.ndarray
+    v: np.ndarray
+    mask: MaskInput = None
+    prompt_tokens: int = 1
+    priority: float = 1.0
+    request_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.q, self.k, self.v = np.asarray(self.q), np.asarray(self.k), np.asarray(self.v)
+        require(self.q.ndim >= 2, "q must be a (..., T, d_k) array")
+        require(self.k.shape == self.q.shape, "q and k must have matching shapes")
+        require(
+            self.v.shape[:-1] == self.q.shape[:-1],
+            "v must cover the same batch axes and rows as q",
+        )
+        require(self.total_tokens >= 1, "a request needs at least one token")
+        require(
+            0 <= self.prompt_tokens <= self.total_tokens,
+            "prompt_tokens must lie within the stream",
+        )
+        require(self.priority > 0, "priority must be positive")
+
+    @property
+    def total_tokens(self) -> int:
+        return int(self.q.shape[-2])
+
+    @property
+    def decode_tokens(self) -> int:
+        return self.total_tokens - self.prompt_tokens
+
+    @property
+    def batch_shape(self) -> Tuple[int, ...]:
+        return tuple(int(s) for s in self.q.shape[:-2])
+
+
+@dataclass
+class RequestTelemetry:
+    """Per-request lifecycle measurements, stamped from the injected clock."""
+
+    request_id: int
+    priority: float
+    prompt_tokens: int
+    total_tokens: int
+    arrival_time: float
+    first_scheduled_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    #: accumulated seconds spent waiting for admission (initial + re-queues
+    #: after preemption) — the starvation tests bound this per policy
+    queue_seconds: float = 0.0
+    preemptions: int = 0
+    swap_outs: int = 0
+    swap_ins: int = 0
+    recompute_restores: int = 0
+    tokens_emitted: int = 0
+    iterations_scheduled: int = 0
+
+    @property
+    def time_in_queue(self) -> float:
+        return self.queue_seconds
+
+    @property
+    def turnaround_seconds(self) -> Optional[float]:
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.arrival_time
+
+
+# stream lifecycle states
+_WAITING = "waiting"
+_RUNNING = "running"
+_FINISHED = "finished"
+
+
+@dataclass(eq=False)
+class _Stream:
+    """Scheduler-private state of one submitted request."""
+
+    request: LoopRequest
+    telemetry: RequestTelemetry
+    waiting_since: float
+    session: Optional[DecodeSession] = None
+    #: tokens whose outputs are recorded; the cache is always rebuilt to
+    #: exactly this position on resume, so no token is lost or duplicated
+    emitted: int = 0
+    state: str = _WAITING
+    #: request id key into the swap store while preempted-with-swap
+    swap_key: Optional[int] = None
+    outputs: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def prompt_remaining(self) -> int:
+        return max(0, self.request.prompt_tokens - self.emitted)
+
+    @property
+    def finished(self) -> bool:
+        return self.emitted >= self.request.total_tokens
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling policies
+# --------------------------------------------------------------------------- #
+class SchedulingPolicy:
+    """Orders streams for admission/batching and picks preemption victims.
+
+    ``rank`` returns the streams most deserving of service first; the
+    default ``victims`` preempts in exactly the opposite order, so the
+    stream a policy would serve last is the first to lose its blocks.
+    """
+
+    name = "policy"
+
+    def rank(self, streams: Sequence[_Stream], now: float) -> List[_Stream]:
+        raise NotImplementedError
+
+    def victims(self, streams: Sequence[_Stream], now: float) -> List[_Stream]:
+        return list(reversed(self.rank(streams, now)))
+
+
+class FCFSPolicy(SchedulingPolicy):
+    """First come, first served: strict arrival order."""
+
+    name = "fcfs"
+
+    def rank(self, streams: Sequence[_Stream], now: float) -> List[_Stream]:
+        return sorted(
+            streams,
+            key=lambda s: (s.telemetry.arrival_time, s.telemetry.request_id),
+        )
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Higher ``priority`` first; arrival order breaks ties."""
+
+    name = "priority"
+
+    def rank(self, streams: Sequence[_Stream], now: float) -> List[_Stream]:
+        return sorted(
+            streams,
+            key=lambda s: (
+                -s.request.priority,
+                s.telemetry.arrival_time,
+                s.telemetry.request_id,
+            ),
+        )
+
+
+class WeightedFairPolicy(SchedulingPolicy):
+    """Priority-weighted sampling without replacement, starvation-free.
+
+    The next stream is drawn with probability proportional to
+    ``priority / (1 + tokens_emitted)`` — the row-action idea of the
+    stochastic Kaczmarz methods (pick the next row by norm-weighted
+    sampling) applied to streams: under-served streams carry growing
+    relative weight, so the max/min served-token ratio stays bounded and
+    every positive-weight stream is sampled eventually.  Seeded, hence
+    deterministic under the virtual clock.
+    """
+
+    name = "weighted"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = default_rng(seed)
+
+    def rank(self, streams: Sequence[_Stream], now: float) -> List[_Stream]:
+        # stable base order first so the sampling is reproducible regardless
+        # of the caller's list order
+        pool = sorted(
+            streams,
+            key=lambda s: (s.telemetry.arrival_time, s.telemetry.request_id),
+        )
+        weights = np.array(
+            [s.request.priority / (1.0 + s.telemetry.tokens_emitted) for s in pool],
+            dtype=np.float64,
+        )
+        order: List[_Stream] = []
+        alive = list(range(len(pool)))
+        while alive:
+            w = weights[alive]
+            pick = int(self._rng.choice(len(alive), p=w / w.sum()))
+            order.append(pool[alive.pop(pick)])
+        return order
+
+
+_POLICIES = {
+    FCFSPolicy.name: FCFSPolicy,
+    PriorityPolicy.name: PriorityPolicy,
+    WeightedFairPolicy.name: WeightedFairPolicy,
+}
+
+
+def scheduling_policy(name: str, *, seed: int = 0) -> SchedulingPolicy:
+    """Build a policy by name (``"fcfs"``, ``"priority"``, ``"weighted"``)."""
+    require(name in _POLICIES, f"unknown policy {name!r}; known: {sorted(_POLICIES)}")
+    return _POLICIES[name](seed) if name == WeightedFairPolicy.name else _POLICIES[name]()
+
+
+# --------------------------------------------------------------------------- #
+# Loop statistics
+# --------------------------------------------------------------------------- #
+#: Iterations of ``(duration, tokens)`` history :class:`LoopStats` retains —
+#: ample for any benchmark window while keeping a perpetual server's
+#: footprint constant.
+ITERATION_LOG_LIMIT = 4096
+
+
+@dataclass
+class IterationReport:
+    """What one :meth:`ContinuousBatchingScheduler.step` accomplished."""
+
+    iteration: int
+    admitted: List[int] = field(default_factory=list)
+    finished: List[int] = field(default_factory=list)
+    preempted: List[int] = field(default_factory=list)
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    swap_ins: int = 0
+
+    @property
+    def tokens(self) -> int:
+        return self.prefill_tokens + self.decode_tokens
+
+
+@dataclass
+class LoopStats:
+    """Lifetime counters of one scheduler."""
+
+    iterations: int = 0
+    admitted: int = 0
+    admission_blocked: int = 0
+    finished: int = 0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+    preemptions: int = 0
+    swap_outs: int = 0
+    swap_ins: int = 0
+    recompute_restores: int = 0
+    #: prefix tokens re-prefilled by recompute restores (work paid twice)
+    recompute_replayed_tokens: int = 0
+    #: host wall time spent serializing/restoring preempted caches
+    preemption_seconds: float = 0.0
+    #: host wall time spent inside ``step()`` (independent of the injected clock)
+    wall_seconds: float = 0.0
+    #: the most recent ``(host_seconds, tokens)`` pair per iteration — the
+    #: benchmark's per-token latency source.  Bounded so a long-lived
+    #: production loop does not grow memory with its uptime.
+    iteration_log: "deque[Tuple[float, int]]" = field(
+        default_factory=lambda: deque(maxlen=ITERATION_LOG_LIMIT)
+    )
+
+    @property
+    def tokens_total(self) -> int:
+        return self.prefill_tokens + self.decode_tokens
+
+    @property
+    def tokens_per_iteration(self) -> float:
+        return self.tokens_total / self.iterations if self.iterations else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler
+# --------------------------------------------------------------------------- #
+class ContinuousBatchingScheduler:
+    """Owns the request lifecycle: admission, batching, preemption, completion.
+
+    Parameters
+    ----------
+    server:
+        An :class:`~repro.serve.scheduler.AttentionServer` with a shared
+        block pool installed (``create_block_pool``): every stream the loop
+        admits is a paged decode session against that pool.
+    policy:
+        A :class:`SchedulingPolicy` (default FCFS) ordering admission, batch
+        formation and preemption victims.
+    clock:
+        :class:`WallClock` (default) or :class:`VirtualClock` — all telemetry
+        timestamps come from it, never from the host clock.
+    max_streams:
+        Cap on concurrently admitted streams per iteration.
+    prefill_chunk:
+        Most prompt tokens one stream may prefill per iteration (chunked
+        prefill: long prompts interleave with everyone else's decode steps).
+    max_iteration_tokens:
+        Optional global token budget per iteration, spent in policy order
+        (decode steps cost one token, prefill chunks their length).
+    preemption:
+        ``"swap"``, ``"recompute"``, or ``"auto"`` (pick per victim via
+        :func:`repro.perfmodel.decode.preemption_cost`; needs ``device`` or
+        a device-carrying server, else auto falls back to swap).
+    swap_store:
+        Host-side :class:`~repro.serve.paging.SwapStore` for swapped caches
+        (a fresh one by default; pass a shared store to meter host memory).
+    device:
+        :class:`~repro.perfmodel.devices.DeviceSpec` for the preemption cost
+        model (defaults to the server's device).
+    """
+
+    def __init__(
+        self,
+        server,
+        *,
+        policy: Optional[SchedulingPolicy] = None,
+        clock=None,
+        max_streams: int = 8,
+        prefill_chunk: int = 32,
+        max_iteration_tokens: Optional[int] = None,
+        preemption: str = "auto",
+        swap_store: Optional[SwapStore] = None,
+        device: Optional[DeviceSpec] = None,
+    ) -> None:
+        require(
+            server.block_pool is not None,
+            "the loop schedules paged sessions: call server.create_block_pool first",
+        )
+        require(max_streams >= 1, "max_streams must be >= 1")
+        require(prefill_chunk >= 1, "prefill_chunk must be >= 1")
+        require(
+            max_iteration_tokens is None or max_iteration_tokens >= 1,
+            "max_iteration_tokens must be >= 1 when given",
+        )
+        require(
+            preemption in ("auto", "swap", "recompute"),
+            "preemption must be auto, swap, or recompute",
+        )
+        self.server = server
+        self.pool = server.block_pool
+        self.policy = policy or FCFSPolicy()
+        self.clock = clock or WallClock()
+        self.max_streams = int(max_streams)
+        self.prefill_chunk = int(prefill_chunk)
+        self.max_iteration_tokens = max_iteration_tokens
+        self.preemption = preemption
+        self.swap_store = swap_store if swap_store is not None else SwapStore()
+        self.device = device if device is not None else server.device
+        self.stats = LoopStats()
+        self.results: Dict[int, np.ndarray] = {}
+        self.telemetry: Dict[int, RequestTelemetry] = {}
+        self._streams: Dict[int, _Stream] = {}
+        self._waiting: List[_Stream] = []
+        self._running: List[_Stream] = []
+
+    # ------------------------------------------------------------------ #
+    # Intake
+    # ------------------------------------------------------------------ #
+    def submit(self, request: LoopRequest) -> int:
+        """Queue one stream; returns its newly assigned request id."""
+        # ids always come from the server's monotonic counter: a caller-chosen
+        # id could collide with a later auto-assigned one (and with the swap
+        # store's keys), so preset ids are refused rather than trusted
+        require(
+            request.request_id is None,
+            "the loop assigns request ids at submit; leave request_id unset",
+        )
+        # structural feasibility up front: a stream that cannot fit the pool
+        # even running alone must fail its submitter with a typed error, not
+        # crash the loop mid-iteration for every other stream (first-chunk
+        # reservations are always <= the whole stream, so this bound also
+        # keeps admission's reserve within what the pool could ever grant)
+        needed = blocks_for_tokens(request.total_tokens, self.pool.block_size)
+        if needed > self.pool.num_blocks:
+            raise InfeasibleRequest(
+                f"stream of {request.total_tokens} tokens needs {needed} KV "
+                f"blocks but the pool holds only {self.pool.num_blocks} "
+                f"blocks of {self.pool.block_size} tokens"
+            )
+        request.request_id = self.server.next_request_id()
+        rid = request.request_id
+        now = self.clock.now()
+        telemetry = RequestTelemetry(
+            request_id=rid,
+            priority=request.priority,
+            prompt_tokens=request.prompt_tokens,
+            total_tokens=request.total_tokens,
+            arrival_time=now,
+        )
+        stream = _Stream(request=request, telemetry=telemetry, waiting_since=now)
+        self._streams[rid] = stream
+        self._waiting.append(stream)
+        self.telemetry[rid] = telemetry
+        return rid
+
+    def submit_many(self, requests: Sequence[LoopRequest]) -> List[int]:
+        return [self.submit(request) for request in requests]
+
+    @property
+    def waiting(self) -> int:
+        """Streams queued for admission (including preempted ones)."""
+        return len(self._waiting)
+
+    @property
+    def running(self) -> int:
+        """Streams currently holding a live session."""
+        return len(self._running)
+
+    @property
+    def active(self) -> int:
+        return self.waiting + self.running
+
+    # ------------------------------------------------------------------ #
+    # The iteration
+    # ------------------------------------------------------------------ #
+    def step(self) -> IterationReport:
+        """Run one scheduler iteration; returns what it accomplished."""
+        started = time.perf_counter()
+        self.stats.iterations += 1
+        report = IterationReport(iteration=self.stats.iterations)
+
+        self._admit(report)
+        plan = self._form_batch()
+        self._execute(plan, report)
+        self._finish_streams(report)
+
+        duration = time.perf_counter() - started
+        self.stats.wall_seconds += duration
+        self.stats.iteration_log.append((duration, report.tokens))
+        self.clock.tick()
+        return report
+
+    def run(self, *, max_iterations: Optional[int] = None) -> Dict[int, np.ndarray]:
+        """Iterate until every submitted stream finishes; returns the outputs.
+
+        Guards forward progress: an iteration that admits nothing, emits
+        nothing and finishes nothing twice in a row can never unwedge
+        itself, so the loop fails loudly instead of spinning.
+        """
+        stalled = 0
+        while self._waiting or self._running:
+            if max_iterations is not None and self.stats.iterations >= max_iterations:
+                raise RuntimeError(
+                    f"loop exceeded {max_iterations} iterations with "
+                    f"{self.active} streams still active"
+                )
+            report = self.step()
+            if report.tokens == 0 and not report.admitted and not report.finished:
+                stalled += 1
+                require(stalled < 2, "scheduler stalled: no admission, tokens, or finishes")
+            else:
+                stalled = 0
+        return self.results
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def _admit(self, report: IterationReport) -> None:
+        now = self.clock.now()
+        for stream in self.policy.rank(self._waiting, now):
+            if len(self._running) >= self.max_streams:
+                break
+            try:
+                self._activate(stream, report)
+            except PoolExhausted:
+                self.stats.admission_blocked += 1
+                # head-of-line: admission follows policy order strictly, so a
+                # blocked head is retried next iteration rather than jumped
+                break
+
+    def _activate(self, stream: _Stream, report: IterationReport) -> None:
+        """Open (or restore) the stream's session; raises PoolExhausted clean."""
+        request = stream.request
+        if stream.session is None:
+            # fresh stream: PR-4 admission — first-chunk blocks prereserved
+            # atomically, or the open rejects and the stream keeps waiting
+            first_chunk = min(self.prefill_chunk, request.prompt_tokens) or 1
+            stream.session = self.server.open_decode_session(
+                request.mask,
+                request.total_tokens,
+                paged=True,
+                reserve_tokens=first_chunk,
+            )
+        else:
+            if self._restore(stream) == "swap":
+                report.swap_ins += 1
+        now = self.clock.now()
+        telemetry = stream.telemetry
+        telemetry.queue_seconds += now - stream.waiting_since
+        if telemetry.first_scheduled_time is None:
+            telemetry.first_scheduled_time = now
+        stream.state = _RUNNING
+        self._waiting.remove(stream)
+        self._running.append(stream)
+        self.stats.admitted += 1
+        report.admitted.append(request.request_id)
+
+    def _restore(self, stream: _Stream) -> str:
+        """Rebuild a preempted stream's cache to exactly ``emitted`` tokens."""
+        started = time.perf_counter()
+        request = stream.request
+        session = stream.session
+        cache = PagedKVCache(self.pool, max_length=request.total_tokens)
+        try:
+            if stream.swap_key is not None:
+                # swap-in: re-extend the serialized rows; identical content
+                # re-shares any block still parked in the warm LRU
+                handle = self.swap_store.peek(stream.swap_key)
+                cache.extend(handle.keys, handle.values)
+            elif stream.emitted == 0:
+                # a victim preempted before any progress: re-admission must be
+                # a real capacity grant like a fresh open, not an advisory
+                # empty cache — otherwise the stream occupies a slot with no
+                # blocks and its first prefill evicts a progressing stream
+                first_chunk = min(self.prefill_chunk, request.prompt_tokens) or 1
+                cache.prereserve(blocks_for_tokens(first_chunk, self.pool.block_size))
+            else:
+                # recompute-from-prompt: replay the causal prefill (the
+                # attention outputs were already emitted — only the K/V
+                # residency is rebuilt, at recompute cost).  The replay is
+                # chunked like regular prefill so no single kernel pass
+                # covers an arbitrarily long prefix; it still completes
+                # within this admission, which the preemption cost model
+                # prices and ``recompute_replayed_tokens`` makes visible.
+                session.cache = cache
+                for start in range(0, stream.emitted, self.prefill_chunk):
+                    stop = min(start + self.prefill_chunk, stream.emitted)
+                    session.prefill(
+                        request.q[..., start:stop, :],
+                        request.k[..., start:stop, :],
+                        request.v[..., start:stop, :],
+                    )
+                self.stats.recompute_replayed_tokens += stream.emitted
+        except PoolExhausted:
+            session.cache = None
+            cache.release()
+            raise
+        finally:
+            self.stats.preemption_seconds += time.perf_counter() - started
+        session.cache = cache
+        if stream.swap_key is not None:
+            self.swap_store.pop(stream.swap_key)
+            stream.swap_key = None
+            stream.telemetry.swap_ins += 1
+            self.stats.swap_ins += 1
+            return "swap"
+        if stream.emitted > 0:
+            stream.telemetry.recompute_restores += 1
+            self.stats.recompute_restores += 1
+            return "recompute"
+        return "fresh"
+
+    # ------------------------------------------------------------------ #
+    # Batch formation
+    # ------------------------------------------------------------------ #
+    def _form_batch(self) -> List[Tuple[_Stream, str, int]]:
+        """Pick this iteration's work in policy order under the token budget."""
+        budget = self.max_iteration_tokens or float("inf")
+        plan: List[Tuple[_Stream, str, int]] = []
+        for stream in self.policy.rank(self._running, self.clock.now()):
+            if budget < 1:
+                break
+            if stream.prompt_remaining > 0:
+                count = int(min(self.prefill_chunk, stream.prompt_remaining, budget))
+                plan.append((stream, "prefill", count))
+                budget -= count
+            elif not stream.finished:
+                plan.append((stream, "decode", 1))
+                budget -= 1
+        return plan
+
+    def _execute(self, plan: List[Tuple[_Stream, str, int]], report: IterationReport) -> None:
+        """Run the iteration's groups, preempting victims on pool exhaustion."""
+        for group in self._group(plan):
+            self._execute_group(group, report)
+
+    def _group(
+        self, plan: List[Tuple[_Stream, str, int]]
+    ) -> List[List[Tuple[_Stream, str, int]]]:
+        """Coalesce the batch: same-plan same-position same-shape work fuses.
+
+        The key mirrors the server's grouping exactly, so each group maps to
+        one stacked kernel pass — and one *atomic* block reservation, which
+        is what lets :meth:`_execute_group` retry a failed group after
+        preempting a victim without any partial advance.
+        """
+        groups: Dict[Tuple, List[Tuple[_Stream, str, int]]] = {}
+        for stream, kind, count in plan:
+            session = stream.session
+            key = (
+                kind,
+                count,
+                session.plan.key or id(session.plan),
+                session.position,
+                stream.request.batch_shape,
+                stream.request.q.dtype.str,
+                stream.request.v.dtype.str,
+                stream.request.q.shape[-1],
+                stream.request.v.shape[-1],
+            )
+            groups.setdefault(key, []).append((stream, kind, count))
+        return list(groups.values())
+
+    def _execute_group(
+        self, group: List[Tuple[_Stream, str, int]], report: IterationReport
+    ) -> None:
+        remaining = list(group)
+        while remaining:
+            # preemption may have evicted a member between retries
+            remaining = [entry for entry in remaining if entry[0].state == _RUNNING]
+            if not remaining:
+                return
+            try:
+                self._run_group(remaining, report)
+                return
+            except PoolExhausted:
+                self._preempt_for(remaining, report)
+
+    def _run_group(
+        self, group: List[Tuple[_Stream, str, int]], report: IterationReport
+    ) -> None:
+        kind = group[0][1]
+        if kind == "prefill":
+            chunks = []
+            for stream, _, count in group:
+                request, start = stream.request, stream.emitted
+                chunks.append(
+                    (
+                        stream.session,
+                        request.q[..., start : start + count, :],
+                        request.k[..., start : start + count, :],
+                        request.v[..., start : start + count, :],
+                    )
+                )
+            responses = self.server.prefill_chunks(chunks)
+            for (stream, _, count), response in zip(group, responses):
+                stream.outputs.append(response.result.output)
+                stream.emitted += count
+                stream.telemetry.tokens_emitted += count
+                stream.telemetry.iterations_scheduled += 1
+                report.prefill_tokens += count
+                self.stats.prefill_tokens += count
+        else:
+            steps = []
+            for stream, _, _ in group:
+                request, position = stream.request, stream.emitted
+                steps.append(
+                    (
+                        stream.session,
+                        request.q[..., position, :],
+                        request.k[..., position, :],
+                        request.v[..., position, :],
+                    )
+                )
+            responses = self.server.decode_steps(steps)
+            for (stream, _, _), response in zip(group, responses):
+                stream.outputs.append(response.result.output)
+                stream.emitted += 1
+                stream.telemetry.tokens_emitted += 1
+                stream.telemetry.iterations_scheduled += 1
+                report.decode_tokens += 1
+                self.stats.decode_tokens += 1
+
+    # ------------------------------------------------------------------ #
+    # Preemption
+    # ------------------------------------------------------------------ #
+    def _preempt_for(
+        self, group: List[Tuple[_Stream, str, int]], report: IterationReport
+    ) -> None:
+        """Free blocks for a failed group by evicting one policy-chosen victim.
+
+        The group's policy-best member is protected — the retry loop must
+        shrink toward *somebody* making progress — so the victim is either
+        another running stream or a non-head group member (whose eviction
+        both frees blocks and shrinks the retried reservation).  When no
+        victim remains, the surviving stream alone exceeds the pool: that is
+        a sizing error, reported as :exc:`InfeasibleRequest`.
+        """
+        now = self.clock.now()
+        members = [stream for stream, _, _ in group]
+        head = self.policy.rank(members, now)[0]
+        candidates = [
+            stream for stream in self.policy.victims(self._running, now) if stream is not head
+        ]
+        if not candidates:
+            raise InfeasibleRequest(
+                f"request {head.request.request_id} needs more KV blocks than "
+                f"the pool holds ({self.pool.num_blocks} blocks of "
+                f"{self.pool.block_size} tokens) even with every other stream "
+                f"preempted"
+            )
+        self._preempt(candidates[0], report)
+
+    def _preempt(self, victim: _Stream, report: IterationReport) -> None:
+        started = time.perf_counter()
+        mode = self.preemption
+        if mode == "auto":
+            mode = self._choose_preemption(victim)
+        session = victim.session
+        cache = session.cache
+        if mode == "swap" and victim.emitted > 0:
+            handle = cache.swap_out()
+            victim.swap_key = victim.request.request_id
+            self.swap_store.put(victim.swap_key, handle)
+            victim.telemetry.swap_outs += 1
+            self.stats.swap_outs += 1
+        else:
+            # recompute mode (or nothing cached): drop the blocks, store nothing
+            cache.release()
+            victim.swap_key = None
+        session.cache = None
+        victim.state = _WAITING
+        victim.waiting_since = self.clock.now()
+        victim.telemetry.preemptions += 1
+        self.stats.preemptions += 1
+        self._running.remove(victim)
+        self._waiting.append(victim)
+        report.preempted.append(victim.request.request_id)
+        self.stats.preemption_seconds += time.perf_counter() - started
+
+    def _choose_preemption(self, victim: _Stream) -> str:
+        """Price swap vs. recompute for this victim via the decode cost model."""
+        if self.device is None:
+            return "swap"  # no cost model: preserving finished work is the safe default
+        session = victim.session
+        degrees = session.program.causal_degrees()
+        prefix_nnz = int(degrees[: victim.emitted].sum())
+        cache = session.cache
+        estimate = preemption_cost(
+            self.device,
+            victim.emitted,
+            prefix_nnz=prefix_nnz,
+            head_dim=cache.key_dim,
+            value_dim=cache.value_dim,
+            batch=prod(cache.batch_shape) if cache.batch_shape else 1,
+            dtype=cache.dtype,
+            block_size=self.pool.block_size,
+        )
+        return estimate.preferred
+
+    # ------------------------------------------------------------------ #
+    # Completion
+    # ------------------------------------------------------------------ #
+    def _finish_streams(self, report: IterationReport) -> None:
+        now = self.clock.now()
+        for stream in [s for s in self._running if s.finished]:
+            rid = stream.request.request_id
+            self.results[rid] = np.concatenate(stream.outputs, axis=-2)
+            stream.outputs = []
+            self.server.close_decode_session(stream.session)
+            stream.state = _FINISHED
+            stream.telemetry.finish_time = now
+            self._running.remove(stream)
+            # drop the stream record: it pins the request's full q/k/v
+            # tensors, which must not accumulate with a perpetual server's
+            # lifetime traffic (results/telemetry stay until the caller
+            # consumes them; ids never recycle, so resubmission stays caught)
+            del self._streams[rid]
+            self.stats.finished += 1
+            report.finished.append(rid)
+
+
+__all__ = [
+    "ContinuousBatchingScheduler",
+    "FCFSPolicy",
+    "InfeasibleRequest",
+    "IterationReport",
+    "LoopRequest",
+    "LoopStats",
+    "PriorityPolicy",
+    "RequestTelemetry",
+    "SchedulingPolicy",
+    "VirtualClock",
+    "WallClock",
+    "WeightedFairPolicy",
+    "scheduling_policy",
+]

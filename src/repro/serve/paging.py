@@ -902,6 +902,95 @@ class PagedKVCache:
         self._tail_claimed = None
         self.pool.release(blocks)
 
+    def swap_out(self) -> "SwapHandle":
+        """Serialize the live K/V rows to host copies and release every block.
+
+        The returned :class:`SwapHandle` is the preempted stream's parking
+        spot: restoring is a plain ``extend`` of the handle's rows into a
+        fresh cache.  Because fingerprint-registered blocks park in the
+        pool's evictable LRU at release, a prompt whose blocks survive until
+        the resume is *re-shared* by the restore's probe instead of
+        rewritten — the swap-in usually costs refcount bumps, not copies,
+        while the host copy guarantees bit-exact resume even after the LRU
+        was reclaimed.
+        """
+        require(not self.released, "cache was released back to the pool")
+        handle = SwapHandle(
+            keys=self.keys(), values=self.values(), length=self._length
+        )
+        self.release()
+        return handle
+
+
+# --------------------------------------------------------------------------- #
+# Host-side swap parking
+# --------------------------------------------------------------------------- #
+@dataclass
+class SwapHandle:
+    """Host-side copy of one preempted stream's live K/V rows."""
+
+    keys: np.ndarray  # batch_shape + (length, d_k)
+    values: np.ndarray  # batch_shape + (length, d_v)
+    length: int
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.keys.nbytes + self.values.nbytes)
+
+
+@dataclass
+class SwapStoreStats:
+    """Lifetime counters of one :class:`SwapStore`."""
+
+    swap_outs: int = 0
+    swap_ins: int = 0
+    bytes_out: int = 0
+    bytes_in: int = 0
+
+
+class SwapStore:
+    """Keyed parking lot for preempted sessions' serialized KV caches.
+
+    The continuous-batching scheduler parks a victim's :class:`SwapHandle`
+    here under the stream's request id at swap-out and pops it back at
+    resume.  :meth:`peek` exposes the handle without consuming it so a
+    restore that fails admission (the pool is still full) leaves the swap
+    intact for the next attempt; only the successful :meth:`pop` counts a
+    swap-in.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[object, SwapHandle] = {}
+        self.stats = SwapStoreStats()
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._slots
+
+    @property
+    def resident_bytes(self) -> int:
+        """Host bytes currently parked across all swapped streams."""
+        return sum(handle.nbytes for handle in self._slots.values())
+
+    def put(self, key: object, handle: SwapHandle) -> None:
+        require(key not in self._slots, f"stream {key!r} is already swapped out")
+        self._slots[key] = handle
+        self.stats.swap_outs += 1
+        self.stats.bytes_out += handle.nbytes
+
+    def peek(self, key: object) -> SwapHandle:
+        require(key in self._slots, f"no swapped stream under {key!r}")
+        return self._slots[key]
+
+    def pop(self, key: object) -> SwapHandle:
+        handle = self.peek(key)
+        del self._slots[key]
+        self.stats.swap_ins += 1
+        self.stats.bytes_in += handle.nbytes
+        return handle
+
 
 __all__ = [
     "BlockPool",
@@ -909,4 +998,7 @@ __all__ = [
     "DEFAULT_BLOCK_SIZE",
     "PagedKVCache",
     "PoolExhausted",
+    "SwapHandle",
+    "SwapStore",
+    "SwapStoreStats",
 ]

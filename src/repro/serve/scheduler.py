@@ -50,7 +50,7 @@ from repro.sparse.csr import CSRMatrix
 from repro.perfmodel.decode import blocks_for_tokens
 from repro.perfmodel.devices import DeviceSpec
 from repro.serve.cache import PlanCache
-from repro.serve.decode import DecodeSession, stacked_decode_step
+from repro.serve.decode import DecodeSession, stacked_decode_step, stacked_prefill
 from repro.serve.paging import (
     DEFAULT_BLOCK_SIZE,
     BlockPool,
@@ -565,6 +565,74 @@ class AttentionServer:
     ) -> AttentionResponse:
         """Serve one decode step for one session."""
         return self.decode_steps([(session, q, k, v)])[0]
+
+    def prefill_chunks(
+        self,
+        chunks: Sequence[Tuple[DecodeSession, np.ndarray, np.ndarray, np.ndarray]],
+    ) -> List[AttentionResponse]:
+        """Serve one prompt chunk per ``(session, q, k, v)`` entry.
+
+        The chunked-prefill twin of :meth:`decode_steps`: chunks whose
+        sessions share one plan, sit at the same position and carry
+        identically-shaped ``batch_shape + (P, d)`` tensors fuse into a
+        single stacked kernel pass
+        (:func:`~repro.serve.decode.stacked_prefill`); ragged chunks execute
+        as singleton groups.  Responses follow the input order; a session may
+        appear at most once per call.
+        """
+        chunks = list(chunks)
+        if not chunks:
+            return []
+        started = time.perf_counter()
+        seen_sessions = set()
+        groups: "Dict[Tuple, List[int]]" = {}
+        for index, (session, q, k, v) in enumerate(chunks):
+            require(
+                id(session) not in seen_sessions,
+                "a session may appear at most once per prefill_chunks call",
+            )
+            seen_sessions.add(id(session))
+            group_key = (
+                session.plan.key or id(session.plan),
+                session.position,
+                np.shape(q),
+                np.shape(v),
+                np.asarray(q).dtype.str,
+                np.asarray(k).dtype.str,
+                np.asarray(v).dtype.str,
+            )
+            groups.setdefault(group_key, []).append(index)
+
+        responses: List[Optional[AttentionResponse]] = [None] * len(chunks)
+        tokens = 0
+        for indices in groups.values():
+            group_started = time.perf_counter()
+            sessions = [chunks[i][0] for i in indices]
+            results = stacked_prefill(
+                sessions,
+                [chunks[i][1] for i in indices],
+                [chunks[i][2] for i in indices],
+                [chunks[i][3] for i in indices],
+            )
+            latency = (time.perf_counter() - group_started) / len(indices)
+            if len(indices) > 1:
+                self.stats.prefill_stacked_executions += 1
+                self.stats.prefill_coalesced_chunks += len(indices)
+            for index, session, result in zip(indices, sessions, results):
+                start, stop = result.meta["positions"]
+                tokens += stop - start
+                responses[index] = AttentionResponse(
+                    request_id=self.next_request_id(),
+                    result=result,
+                    plan_key=session.plan.key,
+                    cache_hit=session.plan_cache_hit,
+                    latency_s=latency,
+                )
+
+        self.stats.prefill_chunks += len(chunks)
+        self.stats.prefill_tokens += tokens
+        self.stats.prefill_wall_seconds += time.perf_counter() - started
+        return responses
 
     def decode_steps(
         self,

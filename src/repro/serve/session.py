@@ -97,6 +97,11 @@ class ServerStats:
     decode_stacked_executions: int = 0
     decode_coalesced_steps: int = 0
     decode_wall_seconds: float = 0.0
+    prefill_chunks: int = 0
+    prefill_tokens: int = 0
+    prefill_stacked_executions: int = 0
+    prefill_coalesced_chunks: int = 0
+    prefill_wall_seconds: float = 0.0
     paged_sessions: int = 0
     sessions_closed: int = 0
     admission_rejected: int = 0

@@ -1,0 +1,1 @@
+"""Deterministic workload harnesses shared by the randomized test suites."""

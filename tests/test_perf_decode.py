@@ -11,6 +11,7 @@ from repro.perfmodel.decode import (
     paged_kv_cache_bytes,
     paged_sessions_supported,
     paging_fragmentation_overhead,
+    preemption_cost,
 )
 from repro.perfmodel.devices import A100_SXM4_80GB, V100_SXM2_32GB
 
@@ -159,4 +160,53 @@ class TestPagedAccounting:
                 shared_prefix_tokens=32,
                 block_size=16,
                 head_dim=64,
+            )
+
+
+class TestPreemptionCost:
+    def test_swap_cost_is_a_round_trip_over_the_cache_bytes(self):
+        estimate = preemption_cost(A100_SXM4_80GB, 1024, prefix_nnz=50_000, head_dim=64)
+        assert estimate.swap_bytes == kv_cache_bytes(1024, 64, dtype="fp16")
+        assert estimate.swap_out_seconds == estimate.swap_in_seconds
+        assert estimate.swap_seconds == pytest.approx(
+            estimate.swap_out_seconds + estimate.swap_in_seconds
+        )
+
+    def test_block_padding_inflates_the_swap_bytes(self):
+        dense = preemption_cost(A100_SXM4_80GB, 17, prefix_nnz=100, head_dim=64)
+        paged = preemption_cost(
+            A100_SXM4_80GB, 17, prefix_nnz=100, head_dim=64, block_size=16
+        )
+        assert paged.swap_bytes == paged_kv_cache_bytes(17, 64, block_size=16)
+        assert paged.swap_bytes > dense.swap_bytes
+
+    def test_preferred_mode_tracks_the_cheaper_path(self):
+        # a sparse long stream's prefix replays almost for free: recompute wins
+        sparse = preemption_cost(A100_SXM4_80GB, 4096, prefix_nnz=100, head_dim=64)
+        assert sparse.preferred == "recompute"
+        # an edge-heavy prefix costs a full kernel pass to replay: swap wins
+        dense = preemption_cost(A100_SXM4_80GB, 1024, prefix_nnz=10**7, head_dim=64)
+        assert dense.preferred == "swap"
+        assert dense.recompute_seconds > dense.swap_seconds
+
+    def test_recompute_cost_grows_with_the_prefix_edges(self):
+        small = preemption_cost(A100_SXM4_80GB, 512, prefix_nnz=10_000, head_dim=64)
+        large = preemption_cost(A100_SXM4_80GB, 512, prefix_nnz=1_000_000, head_dim=64)
+        assert large.recompute_seconds > small.recompute_seconds
+        assert large.swap_seconds == small.swap_seconds  # bytes don't depend on edges
+
+    def test_zero_tokens_cost_nothing(self):
+        estimate = preemption_cost(A100_SXM4_80GB, 0, prefix_nnz=0, head_dim=64)
+        assert estimate.swap_bytes == 0
+        assert estimate.swap_seconds == 0.0
+        assert estimate.recompute_seconds == 0.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            preemption_cost(A100_SXM4_80GB, -1, prefix_nnz=0, head_dim=64)
+        with pytest.raises(ValueError):
+            preemption_cost(A100_SXM4_80GB, 1, prefix_nnz=-1, head_dim=64)
+        with pytest.raises(ValueError):
+            preemption_cost(
+                A100_SXM4_80GB, 1, prefix_nnz=0, head_dim=64, swap_bandwidth_fraction=0.0
             )

@@ -4,60 +4,35 @@ Random mixed workloads — batched one-shot requests and concurrent paged
 decode streams — run through **one** :class:`~repro.serve.AttentionServer`,
 and every response is checked against an independent per-request
 ``engine.run`` (decode streams against the causally clipped reference mask).
-The hypothesis-driven tests shrink failing workloads to minimal programs;
-the seed-sweep test drives the same oracle from bare integer seeds and
-prints the failing seed so a crash reproduces with one environment variable:
+All workload randomness comes from the shared simulation harness
+(``tests/harness/simulation.py``): the hypothesis strategies and the seeded
+sweep draw the same spec shapes, so one seeded driver is the single source
+of randomized serving workloads.  The seed-sweep test honors
+``REPRO_FUZZ_SEED`` and prints the failing seed so a crash reproduces with
+one environment variable:
 
     REPRO_FUZZ_SEED=<seed> pytest tests/test_serve_fuzz.py -k replay
 """
-
-import os
 
 import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+from harness.simulation import (
+    DIM,
+    MASKS,
+    fuzz_seeds,
+    oneshot_spec_strategy,
+    oneshot_tensors,
+    sample_oneshot_specs,
+    sample_stream_specs,
+    stream_spec_strategy,
+    stream_tensors,
+)
 from repro.core.engine import GraphAttentionEngine
-from repro.masks.presets import longformer_mask
-from repro.masks.structured import CausalMask
-from repro.masks.windowed import Dilated1DMask, LocalMask
 from repro.serve import AttentionRequest, AttentionServer
 from repro.serve.decode import decode_reference_mask
-from repro.utils.rng import random_qkv
-
-DIM = 4
-MASKS = [
-    LocalMask(window=3),
-    LocalMask(window=7),
-    Dilated1DMask(window=5, dilation=2),
-    CausalMask(),
-    longformer_mask(reach=2, global_tokens=(0,)),
-    None,  # dense
-]
-
-request_spec = st.fixed_dictionaries(
-    {
-        "mask": st.integers(min_value=0, max_value=len(MASKS) - 1),
-        "length": st.integers(min_value=1, max_value=24),
-        "batch": st.integers(min_value=0, max_value=2),  # 0 = bare (L, d)
-        "seed": st.integers(min_value=0, max_value=2**16),
-    }
-)
-
-stream_spec = st.fixed_dictionaries(
-    {
-        "mask": st.integers(min_value=0, max_value=len(MASKS) - 2),  # no dense
-        "length": st.integers(min_value=1, max_value=16),
-        "prompt": st.integers(min_value=0, max_value=16),
-        "seed": st.integers(min_value=0, max_value=2**16),
-    }
-)
-
-
-def _request_tensors(spec):
-    batch = {0: {}, 1: {"heads": 2}, 2: {"heads": 2, "batch": 2}}[spec["batch"]]
-    return random_qkv(spec["length"], DIM, dtype=np.float32, seed=spec["seed"], **batch)
 
 
 def _run_workload(requests, streams, *, flush_every, engine):
@@ -68,7 +43,7 @@ def _run_workload(requests, streams, *, flush_every, engine):
 
     pending = []
     for spec in requests:
-        q, k, v = _request_tensors(spec)
+        q, k, v = oneshot_tensors(spec)
         mask = MASKS[spec["mask"]]
         pending.append(AttentionRequest(q=q, k=k, v=v, mask=mask))
         if len(pending) >= flush_every:
@@ -86,7 +61,7 @@ def _run_workload(requests, streams, *, flush_every, engine):
         mask = MASKS[spec["mask"]]
         length = spec["length"]
         session = server.open_decode_session(mask, length, retain_outputs=True, paged=True)
-        q, k, v = random_qkv(length, DIM, dtype=np.float32, seed=spec["seed"])
+        q, k, v = stream_tensors(spec)
         prompt = min(spec["prompt"], length)
         if prompt:
             session.prefill(q[:prompt], k[:prompt], v[:prompt])
@@ -117,8 +92,8 @@ def _run_workload(requests, streams, *, flush_every, engine):
 
 class TestDifferentialFuzz:
     @given(
-        requests=st.lists(request_spec, max_size=6),
-        streams=st.lists(stream_spec, max_size=4),
+        requests=st.lists(oneshot_spec_strategy(), max_size=6),
+        streams=st.lists(stream_spec_strategy(), max_size=4),
         flush_every=st.integers(min_value=1, max_value=4),
     )
     def test_mixed_workload_matches_per_request_oracle(
@@ -132,34 +107,14 @@ class TestDifferentialFuzz:
 
 
 def _seeded_workload(seed):
+    """One caller-driven mixed workload from one integer, via the harness."""
     rng = np.random.default_rng(seed)
-    requests = [
-        {
-            "mask": int(rng.integers(len(MASKS))),
-            "length": int(rng.integers(1, 24)),
-            "batch": int(rng.integers(3)),
-            "seed": int(rng.integers(2**16)),
-        }
-        for _ in range(int(rng.integers(1, 6)))
-    ]
-    streams = [
-        {
-            "mask": int(rng.integers(len(MASKS) - 1)),
-            "length": int(rng.integers(1, 16)),
-            "prompt": int(rng.integers(16)),
-            "seed": int(rng.integers(2**16)),
-        }
-        for _ in range(int(rng.integers(1, 4)))
-    ]
+    requests = sample_oneshot_specs(rng, max_requests=5)
+    streams = sample_stream_specs(rng, max_streams=3)
     return requests, streams, int(rng.integers(1, 4))
 
 
-@pytest.mark.parametrize(
-    "seed",
-    [int(s) for s in os.environ["REPRO_FUZZ_SEED"].split(",")]
-    if os.environ.get("REPRO_FUZZ_SEED")
-    else list(range(8)),
-)
+@pytest.mark.parametrize("seed", fuzz_seeds(default_count=8))
 def test_seed_replay(seed):
     """Seed-addressable fuzz sweep; a failure names its replay seed."""
     engine = GraphAttentionEngine()

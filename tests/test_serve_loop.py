@@ -1,0 +1,351 @@
+"""Unit tests for the continuous-batching loop's building blocks.
+
+Clocks, policies, the swap store, stacked/chunked prefill and the scheduler's
+lifecycle mechanics (admission, budgeting, preemption, infeasibility) are
+each pinned down in isolation here; the randomized whole-system behaviour
+lives in ``test_serve_loop_properties.py`` on top of the simulation harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.windowed import LocalMask
+from repro.serve import (
+    AttentionServer,
+    ContinuousBatchingScheduler,
+    DecodeSession,
+    FCFSPolicy,
+    InfeasibleRequest,
+    LoopRequest,
+    PriorityPolicy,
+    SwapStore,
+    VirtualClock,
+    WallClock,
+    WeightedFairPolicy,
+    decode_reference_mask,
+    scheduling_policy,
+    stacked_prefill,
+)
+from repro.serve.loop import RequestTelemetry, _Stream
+from repro.serve.paging import BlockPool, PagedKVCache
+from repro.utils.rng import random_qkv
+
+DIM = 4
+MASK = LocalMask(window=5)
+
+
+def _stream(rid, *, arrival=0.0, priority=1.0, emitted=0):
+    telemetry = RequestTelemetry(
+        request_id=rid,
+        priority=priority,
+        prompt_tokens=1,
+        total_tokens=8,
+        arrival_time=arrival,
+        tokens_emitted=emitted,
+    )
+    q, k, v = random_qkv(8, DIM, dtype=np.float32, seed=rid)
+    request = LoopRequest(q=q, k=k, v=v, mask=MASK, prompt_tokens=1, priority=priority)
+    request.request_id = rid
+    return _Stream(request=request, telemetry=telemetry, waiting_since=arrival)
+
+
+class TestClocks:
+    def test_virtual_clock_ticks_and_advances(self):
+        clock = VirtualClock(start=5.0, iteration_seconds=2.0)
+        assert clock.now() == 5.0
+        clock.tick()
+        assert clock.now() == 7.0
+        clock.advance(0.5)
+        assert clock.now() == 7.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_wall_clock_monotonic_and_tick_noop(self):
+        clock = WallClock()
+        a = clock.now()
+        clock.tick()
+        assert clock.now() >= a
+
+
+class TestPolicies:
+    def test_fcfs_ranks_by_arrival(self):
+        streams = [_stream(2, arrival=3.0), _stream(0, arrival=1.0), _stream(1, arrival=2.0)]
+        order = FCFSPolicy().rank(streams, now=10.0)
+        assert [s.request.request_id for s in order] == [0, 1, 2]
+
+    def test_priority_ranks_by_priority_then_arrival(self):
+        streams = [
+            _stream(0, arrival=0.0, priority=1.0),
+            _stream(1, arrival=1.0, priority=4.0),
+            _stream(2, arrival=2.0, priority=4.0),
+        ]
+        order = PriorityPolicy().rank(streams, now=10.0)
+        assert [s.request.request_id for s in order] == [1, 2, 0]
+
+    def test_victims_reverse_rank(self):
+        streams = [_stream(0, arrival=0.0), _stream(1, arrival=1.0)]
+        assert [s.request.request_id for s in FCFSPolicy().victims(streams, 2.0)] == [1, 0]
+
+    def test_weighted_fair_is_seed_deterministic_and_input_order_invariant(self):
+        streams = [_stream(i, arrival=float(i), emitted=i * 10) for i in range(5)]
+        a = WeightedFairPolicy(seed=7).rank(streams, now=0.0)
+        b = WeightedFairPolicy(seed=7).rank(list(reversed(streams)), now=0.0)
+        assert [s.request.request_id for s in a] == [s.request.request_id for s in b]
+
+    def test_weighted_fair_prefers_underserved_streams(self):
+        # one starved stream among heavily-served ones: with weight
+        # priority/(1+served) it should head the ranking almost always
+        streams = [_stream(0, emitted=0)] + [_stream(i, emitted=500) for i in range(1, 5)]
+        policy = WeightedFairPolicy(seed=0)
+        heads = [policy.rank(streams, now=0.0)[0].request.request_id for _ in range(50)]
+        assert heads.count(0) > 40
+
+    def test_factory(self):
+        assert isinstance(scheduling_policy("fcfs"), FCFSPolicy)
+        assert isinstance(scheduling_policy("priority"), PriorityPolicy)
+        assert isinstance(scheduling_policy("weighted", seed=3), WeightedFairPolicy)
+        with pytest.raises(ValueError):
+            scheduling_policy("lottery")
+
+
+class TestLoopRequest:
+    def test_validation(self):
+        q, k, v = random_qkv(8, DIM, dtype=np.float32, seed=0)
+        with pytest.raises(ValueError):
+            LoopRequest(q=q, k=k, v=v, prompt_tokens=9)  # prompt beyond stream
+        with pytest.raises(ValueError):
+            LoopRequest(q=q, k=k, v=v, priority=0.0)
+        with pytest.raises(ValueError):
+            LoopRequest(q=q, k=k[:4], v=v)
+        request = LoopRequest(q=q, k=k, v=v, prompt_tokens=3)
+        assert request.total_tokens == 8 and request.decode_tokens == 5
+        assert request.batch_shape == ()
+
+
+class TestSwapStore:
+    def test_put_peek_pop_and_stats(self):
+        pool = BlockPool(8, 4, key_dim=DIM)
+        cache = PagedKVCache(pool)
+        k = np.arange(24, dtype=np.float32).reshape(6, DIM)
+        cache.extend(k, k + 100.0)
+        handle = cache.swap_out()
+        assert cache.released and pool.blocks_in_use == 0
+        assert handle.length == 6 and handle.nbytes == k.nbytes * 2
+
+        store = SwapStore()
+        store.put("s", handle)
+        assert "s" in store and len(store) == 1
+        assert store.resident_bytes == handle.nbytes
+        assert store.stats.swap_outs == 1 and store.stats.bytes_out == handle.nbytes
+        with pytest.raises(ValueError):
+            store.put("s", handle)  # double swap-out
+        assert store.peek("s") is handle
+        assert store.stats.swap_ins == 0  # peek does not consume
+        assert store.pop("s") is handle
+        assert len(store) == 0 and store.stats.swap_ins == 1
+        with pytest.raises(ValueError):
+            store.pop("s")
+
+    def test_swap_out_round_trip_is_bit_exact_and_reshares_warm_blocks(self):
+        pool = BlockPool(8, 4, key_dim=DIM)
+        cache = PagedKVCache(pool)
+        q, k, v = random_qkv(8, DIM, dtype=np.float32, seed=1)
+        cache.extend(k, v)
+        handle = cache.swap_out()
+        # full blocks parked in the evictable LRU; the restore re-shares them
+        shares_before = pool.stats.share_hits
+        restored = PagedKVCache(pool)
+        restored.extend(handle.keys, handle.values)
+        assert pool.stats.share_hits > shares_before
+        np.testing.assert_array_equal(restored.keys(), k)
+        np.testing.assert_array_equal(restored.values(), v)
+        restored.release()
+
+    def test_swap_out_refuses_released_cache(self):
+        pool = BlockPool(4, 4, key_dim=DIM)
+        cache = PagedKVCache(pool)
+        cache.release()
+        with pytest.raises(ValueError):
+            cache.swap_out()
+
+
+class TestStackedPrefill:
+    def test_matches_per_session_prefill_bit_exactly(self):
+        pool = BlockPool(64, 4, key_dim=DIM)
+        q, k, v = random_qkv(12, DIM, dtype=np.float32, seed=3)
+        stacked = [DecodeSession.start(MASK, 12, pool=pool) for _ in range(3)]
+        solo = DecodeSession.start(MASK, 12, pool=pool)
+        results = stacked_prefill(
+            stacked, [q[:8]] * 3, [k[:8]] * 3, [v[:8]] * 3
+        )
+        reference = solo.prefill(q[:8], k[:8], v[:8])
+        for result in results:
+            np.testing.assert_array_equal(result.output, reference.output)
+            assert result.meta["coalesced"] == 3
+        assert all(s.position == 8 for s in stacked)
+        for s in stacked + [solo]:
+            s.close()
+        assert pool.blocks_in_use == 0
+
+    def test_rejects_mismatched_sessions(self):
+        pool = BlockPool(64, 4, key_dim=DIM)
+        a = DecodeSession.start(MASK, 12, pool=pool)
+        b = DecodeSession.start(MASK, 12, pool=pool)
+        q, k, v = random_qkv(12, DIM, dtype=np.float32, seed=4)
+        b.prefill(q[:4], k[:4], v[:4])  # positions now differ
+        with pytest.raises(ValueError):
+            stacked_prefill([a, b], [q[:4]] * 2, [k[:4]] * 2, [v[:4]] * 2)
+        other = DecodeSession.start(LocalMask(window=9), 12, pool=pool)
+        with pytest.raises(ValueError):
+            stacked_prefill([a, other], [q[:4]] * 2, [k[:4]] * 2, [v[:4]] * 2)
+        for s in (a, b, other):
+            s.close()
+
+    def test_pool_exhaustion_advances_no_session(self):
+        pool = BlockPool(4, 2, key_dim=DIM)
+        sessions = [DecodeSession.start(MASK, 12, pool=pool) for _ in range(2)]
+        q, k, v = random_qkv(12, DIM, dtype=np.float32, seed=5)
+        from repro.serve import PoolExhausted
+
+        with pytest.raises(PoolExhausted):
+            stacked_prefill(
+                sessions,
+                [q[:6], q[6:12]],
+                [k[:6], k[6:12]],
+                [v[:6], v[6:12]],
+            )
+        assert all(s.position == 0 for s in sessions)
+        assert pool.blocks_in_use == 0
+        pool.check_consistency()
+
+    def test_server_prefill_chunks_groups_and_counts(self):
+        with AttentionServer() as server:
+            pool = server.create_block_pool(key_dim=DIM, num_blocks=64, block_size=4)
+            q, k, v = random_qkv(12, DIM, dtype=np.float32, seed=6)
+            a = server.open_decode_session(MASK, 12, paged=True)
+            b = server.open_decode_session(MASK, 12, paged=True)
+            responses = server.prefill_chunks(
+                [(a, q[:6], k[:6], v[:6]), (b, q[:6], k[:6], v[:6])]
+            )
+            np.testing.assert_array_equal(responses[0].output, responses[1].output)
+            assert server.stats.prefill_chunks == 2
+            assert server.stats.prefill_stacked_executions == 1
+            assert server.stats.prefill_coalesced_chunks == 2
+            assert server.stats.prefill_tokens == 12
+            with pytest.raises(ValueError):
+                server.prefill_chunks([(a, q[:2], k[:2], v[:2])] * 2)
+            for s in (a, b):
+                server.close_decode_session(s)
+            assert pool.blocks_in_use == 0
+
+
+class TestSchedulerMechanics:
+    def _request(self, total, prompt, seed, priority=1.0):
+        q, k, v = random_qkv(total, DIM, dtype=np.float32, seed=seed)
+        return LoopRequest(q=q, k=k, v=v, mask=MASK, prompt_tokens=prompt, priority=priority)
+
+    def test_chunked_prefill_equals_whole_prefill(self):
+        outputs = {}
+        for chunk in (2, 32):
+            server = AttentionServer()
+            server.create_block_pool(key_dim=DIM, num_blocks=64, block_size=4)
+            scheduler = ContinuousBatchingScheduler(
+                server, clock=VirtualClock(), prefill_chunk=chunk
+            )
+            rid = scheduler.submit(self._request(16, 12, seed=7))
+            outputs[chunk] = scheduler.run(max_iterations=100)[rid]
+            server.close()
+        np.testing.assert_array_equal(outputs[2], outputs[32])
+
+    def test_requires_block_pool(self):
+        with pytest.raises(ValueError):
+            ContinuousBatchingScheduler(AttentionServer())
+
+    def test_iteration_token_budget_is_respected(self):
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=64, block_size=4)
+        scheduler = ContinuousBatchingScheduler(
+            server, clock=VirtualClock(), max_iteration_tokens=3, prefill_chunk=8
+        )
+        scheduler.submit(self._request(12, 8, seed=8))
+        scheduler.submit(self._request(12, 8, seed=9))
+        report = scheduler.step()
+        assert report.tokens == 3  # budget caps the mixed batch
+        scheduler.run(max_iterations=100)
+        server.close()
+
+    def test_queue_time_measured_on_virtual_clock(self):
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=6, block_size=4)
+        scheduler = ContinuousBatchingScheduler(
+            server, clock=VirtualClock(), max_streams=1, prefill_chunk=32
+        )
+        first = scheduler.submit(self._request(8, 8, seed=10))
+        second = scheduler.submit(self._request(8, 8, seed=11))
+        scheduler.run(max_iterations=100)
+        assert scheduler.telemetry[first].queue_seconds == 0.0
+        # the second stream waited exactly while the first ran (virtual time)
+        assert scheduler.telemetry[second].queue_seconds > 0.0
+        assert scheduler.telemetry[second].queue_seconds == float(
+            int(scheduler.telemetry[second].queue_seconds)
+        )
+        server.close()
+
+    def test_forced_swap_preemption_round_trip_bit_exact(self):
+        # pool fits ~one stream: admitting the second forces the first out
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=6, block_size=4)
+        scheduler = ContinuousBatchingScheduler(
+            server,
+            clock=VirtualClock(),
+            max_streams=2,
+            prefill_chunk=4,
+            preemption="swap",
+        )
+        requests = [self._request(16, 8, seed=20 + i) for i in range(2)]
+        rids = scheduler.submit_many(requests)
+        results = scheduler.run(max_iterations=500)
+        assert scheduler.stats.preemptions >= 1
+        assert scheduler.stats.swap_outs >= 1 and scheduler.stats.swap_ins >= 1
+        engine = GraphAttentionEngine()
+        for rid, request in zip(rids, requests):
+            oracle = engine.run(
+                request.q, request.k, request.v, decode_reference_mask(MASK, 16)
+            )
+            np.testing.assert_allclose(results[rid], oracle.output, atol=1e-6, rtol=1e-6)
+        assert len(scheduler.swap_store) == 0
+        assert server.block_pool.blocks_in_use == 0
+        server.close()
+
+    def test_infeasible_request_rejected_at_submit(self):
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=2, block_size=2)
+        scheduler = ContinuousBatchingScheduler(
+            server, clock=VirtualClock(), prefill_chunk=4
+        )
+        with pytest.raises(InfeasibleRequest):
+            scheduler.submit(self._request(16, 16, seed=30))  # needs 8 blocks of 2
+        # the rejected stream left no trace: the loop still serves others
+        rid = scheduler.submit(self._request(4, 4, seed=31))
+        assert rid in scheduler.run(max_iterations=100)
+        server.close()
+
+    def test_priority_policy_admits_urgent_request_first(self):
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=64, block_size=4)
+        scheduler = ContinuousBatchingScheduler(
+            server,
+            policy=PriorityPolicy(),
+            clock=VirtualClock(),
+            max_streams=1,
+            prefill_chunk=32,
+        )
+        low = scheduler.submit(self._request(8, 8, seed=31, priority=1.0))
+        high = scheduler.submit(self._request(8, 8, seed=32, priority=4.0))
+        scheduler.run(max_iterations=100)
+        assert (
+            scheduler.telemetry[high].first_scheduled_time
+            < scheduler.telemetry[low].first_scheduled_time
+        )
+        server.close()
