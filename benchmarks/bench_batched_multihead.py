@@ -37,6 +37,8 @@ from repro.core.implicit_kernels import (
     local_attention,
 )
 from repro.masks.presets import longformer_mask
+from repro.masks.windowed import LocalMask
+from repro.obs import Observability
 from repro.utils.rng import random_qkv
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -149,11 +151,19 @@ def main() -> int:
                 f"per-head loop {loop * 1e3:8.1f} ms  ->  {speedup:.2f}x"
             )
 
+    # registry snapshot of one untimed instrumented pass (engine dispatch
+    # counters + kernel-seconds histogram for the windowed mask)
+    obs = Observability(tracing=False)
+    engine = GraphAttentionEngine(obs=obs)
+    q, k, v = random_qkv(length, dim, heads=2, dtype=np.float32, seed=7)
+    engine.run(q, k, v, LocalMask(window=window))
+
     record = {
         "benchmark": "bench_batched_multihead",
         "quick": bool(args.quick),
         "config": {"length": length, "window": window, "dim": dim, "repeats": repeats},
         "results": rows,
+        "metrics": obs.snapshot().to_dict()["metrics"],
     }
     history = []
     if RECORD_PATH.exists():

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.core.engine import GraphAttentionEngine
 from repro.masks.windowed import LocalMask
+from repro.obs import NULL_OBS, Observability
 from repro.serve import (
     AttentionServer,
     ContinuousBatchingScheduler,
@@ -52,6 +53,12 @@ RECORD_PATH = REPO_ROOT / "BENCH_loop.json"
 
 #: Acceptance threshold: loop throughput over caller-driven at 32 streams.
 THROUGHPUT_THRESHOLD = 2.0
+
+#: Acceptance bound: the disabled recorder (every hook behind one
+#: ``if obs.enabled:`` check) must not cost measurable throughput — its
+#: best-of-N tokens/sec may not fall more than this fraction below the
+#: fully *enabled* recorder's (which does strictly more work per hook).
+OBS_OVERHEAD_BOUND = 0.02
 
 DIM = 32
 PROMPT = 32
@@ -111,14 +118,15 @@ def _measure_baseline(streams):
     }
 
 
-def _measure_loop(streams, *, num_blocks=None, preemption="auto"):
+def _measure_loop(streams, *, num_blocks=None, preemption="auto", obs=NULL_OBS):
     """The iteration-level loop over the same workload."""
     mask, horizon, data = _workload(streams)
-    server = AttentionServer(cache_capacity=8)
+    server = AttentionServer(cache_capacity=8, obs=obs)
     pool = server.create_block_pool(
         key_dim=DIM,
         num_blocks=num_blocks or streams * (horizon // BLOCK_SIZE + 2),
         block_size=BLOCK_SIZE,
+        name="bench",
     )
     swap_store = SwapStore()
     scheduler = ContinuousBatchingScheduler(
@@ -223,6 +231,33 @@ def main() -> int:
         f"{storm['tokens_per_second']:,.0f} tok/s"
     )
 
+    # observability overhead: best-of-3 with the disabled recorder vs best-of-3
+    # with metrics+tracing fully enabled; the disabled path must not lose
+    # throughput even against the path doing strictly more work per hook
+    obs_streams = 8
+    repeats = 3
+    disabled_tps = max(
+        _measure_loop(obs_streams)["tokens_per_second"] for _ in range(repeats)
+    )
+    enabled_obs = None
+    enabled_tps = 0.0
+    for _ in range(repeats):
+        obs = Observability()
+        tps = _measure_loop(obs_streams, obs=obs)["tokens_per_second"]
+        if tps > enabled_tps:
+            enabled_tps, enabled_obs = tps, obs
+    obs_overhead = {
+        "streams": obs_streams,
+        "disabled_tokens_per_second": disabled_tps,
+        "enabled_tokens_per_second": enabled_tps,
+        "enabled_over_disabled": enabled_tps / disabled_tps if disabled_tps else 0.0,
+    }
+    print(
+        f"   obs overhead ({obs_streams} streams, best of {repeats}): disabled "
+        f"{disabled_tps:,.0f} tok/s, enabled {enabled_tps:,.0f} tok/s "
+        f"({obs_overhead['enabled_over_disabled']:.3f}x)"
+    )
+
     record = {
         "benchmark": "bench_continuous_batching",
         "quick": bool(args.quick),
@@ -235,6 +270,9 @@ def main() -> int:
         },
         "results": rows,
         "preemption_storm": {"streams": storm_streams, **storm},
+        "obs_overhead": obs_overhead,
+        # registry snapshot from the enabled run, in the shared JSON schema
+        "metrics": enabled_obs.snapshot().to_dict()["metrics"],
     }
     history = []
     if RECORD_PATH.exists():
@@ -247,6 +285,15 @@ def main() -> int:
     history.append(record)
     RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
     print(f"   record appended to {RECORD_PATH.name}")
+
+    if disabled_tps < enabled_tps * (1.0 - OBS_OVERHEAD_BOUND):
+        print(
+            f"FAIL: disabled-recorder throughput {disabled_tps:,.0f} tok/s fell more "
+            f"than {OBS_OVERHEAD_BOUND:.0%} below the enabled recorder's "
+            f"{enabled_tps:,.0f} tok/s — the no-op path is not free",
+            file=sys.stderr,
+        )
+        return 1
 
     if ratio_at_32 is None or ratio_at_32 < THROUGHPUT_THRESHOLD:
         print(

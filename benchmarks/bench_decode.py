@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.engine import GraphAttentionEngine
 from repro.masks.windowed import LocalMask
+from repro.obs import Observability
 from repro.perfmodel.decode import DecodeRuntimeModel, kv_cache_bytes
 from repro.perfmodel.devices import A100_SXM4_80GB
 from repro.serve.decode import DecodeSession, decode_reference_mask
@@ -129,11 +130,20 @@ def main() -> int:
             f"->  {row['speedup']:7.1f}x (modelled {row['modelled_speedup_a100']:.0f}x)"
         )
 
+    # registry snapshot of one untimed instrumented pass over the largest
+    # measured cell (engine dispatch counters + kernel-seconds histogram)
+    obs = Observability(tracing=False)
+    engine = GraphAttentionEngine(obs=obs)
+    length = max(lengths)
+    q, k, v = random_qkv(length, dim, dtype=np.float32, seed=11)
+    engine.run(q, k, v, decode_reference_mask(LocalMask(window=window), length))
+
     record = {
         "benchmark": "bench_decode",
         "quick": bool(args.quick),
         "config": {"window": window, "dim": dim, "repeats": repeats},
         "results": rows,
+        "metrics": obs.snapshot().to_dict()["metrics"],
     }
     history = []
     if RECORD_PATH.exists():

@@ -37,6 +37,7 @@ from repro.perfmodel.decode import (
     paged_sessions_supported,
     paging_fragmentation_overhead,
 )
+from repro.obs import Observability
 from repro.serve import AttentionServer
 from repro.serve.decode import DecodeSession, decode_reference_mask
 from repro.utils.rng import random_qkv
@@ -50,7 +51,7 @@ CAPACITY_THRESHOLD = 3.0
 GIB = float(1 << 30)
 
 
-def _measure(streams, prompt, shared, decode_tokens, block_size, dim, window):
+def _measure(streams, prompt, shared, decode_tokens, block_size, dim, window, obs=None):
     mask = LocalMask(window=window)
     horizon = prompt + decode_tokens
     # one shared prefix; every stream gets its own prompt tail + decode tokens
@@ -60,11 +61,12 @@ def _measure(streams, prompt, shared, decode_tokens, block_size, dim, window):
         for s in range(streams)
     ]
 
-    server = AttentionServer(cache_capacity=8)
+    server = AttentionServer(cache_capacity=8, obs=obs)
     pool = server.create_block_pool(
         key_dim=dim,
         num_blocks=streams * (horizon // block_size + 2),
         block_size=block_size,
+        name="bench",
     )
 
     sessions = []
@@ -149,7 +151,8 @@ def main() -> int:
         f"({shared / prompt:.0%} shared), +{decode_tokens} decoded, "
         f"block_size={block_size}"
     )
-    row = _measure(streams, prompt, shared, decode_tokens, block_size, dim, window)
+    obs = Observability(tracing=False)
+    row = _measure(streams, prompt, shared, decode_tokens, block_size, dim, window, obs=obs)
     print(
         f"   paged  : {row['paged_bytes_total'] / 1e6:8.2f} MB total "
         f"({row['sessions_per_gib_paged']:,.0f} sessions/GiB, "
@@ -170,6 +173,8 @@ def main() -> int:
         "benchmark": "bench_paging",
         "quick": bool(args.quick),
         "results": [row],
+        # registry snapshot of the instrumented run (pool events, kernel times)
+        "metrics": obs.snapshot().to_dict()["metrics"],
     }
     history = []
     if RECORD_PATH.exists():

@@ -101,7 +101,10 @@ def main() -> None:
     scheduler, swap_store, rids, results = run_policy(
         "priority", requests, num_blocks, prefill_chunk=8, max_streams=6
     )
-    stats = scheduler.stats
+    # tear-free reads: snapshot() copies every counter under the stats lock,
+    # so these numbers describe one consistent iteration boundary
+    stats = scheduler.stats.snapshot()
+    server_stats = scheduler.server.stats_snapshot()
     print(
         f"   lifecycle : {stats.iterations} iterations, "
         f"{stats.prefill_tokens} prefill + {stats.decode_tokens} decode tokens, "
@@ -114,8 +117,8 @@ def main() -> None:
         f"{stats.recompute_restores} recompute restores)"
     )
     print(
-        f"   coalescing: {scheduler.server.stats.decode_stacked_executions} stacked "
-        f"decode passes, {scheduler.server.stats.prefill_stacked_executions} stacked "
+        f"   coalescing: {server_stats.decode_stacked_executions} stacked "
+        f"decode passes, {server_stats.prefill_stacked_executions} stacked "
         f"prefill passes"
     )
 

@@ -1,10 +1,33 @@
-"""Setuptools shim.
+"""Packaging for the sparse-attention serving reproduction.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` (and
-``python setup.py develop``) work in offline environments whose setuptools
-predates full PEP 660 editable-install support.
+The package metadata lives here (there is no ``pyproject.toml``) so that
+``pip install -e .`` works in offline environments whose setuptools
+predates full PEP 660 editable-install support.  Installing exposes the
+``repro-ops`` operations console (see :mod:`repro.obs.cli`); in a bare
+checkout the same CLI runs as ``PYTHONPATH=src python -m repro.obs.cli``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-attention",
+    version="0.6.0",
+    description=(
+        "Reproduction of a graph-sparse attention serving stack: ordered-"
+        "sparsity kernels, execution-plan compiler, paged KV cache, "
+        "iteration-level continuous batching, and an observability layer."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "cli": ["click", "rich"],
+        "test": ["pytest", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-ops = repro.obs.cli:main",
+        ],
+    },
+)

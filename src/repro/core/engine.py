@@ -20,11 +20,13 @@ brain.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs.recorder import NULL_OBS, Observability
 from repro.core.dense import sdp_attention
 from repro.core.explicit_kernels import coo_attention, csr_attention, materialize_explicit
 from repro.core.flash import flash_attention
@@ -156,6 +158,8 @@ class GraphAttentionEngine:
     scale: Optional[float] = None
     prefer_composition: bool = True
     history: List[AttentionResult] = field(default_factory=list, repr=False)
+    #: observability recorder; the shared no-op recorder unless one is injected
+    obs: Observability = field(default=NULL_OBS, repr=False)
 
     # ------------------------------------------------------------------ #
     def run(
@@ -174,6 +178,7 @@ class GraphAttentionEngine:
         same plan-compile-and-execute path.
         """
         require(algorithm in ALGORITHMS, f"unknown algorithm {algorithm!r}")
+        started = time.perf_counter() if self.obs.enabled else 0.0
         if algorithm == "auto":
             # one-shot dispatch: the plan is executed and discarded, so skip
             # deriving a cache key (content-hashing an explicit mask is the
@@ -182,6 +187,11 @@ class GraphAttentionEngine:
         else:
             result = self._run_named(q, k, v, mask, algorithm)
         self.history.append(result)
+        if self.obs.enabled:
+            self.obs.engine_dispatches.labels(kind=algorithm).inc()
+            self.obs.kernel_seconds.labels(plan=algorithm, phase="engine").observe(
+                time.perf_counter() - started
+            )
         return result
 
     def plan(

@@ -1,0 +1,58 @@
+"""Unified observability layer: metrics registry, lifecycle tracing, CLI.
+
+``repro.obs`` is the measurement substrate for the serving stack.  Layers
+accept an :class:`~repro.obs.recorder.Observability` object (defaulting to
+the allocation-free :data:`~repro.obs.recorder.NULL_OBS`) and record
+counters, gauges, latency histograms, and request-lifecycle spans into it;
+:func:`~repro.obs.recorder.default_observability` wires the ``REPRO_OBS``
+environment toggles, and the ``repro-ops`` CLI (``repro.obs.cli``) runs
+named scenarios and renders the resulting snapshot.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    KERNEL_SECONDS_BUCKETS,
+    MetricFamily,
+    MetricSample,
+    MetricsRegistry,
+    MetricsSnapshot,
+    SERVING_SECONDS_BUCKETS,
+    TOKEN_BUCKETS,
+)
+from repro.obs.recorder import (
+    NULL_OBS,
+    Observability,
+    default_observability,
+    reset_default_observability,
+)
+from repro.obs.tracing import (
+    DEFAULT_TRACE_CAPACITY,
+    Span,
+    TraceBuffer,
+    TraceEvent,
+    validate_trace,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TRACE_CAPACITY",
+    "Gauge",
+    "Histogram",
+    "KERNEL_SECONDS_BUCKETS",
+    "MetricFamily",
+    "MetricSample",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_OBS",
+    "Observability",
+    "SERVING_SECONDS_BUCKETS",
+    "Span",
+    "TOKEN_BUCKETS",
+    "TraceBuffer",
+    "TraceEvent",
+    "default_observability",
+    "reset_default_observability",
+    "validate_trace",
+]

@@ -1,0 +1,245 @@
+"""Request-lifecycle tracing: spans, point events, bounded ring buffer.
+
+A request moving through the continuous-batching loop passes a fixed set of
+stations — submit, queue, admit, prefill chunks, decode steps, maybe a
+preemption round-trip (swap-out/swap-in or recompute), finish.  The trace
+layer records that journey as:
+
+* :class:`Span` — a named interval with ``start``/``end`` timestamps, an
+  owning request id, and an optional parent span (queue and preemption spans
+  nest under the request's root span);
+* :class:`TraceEvent` — an instantaneous point (``prefill_chunk``,
+  ``decode_step``, ``iteration`` markers) attached to a span.
+
+Timestamps always come from the scheduler's injected clock, so on
+``VirtualClock`` the whole trace is a pure function of the workload and the
+seed: :meth:`TraceBuffer.to_jsonl` sorts keys and allocates span ids from a
+local counter (never ``id()``), making replay bit-identical — the
+determinism the acceptance criteria pin down.
+
+The buffer is a bounded ring (default 65 536 records): old records fall off
+the front, ``dropped`` counts them, and recording stays O(1) under one lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.utils.validation import require
+
+DEFAULT_TRACE_CAPACITY = 65_536
+
+
+@dataclass
+class Span:
+    """A named interval in a request's lifecycle (``end is None`` while open)."""
+
+    span_id: int
+    name: str
+    start: float
+    request_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def to_record(self) -> dict:
+        record = {
+            "kind": "span",
+            "span": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+        }
+        if self.request_id is not None:
+            record["request"] = self.request_id
+        if self.parent_id is not None:
+            record["parent"] = self.parent_id
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """An instantaneous point event attached to a span."""
+
+    name: str
+    time: float
+    span_id: Optional[int] = None
+    request_id: Optional[int] = None
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    def to_record(self) -> dict:
+        record: dict = {"kind": "event", "name": self.name, "time": self.time}
+        if self.span_id is not None:
+            record["span"] = self.span_id
+        if self.request_id is not None:
+            record["request"] = self.request_id
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class TraceBuffer:
+    """Bounded ring of spans/events with a deterministic JSONL exporter.
+
+    Spans are exported when they *close* (so a span's record carries its
+    final ``end``); events are exported immediately.  Export order is
+    therefore completion order, which on a virtual clock is deterministic.
+    Open spans are tracked separately and surfaced by :meth:`open_spans`
+    (and flushed, endless, by :meth:`drain`).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        require(capacity >= 1, "trace capacity must be positive")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._records: Deque[dict] = deque(maxlen=self.capacity)
+        self._open: "Dict[int, Span]" = {}
+        self.dropped = 0
+        self.emitted = 0
+
+    # -- recording ------------------------------------------------------- #
+    def start_span(
+        self,
+        name: str,
+        start: float,
+        *,
+        request_id: Optional[int] = None,
+        parent: Optional[Span] = None,
+        **attrs: object,
+    ) -> Span:
+        with self._lock:
+            span = Span(
+                span_id=next(self._ids),
+                name=name,
+                start=start,
+                request_id=request_id,
+                parent_id=parent.span_id if parent is not None else None,
+                attrs=dict(attrs),
+            )
+            self._open[span.span_id] = span
+        return span
+
+    def end_span(self, span: Span, end: float, **attrs: object) -> None:
+        require(span.end is None, f"span {span.span_id} ({span.name}) already ended")
+        span.end = end
+        if attrs:
+            span.attrs.update(attrs)
+        with self._lock:
+            self._open.pop(span.span_id, None)
+            self._push(span.to_record())
+
+    def event(
+        self,
+        name: str,
+        time: float,
+        *,
+        span: Optional[Span] = None,
+        request_id: Optional[int] = None,
+        **attrs: object,
+    ) -> None:
+        record = TraceEvent(
+            name=name,
+            time=time,
+            span_id=span.span_id if span is not None else None,
+            request_id=request_id,
+            attrs=tuple(sorted(attrs.items())),
+        ).to_record()
+        with self._lock:
+            self._push(record)
+
+    def _push(self, record: dict) -> None:
+        if len(self._records) == self.capacity:
+            self.dropped += 1
+        self._records.append(record)
+        self.emitted += 1
+
+    # -- reading --------------------------------------------------------- #
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> List[dict]:
+        with self._lock:
+            return list(self._records)
+
+    def open_spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._open.values())
+
+    def drain(self) -> List[dict]:
+        """Records plus any still-open spans (exported with ``end: None``)."""
+        with self._lock:
+            records = list(self._records)
+            records.extend(
+                span.to_record()
+                for span in sorted(self._open.values(), key=lambda s: s.span_id)
+            )
+        return records
+
+    def to_jsonl(self) -> str:
+        """One sorted-keys JSON object per line — bit-identical on replay."""
+        lines = [json.dumps(record, sort_keys=True) for record in self.drain()]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self._open.clear()
+
+
+def validate_trace(records: List[dict]) -> None:
+    """Assert structural well-formedness of an exported trace.
+
+    Checks (raising ``ValueError`` on the first violation):
+
+    * every closed span has ``end >= start``;
+    * every ``parent`` reference points at a span that exists in the export
+      and whose interval contains the child's interval (well-formed nesting);
+    * every event that references a span lands inside that span's interval;
+    * timestamps are finite numbers.
+    """
+    spans: Dict[int, dict] = {}
+    for record in records:
+        if record.get("kind") == "span":
+            spans[record["span"]] = record
+    for record in records:
+        if record.get("kind") == "span":
+            start, end = record["start"], record["end"]
+            require(start == start and start is not None, "span start must be a number")
+            if end is not None:
+                require(end >= start, f"span {record['span']} ends before it starts")
+            parent = spans.get(record.get("parent"))
+            if record.get("parent") is not None:
+                require(parent is not None, f"span {record['span']} has unknown parent")
+                require(parent["start"] <= start, f"span {record['span']} starts before parent")
+                if end is not None and parent["end"] is not None:
+                    require(end <= parent["end"], f"span {record['span']} outlives parent")
+        elif record.get("kind") == "event":
+            span = spans.get(record.get("span"))
+            if span is not None:
+                require(span["start"] <= record["time"], "event precedes its span")
+                if span["end"] is not None:
+                    require(record["time"] <= span["end"], "event follows its span")
+        else:
+            raise ValueError(f"unknown trace record kind: {record.get('kind')!r}")
+
+
+__all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "Span",
+    "TraceBuffer",
+    "TraceEvent",
+    "validate_trace",
+]

@@ -56,6 +56,7 @@ from repro.serve.loop import (
     IterationReport,
     LoopRequest,
     LoopStats,
+    LoopStatsSnapshot,
     PriorityPolicy,
     RequestTelemetry,
     SchedulingPolicy,
@@ -87,6 +88,7 @@ from repro.serve.session import (
     AttentionRequest,
     AttentionResponse,
     ServerStats,
+    ServerStatsSnapshot,
     ServingSession,
 )
 
@@ -109,6 +111,7 @@ __all__ = [
     "KVCache",
     "LoopRequest",
     "LoopStats",
+    "LoopStatsSnapshot",
     "PagedKVCache",
     "PlanCache",
     "PlanStep",
@@ -118,6 +121,7 @@ __all__ = [
     "RequestTelemetry",
     "SchedulingPolicy",
     "ServerStats",
+    "ServerStatsSnapshot",
     "ServingSession",
     "SwapHandle",
     "SwapStore",

@@ -14,6 +14,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.obs.recorder import NULL_OBS, Observability
 from repro.serve.plan import ExecutionPlan
 from repro.utils.validation import require
 
@@ -46,11 +47,12 @@ class PlanCache:
     updates refresh recency).
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128, *, obs: Optional[Observability] = None):
         require(capacity >= 1, "cache capacity must be >= 1")
         self._capacity = int(capacity)
         self._entries: "OrderedDict[str, ExecutionPlan]" = OrderedDict()
         self.stats = CacheStats()
+        self.obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------------ #
     @property
@@ -74,9 +76,13 @@ class PlanCache:
         plan = self._entries.get(key)
         if plan is None:
             self.stats.misses += 1
+            if self.obs.enabled:
+                self.obs.plan_cache_events.labels(event="miss").inc()
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if self.obs.enabled:
+            self.obs.plan_cache_events.labels(event="hit").inc()
         return plan
 
     def put(self, key: str, plan: ExecutionPlan) -> None:
@@ -87,6 +93,8 @@ class PlanCache:
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if self.obs.enabled:
+                self.obs.plan_cache_events.labels(event="eviction").inc()
 
     def get_or_compile(
         self, key: str, compile_fn: Callable[[], ExecutionPlan]

@@ -42,6 +42,7 @@ deterministic workload driver on top of it).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -51,6 +52,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.engine import MaskInput
+from repro.obs.recorder import NULL_OBS, Observability
+from repro.obs.tracing import Span
 from repro.perfmodel.decode import blocks_for_tokens, preemption_cost
 from repro.perfmodel.devices import DeviceSpec
 from repro.serve.decode import DecodeSession
@@ -165,6 +168,11 @@ class RequestTelemetry:
     arrival_time: float
     first_scheduled_time: Optional[float] = None
     finish_time: Optional[float] = None
+    #: clock time the first token *past the prompt* was emitted (for
+    #: prompt-only streams: the finish time) — TTFT's numerator
+    first_token_time: Optional[float] = None
+    #: first-token-to-finish span; 0 until the stream finishes
+    decode_seconds: float = 0.0
     #: accumulated seconds spent waiting for admission (initial + re-queues
     #: after preemption) — the starvation tests bound this per policy
     queue_seconds: float = 0.0
@@ -178,6 +186,13 @@ class RequestTelemetry:
     @property
     def time_in_queue(self) -> float:
         return self.queue_seconds
+
+    @property
+    def ttft_seconds(self) -> Optional[float]:
+        """Submit-to-first-emitted-token latency (None until it happens)."""
+        if self.first_token_time is None:
+            return None
+        return self.first_token_time - self.arrival_time
 
     @property
     def turnaround_seconds(self) -> Optional[float]:
@@ -207,6 +222,9 @@ class _Stream:
     #: request id key into the swap store while preempted-with-swap
     swap_key: Optional[int] = None
     outputs: List[np.ndarray] = field(default_factory=list)
+    #: lifecycle trace spans (None when tracing is off)
+    span: Optional[Span] = None
+    queue_span: Optional[Span] = None
 
     @property
     def prompt_remaining(self) -> int:
@@ -341,9 +359,47 @@ class IterationReport:
         return self.prefill_tokens + self.decode_tokens
 
 
+@dataclass(frozen=True)
+class LoopStatsSnapshot:
+    """Immutable copy of :class:`LoopStats` taken under its lock."""
+
+    iterations: int
+    admitted: int
+    admission_blocked: int
+    finished: int
+    prefill_tokens: int
+    decode_tokens: int
+    preemptions: int
+    swap_outs: int
+    swap_ins: int
+    recompute_restores: int
+    recompute_replayed_tokens: int
+    preemption_seconds: float
+    wall_seconds: float
+    iteration_log: Tuple[Tuple[float, int], ...]
+
+    @property
+    def tokens_total(self) -> int:
+        return self.prefill_tokens + self.decode_tokens
+
+    @property
+    def tokens_per_iteration(self) -> float:
+        return self.tokens_total / self.iterations if self.iterations else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
 @dataclass
 class LoopStats:
-    """Lifetime counters of one scheduler."""
+    """Lifetime counters of one scheduler.
+
+    The owning scheduler mutates these under :attr:`lock` (held for the whole
+    iteration); concurrent readers must go through :meth:`snapshot` — reading
+    the live fields mid-iteration can tear (e.g. ``prefill_tokens`` updated
+    but ``iterations`` not yet).
+    """
 
     iterations: int = 0
     admitted: int = 0
@@ -367,6 +423,7 @@ class LoopStats:
     iteration_log: "deque[Tuple[float, int]]" = field(
         default_factory=lambda: deque(maxlen=ITERATION_LOG_LIMIT)
     )
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
 
     @property
     def tokens_total(self) -> int:
@@ -379,6 +436,26 @@ class LoopStats:
     @property
     def tokens_per_second(self) -> float:
         return self.tokens_total / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def snapshot(self) -> LoopStatsSnapshot:
+        """Tear-free immutable copy (taken under the scheduler's stats lock)."""
+        with self.lock:
+            return LoopStatsSnapshot(
+                iterations=self.iterations,
+                admitted=self.admitted,
+                admission_blocked=self.admission_blocked,
+                finished=self.finished,
+                prefill_tokens=self.prefill_tokens,
+                decode_tokens=self.decode_tokens,
+                preemptions=self.preemptions,
+                swap_outs=self.swap_outs,
+                swap_ins=self.swap_ins,
+                recompute_restores=self.recompute_restores,
+                recompute_replayed_tokens=self.recompute_replayed_tokens,
+                preemption_seconds=self.preemption_seconds,
+                wall_seconds=self.wall_seconds,
+                iteration_log=tuple(self.iteration_log),
+            )
 
 
 # --------------------------------------------------------------------------- #
@@ -417,6 +494,12 @@ class ContinuousBatchingScheduler:
     device:
         :class:`~repro.perfmodel.devices.DeviceSpec` for the preemption cost
         model (defaults to the server's device).
+    obs:
+        An :class:`~repro.obs.recorder.Observability` recorder for lifecycle
+        metrics and trace spans (defaults to the server's recorder, which
+        defaults to the no-op :data:`~repro.obs.recorder.NULL_OBS`).  All
+        trace timestamps come from ``clock``, so traces on a
+        :class:`VirtualClock` replay bit-identically.
     """
 
     def __init__(
@@ -431,6 +514,7 @@ class ContinuousBatchingScheduler:
         preemption: str = "auto",
         swap_store: Optional[SwapStore] = None,
         device: Optional[DeviceSpec] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         require(
             server.block_pool is not None,
@@ -456,6 +540,7 @@ class ContinuousBatchingScheduler:
         self.preemption = preemption
         self.swap_store = swap_store if swap_store is not None else SwapStore()
         self.device = device if device is not None else server.device
+        self.obs = obs if obs is not None else getattr(server, "obs", NULL_OBS)
         self.stats = LoopStats()
         self.results: Dict[int, np.ndarray] = {}
         self.telemetry: Dict[int, RequestTelemetry] = {}
@@ -501,6 +586,23 @@ class ContinuousBatchingScheduler:
         self._streams[rid] = stream
         self._waiting.append(stream)
         self.telemetry[rid] = telemetry
+        obs = self.obs
+        if obs.enabled:
+            obs.requests_submitted.inc()
+            obs.queued_streams.set(len(self._waiting))
+            if obs.trace is not None:
+                stream.span = obs.trace.start_span(
+                    "request",
+                    now,
+                    request_id=rid,
+                    prompt_tokens=request.prompt_tokens,
+                    total_tokens=request.total_tokens,
+                    priority=request.priority,
+                )
+                stream.queue_span = obs.trace.start_span(
+                    "queue", now, request_id=rid, parent=stream.span, cause="submit"
+                )
+                obs.trace.event("submit", now, span=stream.span, request_id=rid)
         return rid
 
     def submit_many(self, requests: Sequence[LoopRequest]) -> List[int]:
@@ -526,17 +628,35 @@ class ContinuousBatchingScheduler:
     def step(self) -> IterationReport:
         """Run one scheduler iteration; returns what it accomplished."""
         started = time.perf_counter()
-        self.stats.iterations += 1
-        report = IterationReport(iteration=self.stats.iterations)
+        # one lock hold per iteration: snapshot() readers see whole iterations
+        with self.stats.lock:
+            self.stats.iterations += 1
+            report = IterationReport(iteration=self.stats.iterations)
 
-        self._admit(report)
-        plan = self._form_batch()
-        self._execute(plan, report)
-        self._finish_streams(report)
+            self._admit(report)
+            plan = self._form_batch()
+            self._execute(plan, report)
+            self._finish_streams(report)
 
-        duration = time.perf_counter() - started
-        self.stats.wall_seconds += duration
-        self.stats.iteration_log.append((duration, report.tokens))
+            duration = time.perf_counter() - started
+            self.stats.wall_seconds += duration
+            self.stats.iteration_log.append((duration, report.tokens))
+        obs = self.obs
+        if obs.enabled:
+            obs.iterations.inc()
+            obs.iteration_batch_tokens.observe(report.tokens)
+            obs.active_streams.set(len(self._running))
+            obs.queued_streams.set(len(self._waiting))
+            if obs.trace is not None:
+                obs.trace.event(
+                    "iteration",
+                    self.clock.now(),
+                    iteration=report.iteration,
+                    tokens=report.tokens,
+                    admitted=len(report.admitted),
+                    finished=len(report.finished),
+                    preempted=len(report.preempted),
+                )
         self.clock.tick()
         return report
 
@@ -581,6 +701,7 @@ class ContinuousBatchingScheduler:
     def _activate(self, stream: _Stream, report: IterationReport) -> None:
         """Open (or restore) the stream's session; raises PoolExhausted clean."""
         request = stream.request
+        mode = "fresh"
         if stream.session is None:
             # fresh stream: PR-4 admission — first-chunk blocks prereserved
             # atomically, or the open rejects and the stream keeps waiting
@@ -591,19 +712,45 @@ class ContinuousBatchingScheduler:
                 paged=True,
                 reserve_tokens=first_chunk,
             )
+            readmission = False
         else:
-            if self._restore(stream) == "swap":
+            readmission = True
+            mode = self._restore(stream)
+            if mode == "swap":
                 report.swap_ins += 1
         now = self.clock.now()
         telemetry = stream.telemetry
-        telemetry.queue_seconds += now - stream.waiting_since
-        if telemetry.first_scheduled_time is None:
+        waited = now - stream.waiting_since
+        telemetry.queue_seconds += waited
+        first_admission = telemetry.first_scheduled_time is None
+        if first_admission:
             telemetry.first_scheduled_time = now
         stream.state = _RUNNING
         self._waiting.remove(stream)
         self._running.append(stream)
         self.stats.admitted += 1
         report.admitted.append(request.request_id)
+        obs = self.obs
+        if obs.enabled:
+            if first_admission:
+                obs.queue_seconds.observe(now - telemetry.arrival_time)
+            if readmission:
+                # preempt-to-restore stall actually paid by this stream
+                obs.preemption_stall_seconds.observe(waited)
+                if mode == "swap":
+                    obs.swap_ins.inc()
+            if obs.trace is not None:
+                if stream.queue_span is not None:
+                    obs.trace.end_span(stream.queue_span, now)
+                    stream.queue_span = None
+                event = "swap_in" if mode == "swap" else "admit"
+                obs.trace.event(
+                    event,
+                    now,
+                    span=stream.span,
+                    request_id=request.request_id,
+                    restore=mode,
+                )
 
     def _restore(self, stream: _Stream) -> str:
         """Rebuild a preempted stream's cache to exactly ``emitted`` tokens."""
@@ -743,6 +890,8 @@ class ContinuousBatchingScheduler:
                     )
                 )
             responses = self.server.prefill_chunks(chunks)
+            obs = self.obs
+            now = self.clock.now()
             for (stream, _, count), response in zip(group, responses):
                 stream.outputs.append(response.result.output)
                 stream.emitted += count
@@ -750,6 +899,17 @@ class ContinuousBatchingScheduler:
                 stream.telemetry.iterations_scheduled += 1
                 report.prefill_tokens += count
                 self.stats.prefill_tokens += count
+                if obs.enabled:
+                    obs.prefill_tokens.inc(count)
+                    if obs.trace is not None:
+                        obs.trace.event(
+                            "prefill_chunk",
+                            now,
+                            span=stream.span,
+                            request_id=stream.request.request_id,
+                            tokens=count,
+                            position=stream.emitted,
+                        )
         else:
             steps = []
             for stream, _, _ in group:
@@ -763,13 +923,31 @@ class ContinuousBatchingScheduler:
                     )
                 )
             responses = self.server.decode_steps(steps)
+            obs = self.obs
+            now = self.clock.now()
             for (stream, _, _), response in zip(group, responses):
                 stream.outputs.append(response.result.output)
                 stream.emitted += 1
-                stream.telemetry.tokens_emitted += 1
-                stream.telemetry.iterations_scheduled += 1
+                telemetry = stream.telemetry
+                telemetry.tokens_emitted += 1
+                telemetry.iterations_scheduled += 1
                 report.decode_tokens += 1
                 self.stats.decode_tokens += 1
+                if telemetry.first_token_time is None:
+                    # first generated token past the prompt: TTFT lands here
+                    telemetry.first_token_time = now
+                    if obs.enabled:
+                        obs.ttft_seconds.observe(now - telemetry.arrival_time)
+                if obs.enabled:
+                    obs.decode_tokens.inc()
+                    if obs.trace is not None:
+                        obs.trace.event(
+                            "decode_step",
+                            now,
+                            span=stream.span,
+                            request_id=stream.request.request_id,
+                            position=stream.emitted,
+                        )
 
     # ------------------------------------------------------------------ #
     # Preemption
@@ -827,6 +1005,22 @@ class ContinuousBatchingScheduler:
         self._waiting.append(victim)
         report.preempted.append(victim.request.request_id)
         self.stats.preemption_seconds += time.perf_counter() - started
+        obs = self.obs
+        if obs.enabled:
+            # the mode actually executed: a swap decision with nothing cached
+            # degrades to a plain release, counted as recompute
+            executed = "swap" if victim.swap_key is not None else "recompute"
+            obs.preemptions.labels(mode=executed).inc()
+            if obs.trace is not None:
+                now = victim.waiting_since
+                rid = victim.request.request_id
+                event = "swap_out" if executed == "swap" else "preempt"
+                obs.trace.event(
+                    event, now, span=victim.span, request_id=rid, mode=executed
+                )
+                victim.queue_span = obs.trace.start_span(
+                    "queue", now, request_id=rid, parent=victim.span, cause="preempt"
+                )
 
     def _choose_preemption(self, victim: _Stream) -> str:
         """Price swap vs. recompute for this victim via the decode cost model."""
@@ -859,7 +1053,31 @@ class ContinuousBatchingScheduler:
             stream.outputs = []
             self.server.close_decode_session(stream.session)
             stream.state = _FINISHED
-            stream.telemetry.finish_time = now
+            telemetry = stream.telemetry
+            telemetry.finish_time = now
+            obs = self.obs
+            if telemetry.first_token_time is None:
+                # prompt-only stream: its "first token" is its completion
+                telemetry.first_token_time = now
+                if obs.enabled:
+                    obs.ttft_seconds.observe(now - telemetry.arrival_time)
+            telemetry.decode_seconds = now - telemetry.first_token_time
+            if obs.enabled:
+                obs.requests_finished.inc()
+                decode_after_first = telemetry.total_tokens - telemetry.prompt_tokens - 1
+                if decode_after_first > 0:
+                    obs.per_token_seconds.observe(
+                        telemetry.decode_seconds / decode_after_first
+                    )
+                if obs.trace is not None:
+                    obs.trace.event(
+                        "finish", now, span=stream.span, request_id=rid
+                    )
+                    if stream.span is not None:
+                        obs.trace.end_span(
+                            stream.span, now, tokens=telemetry.tokens_emitted
+                        )
+                        stream.span = None
             self._running.remove(stream)
             # drop the stream record: it pins the request's full q/k/v
             # tensors, which must not accumulate with a perpetual server's
@@ -877,6 +1095,7 @@ __all__ = [
     "IterationReport",
     "LoopRequest",
     "LoopStats",
+    "LoopStatsSnapshot",
     "PriorityPolicy",
     "RequestTelemetry",
     "SchedulingPolicy",

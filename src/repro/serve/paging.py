@@ -39,6 +39,7 @@ contiguous cache.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -47,6 +48,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.recorder import NULL_OBS, Observability
 from repro.perfmodel.decode import blocks_for_tokens
 from repro.utils.dtypes import INDEX_DTYPE
 from repro.utils.validation import require
@@ -54,6 +56,10 @@ from repro.utils.validation import require
 #: Default tokens per block — small enough that a short prompt's padding
 #: waste stays low, large enough that block tables stay short.
 DEFAULT_BLOCK_SIZE = 16
+
+#: Default names for pools created without one ("pool0", "pool1", ...) — the
+#: metric label that keeps multiple pools' series apart in one registry.
+_POOL_IDS = itertools.count()
 
 
 class PoolExhausted(RuntimeError):
@@ -120,6 +126,8 @@ class BlockPool:
         value_dim: Optional[int] = None,
         batch_shape: Tuple[int, ...] = (),
         dtype=np.float32,
+        obs: Optional[Observability] = None,
+        name: Optional[str] = None,
     ) -> None:
         require(num_blocks >= 1, "pool needs at least one block")
         require(block_size >= 1, "block size must be >= 1")
@@ -143,6 +151,25 @@ class BlockPool:
         self._block_to_fingerprint: Dict[int, str] = {}
         self._lock = threading.RLock()
         self.stats = BlockPoolStats(num_blocks=self.num_blocks, block_size=self.block_size)
+        self.obs = obs if obs is not None else NULL_OBS
+        self.name = name if name is not None else f"pool{next(_POOL_IDS)}"
+        if self.obs.enabled:
+            # label children resolved once; hot paths record through these
+            events = self.obs.pool_events
+            self._obs_alloc = events.labels(pool=self.name, event="allocation")
+            self._obs_evict = events.labels(pool=self.name, event="eviction")
+            self._obs_fail = events.labels(pool=self.name, event="failed_reservation")
+            self._obs_share = events.labels(pool=self.name, event="share_hit")
+            # monotone twin of the retractable share counters: Prometheus
+            # counters must never decrease, so backed-out share credit is
+            # counted forward here instead of subtracted
+            self._obs_retract = events.labels(pool=self.name, event="share_retraction")
+            self._obs_cow = events.labels(pool=self.name, event="cow_copy")
+            self._obs_shared_tokens = self.obs.pool_shared_tokens.labels(pool=self.name)
+            blocks = self.obs.pool_blocks
+            self._obs_free = blocks.labels(pool=self.name, state="free")
+            self._obs_evictable = blocks.labels(pool=self.name, state="evictable")
+            self._obs_in_use = blocks.labels(pool=self.name, state="in_use")
         self._refresh_gauges()
 
     # ------------------------------------------------------------------ #
@@ -156,6 +183,8 @@ class BlockPool:
         value_dim: Optional[int] = None,
         batch_shape: Tuple[int, ...] = (),
         dtype=np.float32,
+        obs: Optional[Observability] = None,
+        name: Optional[str] = None,
     ) -> "BlockPool":
         """Size a pool to a byte budget: as many blocks as the arenas can hold."""
         value_dim = key_dim if value_dim is None else value_dim
@@ -176,6 +205,8 @@ class BlockPool:
             value_dim=value_dim,
             batch_shape=batch_shape,
             dtype=dtype,
+            obs=obs,
+            name=name,
         )
 
     # ------------------------------------------------------------------ #
@@ -230,6 +261,15 @@ class BlockPool:
         self.stats.free_blocks = len(self._free)
         self.stats.evictable_blocks = len(self._evictable)
         self.stats.blocks_in_use = self._in_use
+        if self.obs.enabled:
+            self._obs_free.set(len(self._free))
+            self._obs_evictable.set(len(self._evictable))
+            self._obs_in_use.set(self._in_use)
+
+    def stats_snapshot(self) -> BlockPoolStats:
+        """Tear-free copy of the pool's counters and gauges (under the lock)."""
+        with self._lock:
+            return self.stats.snapshot()
 
     # ------------------------------------------------------------------ #
     # Allocation
@@ -240,6 +280,8 @@ class BlockPool:
         if fingerprint is not None:
             self._fingerprint_to_block.pop(fingerprint, None)
         self.stats.evictions += 1
+        if self.obs.enabled:
+            self._obs_evict.inc()
         return block
 
     def _alloc_locked(self) -> int:
@@ -254,6 +296,8 @@ class BlockPool:
         self._refcounts[block] = 1
         self._in_use += 1
         self.stats.allocations += 1
+        if self.obs.enabled:
+            self._obs_alloc.inc()
         return block
 
     def reserve(self, count: int) -> List[int]:
@@ -267,6 +311,8 @@ class BlockPool:
         with self._lock:
             if len(self._free) + len(self._evictable) < count:
                 self.stats.failed_reservations += 1
+                if self.obs.enabled:
+                    self._obs_fail.inc()
                 raise PoolExhausted(
                     f"need {count} blocks, only "
                     f"{len(self._free) + len(self._evictable)} available"
@@ -328,6 +374,9 @@ class BlockPool:
                 self._refcounts[block] += 1
             self.stats.share_hits += 1
             self.stats.shared_tokens_saved += int(tokens)
+            if self.obs.enabled:
+                self._obs_share.inc()
+                self._obs_shared_tokens.inc(int(tokens))
             self._refresh_gauges()
             return block
 
@@ -359,6 +408,8 @@ class BlockPool:
         with self._lock:
             self.stats.share_hits -= int(hits)
             self.stats.shared_tokens_saved -= int(tokens)
+            if self.obs.enabled:
+                self._obs_retract.inc(int(hits))
 
     def prepare_append(self, block: int) -> bool:
         """Atomically claim ``block`` for an in-place write.
@@ -396,6 +447,8 @@ class BlockPool:
         self._values[..., d : d + fill, :] = self._values[..., s : s + fill, :]
         with self._lock:
             self.stats.cow_copies += 1
+            if self.obs.enabled:
+                self._obs_cow.inc()
 
     def block_rows(self, block: int, fill: int) -> Tuple[np.ndarray, np.ndarray]:
         """Contiguous views of one block's first ``fill`` K/V rows."""

@@ -32,6 +32,7 @@ stacked kernel pass (continuous batching).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 import time
@@ -45,6 +46,7 @@ import numpy as np
 from repro.core.engine import MaskInput
 from repro.distributed.partition_balance import balanced_worker_bins
 from repro.masks.base import as_mask_spec
+from repro.obs.recorder import Observability, default_observability
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.perfmodel.decode import blocks_for_tokens
@@ -58,7 +60,12 @@ from repro.serve.paging import (
     PoolExhausted,
 )
 from repro.serve.plan import ExecutionPlan, compile_plan, plan_cache_key
-from repro.serve.session import AttentionRequest, AttentionResponse, ServerStats
+from repro.serve.session import (
+    AttentionRequest,
+    AttentionResponse,
+    ServerStats,
+    ServerStatsSnapshot,
+)
 from repro.utils.validation import require
 
 
@@ -142,6 +149,12 @@ class AttentionServer:
     max_workers:
         ``None`` or ``1`` executes serially; larger values execute each flush
         on a thread pool with load-balanced request bins.
+    obs:
+        An :class:`~repro.obs.recorder.Observability` recorder shared with
+        the plan cache, any pool created by :meth:`create_block_pool`, and
+        schedulers built on this server; defaults to
+        :func:`~repro.obs.recorder.default_observability` (the no-op
+        recorder unless ``REPRO_OBS=1`` is set in the environment).
     """
 
     def __init__(
@@ -155,6 +168,7 @@ class AttentionServer:
         head_dim: Optional[int] = None,
         max_workers: Optional[int] = None,
         block_pool: Optional[BlockPool] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         require(max_workers is None or max_workers >= 1, "max_workers must be >= 1")
         self.executor = executor
@@ -163,7 +177,10 @@ class AttentionServer:
         self.device = device
         self.head_dim = head_dim
         self.max_workers = max_workers
-        self.cache = PlanCache(cache_capacity)
+        # fall back to the process-wide recorder so REPRO_OBS=1 instruments
+        # any serving stack without code changes (NULL_OBS when unset)
+        self.obs = obs if obs is not None else default_observability()
+        self.cache = PlanCache(cache_capacity, obs=self.obs)
         self.block_pool = block_pool
         self.stats = ServerStats(
             cache=self.cache.stats,
@@ -211,7 +228,8 @@ class AttentionServer:
         self, key: str, mask: MaskInput, length: int, algorithm: str, *, mode: str = "full"
     ) -> Tuple[ExecutionPlan, bool]:
         def _compile() -> ExecutionPlan:
-            self.stats.plans_compiled += 1
+            with self.stats.lock:
+                self.stats.plans_compiled += 1
             return compile_plan(
                 mask,
                 length,
@@ -289,6 +307,7 @@ class AttentionServer:
         memory_budget_bytes: Optional[int] = None,
         num_blocks: Optional[int] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
+        name: Optional[str] = None,
     ) -> BlockPool:
         """Install the server's shared KV block pool and return it.
 
@@ -309,6 +328,8 @@ class AttentionServer:
                 value_dim=value_dim,
                 batch_shape=batch_shape,
                 dtype=dtype,
+                obs=self.obs,
+                name=name,
             )
         else:
             pool = BlockPool(
@@ -318,10 +339,22 @@ class AttentionServer:
                 value_dim=value_dim,
                 batch_shape=batch_shape,
                 dtype=dtype,
+                obs=self.obs,
+                name=name,
             )
         self.block_pool = pool
         self.stats.pool = pool.stats
         return pool
+
+    def stats_snapshot(self) -> ServerStatsSnapshot:
+        """Tear-free stats copy: server counters under the stats lock, the
+        pool's gauges under the pool's own lock."""
+        snapshot = self.stats.snapshot()
+        if self.block_pool is not None:
+            snapshot = dataclasses.replace(
+                snapshot, pool=self.block_pool.stats_snapshot()
+            )
+        return snapshot
 
     def _admission_blocks(self, pool: BlockPool, reserve_tokens: Optional[int]) -> int:
         tokens = pool.block_size if reserve_tokens is None else int(reserve_tokens)
@@ -370,8 +403,9 @@ class AttentionServer:
             cache.release()
             raise
         session.plan_cache_hit = hit
-        self.stats.decode_sessions += 1
-        self.stats.paged_sessions += 1
+        with self.stats.lock:
+            self.stats.decode_sessions += 1
+            self.stats.paged_sessions += 1
         return session
 
     def open_decode_session(
@@ -429,13 +463,17 @@ class AttentionServer:
                     )
                 except PoolExhausted:
                     # counted under the lock like the other admission stats
-                    self.stats.admission_rejected += 1
+                    with self.stats.lock:
+                        self.stats.admission_rejected += 1
+                    if self.obs.enabled:
+                        self.obs.server_rejections.inc()
                     raise
         session = DecodeSession(
             plan, retain_outputs=retain_outputs, session_id=self.next_request_id()
         )
         session.plan_cache_hit = hit
-        self.stats.decode_sessions += 1
+        with self.stats.lock:
+            self.stats.decode_sessions += 1
         return session
 
     def request_decode_session(
@@ -494,7 +532,8 @@ class AttentionServer:
                 except PoolExhausted:
                     pass
             self._admission_queue.append(ticket)
-            self.stats.admission_queued += 1
+            with self.stats.lock:
+                self.stats.admission_queued += 1
             return ticket
 
     @property
@@ -539,7 +578,8 @@ class AttentionServer:
                     exhausted.add(ticket.pool)
                     kept.append(ticket)
                     continue
-                self.stats.admission_admitted += 1
+                with self.stats.lock:
+                    self.stats.admission_admitted += 1
                 admitted.append(ticket)
         finally:
             # waiting tickets return to the head in arrival order — also when
@@ -557,7 +597,8 @@ class AttentionServer:
         already_closed = session.closed
         session.close()
         if not already_closed:
-            self.stats.sessions_closed += 1
+            with self.stats.lock:
+                self.stats.sessions_closed += 1
         return self.admit_queued()
 
     def decode_step(
@@ -616,8 +657,14 @@ class AttentionServer:
             )
             latency = (time.perf_counter() - group_started) / len(indices)
             if len(indices) > 1:
-                self.stats.prefill_stacked_executions += 1
-                self.stats.prefill_coalesced_chunks += len(indices)
+                with self.stats.lock:
+                    self.stats.prefill_stacked_executions += 1
+                    self.stats.prefill_coalesced_chunks += len(indices)
+            if self.obs.enabled:
+                plan_key = sessions[0].plan.key or "adhoc"
+                kernel = self.obs.kernel_seconds.labels(plan=plan_key, phase="prefill")
+                for _ in indices:
+                    kernel.observe(latency)
             for index, session, result in zip(indices, sessions, results):
                 start, stop = result.meta["positions"]
                 tokens += stop - start
@@ -629,9 +676,12 @@ class AttentionServer:
                     latency_s=latency,
                 )
 
-        self.stats.prefill_chunks += len(chunks)
-        self.stats.prefill_tokens += tokens
-        self.stats.prefill_wall_seconds += time.perf_counter() - started
+        with self.stats.lock:
+            self.stats.prefill_chunks += len(chunks)
+            self.stats.prefill_tokens += tokens
+            self.stats.prefill_wall_seconds += time.perf_counter() - started
+        if self.obs.enabled:
+            self.obs.server_requests.labels(phase="prefill").inc(len(chunks))
         return responses
 
     def decode_steps(
@@ -683,8 +733,14 @@ class AttentionServer:
             )
             latency = (time.perf_counter() - group_started) / len(indices)
             if len(indices) > 1:
-                self.stats.decode_stacked_executions += 1
-                self.stats.decode_coalesced_steps += len(indices)
+                with self.stats.lock:
+                    self.stats.decode_stacked_executions += 1
+                    self.stats.decode_coalesced_steps += len(indices)
+            if self.obs.enabled:
+                plan_key = sessions[0].plan.key or "adhoc"
+                kernel = self.obs.kernel_seconds.labels(plan=plan_key, phase="decode")
+                for _ in indices:
+                    kernel.observe(latency)
             for index, session, result in zip(indices, sessions, results):
                 responses[index] = AttentionResponse(
                     request_id=self.next_request_id(),
@@ -694,8 +750,11 @@ class AttentionServer:
                     latency_s=latency,
                 )
 
-        self.stats.decode_steps += len(steps)
-        self.stats.decode_wall_seconds += time.perf_counter() - started
+        with self.stats.lock:
+            self.stats.decode_steps += len(steps)
+            self.stats.decode_wall_seconds += time.perf_counter() - started
+        if self.obs.enabled:
+            self.obs.server_requests.labels(phase="decode").inc(len(steps))
         return responses
 
     def _process(self, requests: List[AttentionRequest]) -> List[AttentionResponse]:
@@ -743,19 +802,23 @@ class AttentionServer:
         # coalescing stats are counted here, on the intake thread — the group
         # executors may run on pool workers, where unsynchronised increments
         # of the shared counters would race
-        for group in groups.values():
-            if group.size > 1:
-                self.stats.stacked_executions += 1
-                self.stats.coalesced_requests += group.size
+        with self.stats.lock:
+            for group in groups.values():
+                if group.size > 1:
+                    self.stats.stacked_executions += 1
+                    self.stats.coalesced_requests += group.size
 
         ordered = self._execute_groups(list(groups.values()))
         responses = [response for _, response in sorted(ordered, key=lambda pair: pair[0])]
 
-        self.stats.requests += len(requests)
-        self.stats.batches += len(batches)
-        self.stats.flushes += 1
-        self.stats.wall_seconds += time.perf_counter() - started
-        self.stats.kernel_seconds += sum(r.latency_s for r in responses)
+        with self.stats.lock:
+            self.stats.requests += len(requests)
+            self.stats.batches += len(batches)
+            self.stats.flushes += 1
+            self.stats.wall_seconds += time.perf_counter() - started
+            self.stats.kernel_seconds += sum(r.latency_s for r in responses)
+        if self.obs.enabled:
+            self.obs.server_requests.labels(phase="oneshot").inc(len(requests))
         return responses
 
     # ------------------------------------------------------------------ #
@@ -790,6 +853,11 @@ class AttentionServer:
         result = group.batch.plan.execute(stacked_q, stacked_k, stacked_v)
         latency = time.perf_counter() - started
         per_request = latency / group.size
+        if self.obs.enabled:
+            plan_key = group.batch.plan.key or "adhoc"
+            kernel = self.obs.kernel_seconds.labels(plan=plan_key, phase="oneshot")
+            for _ in range(group.size):
+                kernel.observe(per_request)
         responses: List[Tuple[int, AttentionResponse]] = []
         for offset, (position, request) in enumerate(zip(group.positions, group.requests)):
             sliced = result.slice_batch(offset)
@@ -839,6 +907,10 @@ class AttentionServer:
         started = time.perf_counter()
         result = batch.plan.execute(request.q, request.k, request.v)
         latency = time.perf_counter() - started
+        if self.obs.enabled:
+            self.obs.kernel_seconds.labels(
+                plan=batch.plan.key or "adhoc", phase="oneshot"
+            ).observe(latency)
         return AttentionResponse(
             request_id=request.request_id,
             result=result,

@@ -14,6 +14,7 @@ to its server as one batch.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -80,9 +81,44 @@ class AttentionResponse:
         return self.result.output
 
 
+#: Counter/timer fields copied field-by-field into a snapshot (everything in
+#: :class:`ServerStats` except the nested ``cache``/``pool`` stats and the lock).
+_SERVER_COUNTER_FIELDS = (
+    "requests",
+    "batches",
+    "flushes",
+    "plans_compiled",
+    "stacked_executions",
+    "coalesced_requests",
+    "wall_seconds",
+    "kernel_seconds",
+    "decode_sessions",
+    "decode_steps",
+    "decode_stacked_executions",
+    "decode_coalesced_steps",
+    "decode_wall_seconds",
+    "prefill_chunks",
+    "prefill_tokens",
+    "prefill_stacked_executions",
+    "prefill_coalesced_chunks",
+    "prefill_wall_seconds",
+    "paged_sessions",
+    "sessions_closed",
+    "admission_rejected",
+    "admission_queued",
+    "admission_admitted",
+)
+
+
 @dataclass
 class ServerStats:
-    """Lifetime counters of one :class:`~repro.serve.scheduler.AttentionServer`."""
+    """Lifetime counters of one :class:`~repro.serve.scheduler.AttentionServer`.
+
+    The owning server mutates these under :attr:`lock`; concurrent readers
+    (benchmark reporters, the ops CLI) must use :meth:`snapshot` — reading
+    the live fields mid-flush can tear (e.g. ``requests`` updated but
+    ``wall_seconds`` not yet).
+    """
 
     requests: int = 0
     batches: int = 0
@@ -110,6 +146,21 @@ class ServerStats:
     cache: CacheStats = field(default_factory=CacheStats)
     #: Live stats of the server's shared block pool (``None`` until one exists).
     pool: Optional[BlockPoolStats] = None
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def snapshot(self) -> "ServerStatsSnapshot":
+        """Tear-free immutable copy of every counter (taken under the lock).
+
+        The nested cache/pool stats are copied too; for a pool snapshot taken
+        under the *pool's* lock use
+        :meth:`~repro.serve.scheduler.AttentionServer.stats_snapshot`, which
+        composes both locks correctly.
+        """
+        with self.lock:
+            counters = {name: getattr(self, name) for name in _SERVER_COUNTER_FIELDS}
+            cache = self.cache.snapshot()
+            pool = self.pool.snapshot() if self.pool is not None else None
+        return ServerStatsSnapshot(cache=cache, pool=pool, **counters)
 
     @property
     def throughput_rps(self) -> float:
@@ -137,6 +188,43 @@ class ServerStats:
     def block_share_hits(self) -> int:
         """Prefix-sharing hits in the shared pool (blocks mapped, not copied)."""
         return self.pool.share_hits if self.pool is not None else 0
+
+
+@dataclass(frozen=True)
+class ServerStatsSnapshot:
+    """Immutable copy of :class:`ServerStats` (same derived accessors)."""
+
+    requests: int
+    batches: int
+    flushes: int
+    plans_compiled: int
+    stacked_executions: int
+    coalesced_requests: int
+    wall_seconds: float
+    kernel_seconds: float
+    decode_sessions: int
+    decode_steps: int
+    decode_stacked_executions: int
+    decode_coalesced_steps: int
+    decode_wall_seconds: float
+    prefill_chunks: int
+    prefill_tokens: int
+    prefill_stacked_executions: int
+    prefill_coalesced_chunks: int
+    prefill_wall_seconds: float
+    paged_sessions: int
+    sessions_closed: int
+    admission_rejected: int
+    admission_queued: int
+    admission_admitted: int
+    cache: CacheStats
+    pool: Optional[BlockPoolStats]
+
+    throughput_rps = ServerStats.throughput_rps
+    mean_latency_s = ServerStats.mean_latency_s
+    decode_steps_per_second = ServerStats.decode_steps_per_second
+    block_occupancy = ServerStats.block_occupancy
+    block_share_hits = ServerStats.block_share_hits
 
 
 class ServingSession:

@@ -373,6 +373,8 @@ class SimulationReport:
     iterations: int
     #: request id -> spec, in submission order
     requests: Dict[int, SimRequestSpec] = field(default_factory=dict)
+    #: the observability recorder the run was driven with (None = disabled)
+    obs: Optional[object] = None
 
 
 def run_simulation(
@@ -380,18 +382,23 @@ def run_simulation(
     *,
     max_iterations: int = 20_000,
     check: bool = True,
+    obs=None,
 ) -> SimulationReport:
     """Run one workload to drain on a virtual clock; verify global invariants.
 
     ``check=False`` skips the invariant block (for tests asserting failure
     behaviour or collecting raw telemetry); everything else is identical.
+    ``obs`` (an :class:`repro.obs.Observability`) threads a recorder through
+    the server, pool and loop; when given, the invariant block additionally
+    cross-checks the metrics registry against the loop's own counters.
     """
     replay = "" if workload.seed is None else f" (replay: REPRO_FUZZ_SEED={workload.seed})"
-    server = AttentionServer(cache_capacity=32)
+    server = AttentionServer(cache_capacity=32, obs=obs)
     pool = server.create_block_pool(
         key_dim=workload.dim,
         num_blocks=workload.num_blocks,
         block_size=workload.block_size,
+        name="sim",
     )
     clock = VirtualClock()
     swap_store = SwapStore()
@@ -444,6 +451,7 @@ def run_simulation(
         swap_stats=swap_store.stats,
         iterations=scheduler.stats.iterations,
         requests=requests,
+        obs=obs,
     )
     if check:
         engine = GraphAttentionEngine()
@@ -490,5 +498,26 @@ def run_simulation(
         assert pool.blocks_in_use == 0, f"blocks leaked at drain{replay}"
         pool.check_consistency()
         assert len(swap_store) == 0, f"streams left in the swap store{replay}"
+        if obs is not None and obs.enabled:
+            # the metrics registry must agree with the loop's own counters
+            snap = obs.snapshot()
+
+            def metric(name, **labels):
+                sample = snap.get(name, **labels)
+                return 0.0 if sample is None else sample.value
+
+            stats = scheduler.stats
+            assert metric("loop_requests_submitted_total") == len(requests), replay
+            assert metric("loop_requests_finished_total") == len(requests), replay
+            assert metric("loop_iterations_total") == stats.iterations, replay
+            assert metric("loop_prefill_tokens_total") == stats.prefill_tokens, replay
+            assert metric("loop_decode_tokens_total") == stats.decode_tokens, replay
+            preempted = sum(
+                sample.value
+                for sample in snap.with_name("loop_preemptions_total")
+            )
+            assert preempted == stats.preemptions, replay
+            ttft = snap.get("serving_ttft_seconds")
+            assert ttft is not None and ttft.count == len(requests), replay
     server.close()
     return report

@@ -1,0 +1,217 @@
+"""Unit tests for the metrics registry: instruments, families, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    KERNEL_SECONDS_BUCKETS,
+    MetricsRegistry,
+    SERVING_SECONDS_BUCKETS,
+    TOKEN_BUCKETS,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Instruments
+# --------------------------------------------------------------------------- #
+def test_counter_is_monotone():
+    reg = MetricsRegistry()
+    c = reg.counter("x_total", "help")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 3.5
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth", "help")
+    g.set(4)
+    g.inc()
+    g.dec(2)
+    assert g.value == 3.0
+
+
+def test_histogram_buckets_and_quantiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "help", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0, 100.0):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == pytest.approx(106.5)
+    assert h.mean == pytest.approx(106.5 / 5)
+    # bucket layout: (<=1, <=2, <=4, +Inf)
+    assert h._default.bucket_counts() == (1, 2, 1, 1)
+    # quantiles interpolate inside the selected bucket and stay monotone
+    qs = [h.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)]
+    assert qs == sorted(qs)
+    # the +Inf bucket clamps to the last finite bound
+    assert h.quantile(1.0) == 4.0
+    # an empty histogram reports 0.0 everywhere
+    empty = reg.histogram("lat2", "help", buckets=(1.0,))
+    assert empty.quantile(0.5) == 0.0
+
+
+def test_histogram_quantile_exact_at_bucket_edges():
+    reg = MetricsRegistry()
+    h = reg.histogram("edge", "help", buckets=(1.0, 2.0))
+    for _ in range(10):
+        h.observe(0.5)  # all mass in the first bucket
+    # p100 of a one-bucket distribution is the bucket's upper bound
+    assert h.quantile(1.0) == 1.0
+    assert 0.0 < h.quantile(0.5) <= 1.0
+
+
+def test_histogram_rejects_bad_bounds():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.histogram("bad", "help", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        reg.histogram("bad2", "help", buckets=())
+
+
+def test_bucket_presets_are_strictly_increasing():
+    for preset in (KERNEL_SECONDS_BUCKETS, SERVING_SECONDS_BUCKETS, TOKEN_BUCKETS):
+        assert list(preset) == sorted(preset)
+        assert len(set(preset)) == len(preset)
+
+
+# --------------------------------------------------------------------------- #
+# Families and labels
+# --------------------------------------------------------------------------- #
+def test_labelled_family_children_are_cached():
+    reg = MetricsRegistry()
+    fam = reg.counter("ev_total", "help", labels=("kind",))
+    a1 = fam.labels(kind="a")
+    a2 = fam.labels(kind="a")
+    b = fam.labels(kind="b")
+    assert a1 is a2 and a1 is not b
+    a1.inc(3)
+    b.inc()
+    snap = reg.snapshot()
+    assert snap.get("ev_total", kind="a").value == 3.0
+    assert snap.get("ev_total", kind="b").value == 1.0
+
+
+def test_label_name_mismatch_raises():
+    reg = MetricsRegistry()
+    fam = reg.counter("ev_total", "help", labels=("kind",))
+    with pytest.raises(ValueError):
+        fam.labels(other="a")
+    with pytest.raises(ValueError):
+        fam.labels(kind="a", extra="b")
+    # a labelled family has no default child to forward to
+    with pytest.raises(ValueError):
+        fam.inc()
+
+
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    c1 = reg.counter("x_total", "help")
+    c2 = reg.counter("x_total", "help")
+    assert c1 is c2
+    # redeclaring under a different kind / labels / buckets is an error
+    with pytest.raises(ValueError):
+        reg.gauge("x_total", "help")
+    with pytest.raises(ValueError):
+        reg.counter("x_total", "help", labels=("kind",))
+    h = reg.histogram("h", "help", buckets=(1.0, 2.0))
+    assert reg.histogram("h", "help", buckets=(1.0, 2.0)) is h
+    with pytest.raises(ValueError):
+        reg.histogram("h", "help", buckets=(1.0, 2.0, 3.0))
+
+
+# --------------------------------------------------------------------------- #
+# Snapshots and exporters
+# --------------------------------------------------------------------------- #
+def test_snapshot_is_immutable_point_in_time():
+    reg = MetricsRegistry()
+    c = reg.counter("x_total", "help")
+    c.inc(2)
+    before = reg.snapshot()
+    c.inc(5)
+    after = reg.snapshot()
+    assert before.get("x_total").value == 2.0
+    assert after.get("x_total").value == 7.0
+
+
+def test_to_dict_schema():
+    reg = MetricsRegistry()
+    reg.counter("x_total", "help").inc(2)
+    reg.gauge("g", "help").set(1)
+    h = reg.histogram("lat", "help", buckets=(1.0, 2.0))
+    h.observe(0.5)
+    payload = reg.snapshot().to_dict()
+    by_name = {m["name"]: m for m in payload["metrics"]}
+    assert by_name["x_total"] == {
+        "name": "x_total", "type": "counter", "labels": {}, "value": 2.0,
+    }  # fmt: skip
+    assert by_name["g"]["value"] == 1.0
+    hist = by_name["lat"]
+    assert hist["count"] == 1 and hist["sum"] == 0.5
+    assert hist["buckets"] == [[1.0, 1], [2.0, 0], ["+Inf", 0]]
+    assert {"p50", "p95", "p99"} <= set(hist)
+    # the JSON round-trips
+    assert json.loads(reg.snapshot().to_json()) == payload
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    reg.counter("x_total", "requests so far").inc(2)
+    fam = reg.histogram("lat", "latency", labels=("plan",), buckets=(1.0, 2.0))
+    child = fam.labels(plan="local")
+    child.observe(0.5)
+    child.observe(3.0)
+    text = reg.snapshot().to_prometheus()
+    lines = text.splitlines()
+    assert "# HELP x_total requests so far" in lines
+    assert "# TYPE x_total counter" in lines
+    assert "x_total 2.0" in lines
+    assert "# TYPE lat histogram" in lines
+    # buckets are cumulative and carry the `le` label after the family labels
+    assert 'lat_bucket{plan="local",le="1.0"} 1' in lines
+    assert 'lat_bucket{plan="local",le="2.0"} 1' in lines
+    assert 'lat_bucket{plan="local",le="+Inf"} 2' in lines
+    assert 'lat_sum{plan="local"} 3.5' in lines
+    assert 'lat_count{plan="local"} 2' in lines
+    assert text.endswith("\n")
+
+
+def test_snapshot_get_and_with_name():
+    reg = MetricsRegistry()
+    fam = reg.counter("ev_total", "help", labels=("kind",))
+    fam.labels(kind="a").inc()
+    fam.labels(kind="b").inc(2)
+    snap = reg.snapshot()
+    assert snap.get("ev_total", kind="b").value == 2.0
+    assert snap.get("ev_total", kind="missing") is None
+    assert snap.get("nope") is None
+    assert {s.labels for s in snap.with_name("ev_total")} == {
+        (("kind", "a"),),
+        (("kind", "b"),),
+    }
+
+
+def test_concurrent_recording_is_consistent():
+    import threading
+
+    reg = MetricsRegistry()
+    c = reg.counter("x_total", "help")
+    h = reg.histogram("lat", "help", buckets=(1.0,))
+
+    def work():
+        for _ in range(1000):
+            c.inc()
+            h.observe(0.5)
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 4000.0
+    assert h.count == 4000
+    assert h.sum == pytest.approx(2000.0)

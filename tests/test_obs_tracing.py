@@ -1,0 +1,157 @@
+"""Unit tests for the trace buffer: spans, events, ring bound, validation."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, TraceBuffer, validate_trace
+
+
+def test_span_lifecycle():
+    buf = TraceBuffer()
+    root = buf.start_span("request", 1.0, request_id=7, prompt_tokens=4)
+    child = buf.start_span("queue", 1.0, request_id=7, parent=root)
+    assert root.span_id == 1 and child.span_id == 2  # counter ids, not id()
+    assert child.parent_id == root.span_id
+    assert root.duration is None
+    buf.end_span(child, 3.0, cause="admit")
+    buf.end_span(root, 9.0)
+    assert child.duration == 2.0 and root.duration == 8.0
+    assert child.attrs["cause"] == "admit"
+    with pytest.raises(ValueError):
+        buf.end_span(root, 10.0)  # double close
+
+
+def test_spans_export_on_close_in_completion_order():
+    buf = TraceBuffer()
+    a = buf.start_span("a", 0.0)
+    b = buf.start_span("b", 1.0)
+    buf.end_span(b, 2.0)
+    buf.end_span(a, 3.0)
+    names = [r["name"] for r in buf.records()]
+    assert names == ["b", "a"]
+
+
+def test_events_attach_to_spans_with_sorted_attrs():
+    buf = TraceBuffer()
+    span = buf.start_span("request", 0.0, request_id=1)
+    buf.event("decode_step", 2.0, span=span, request_id=1, position=5, tokens=1)
+    buf.end_span(span, 4.0)
+    event = buf.records()[0]
+    assert event == {
+        "kind": "event",
+        "name": "decode_step",
+        "time": 2.0,
+        "span": span.span_id,
+        "request": 1,
+        "attrs": {"position": 5, "tokens": 1},
+    }
+
+
+def test_ring_buffer_bounds_and_drop_accounting():
+    buf = TraceBuffer(capacity=4)
+    for i in range(10):
+        buf.event("tick", float(i))
+    assert len(buf) == 4
+    assert buf.dropped == 6
+    assert buf.emitted == 10
+    assert [r["time"] for r in buf.records()] == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_drain_includes_open_spans():
+    buf = TraceBuffer()
+    closed = buf.start_span("done", 0.0)
+    buf.end_span(closed, 1.0)
+    still_open = buf.start_span("open", 2.0)
+    drained = buf.drain()
+    assert [r["name"] for r in drained] == ["done", "open"]
+    assert drained[-1]["end"] is None
+    assert buf.open_spans() == [still_open]
+
+
+def test_to_jsonl_is_deterministic_and_parseable():
+    def build():
+        buf = TraceBuffer()
+        root = buf.start_span("request", 0.0, request_id=0)
+        buf.event("submit", 0.0, span=root, request_id=0)
+        buf.end_span(root, 5.0, tokens=12)
+        return buf.to_jsonl()
+
+    first, second = build(), build()
+    assert first == second
+    lines = first.splitlines()
+    assert first.endswith("\n")
+    for line in lines:
+        json.loads(line)
+    assert TraceBuffer().to_jsonl() == ""
+
+
+def test_clear_resets_records_and_open_spans():
+    buf = TraceBuffer()
+    buf.start_span("open", 0.0)
+    buf.event("tick", 0.0)
+    buf.clear()
+    assert len(buf) == 0 and buf.open_spans() == []
+
+
+# --------------------------------------------------------------------------- #
+# validate_trace
+# --------------------------------------------------------------------------- #
+def _record(span_id, start, end, parent=None, name="s"):
+    record = {"kind": "span", "span": span_id, "name": name, "start": start, "end": end}
+    if parent is not None:
+        record["parent"] = parent
+    return record
+
+
+def test_validate_accepts_well_formed_traces():
+    records = [
+        _record(1, 0.0, 10.0, name="request"),
+        _record(2, 1.0, 3.0, parent=1, name="queue"),
+        {"kind": "event", "name": "decode", "time": 5.0, "span": 1},
+        _record(3, 6.0, None, parent=1, name="open"),
+    ]
+    validate_trace(records)  # must not raise
+
+
+def test_validate_rejects_inverted_span():
+    with pytest.raises(ValueError):
+        validate_trace([_record(1, 5.0, 1.0)])
+
+
+def test_validate_rejects_unknown_parent():
+    with pytest.raises(ValueError):
+        validate_trace([_record(2, 1.0, 2.0, parent=99)])
+
+
+def test_validate_rejects_child_outliving_parent():
+    with pytest.raises(ValueError):
+        validate_trace([_record(1, 0.0, 4.0), _record(2, 1.0, 9.0, parent=1)])
+    with pytest.raises(ValueError):
+        validate_trace([_record(1, 2.0, 9.0), _record(2, 1.0, 3.0, parent=1)])
+
+
+def test_validate_rejects_event_outside_span():
+    span = _record(1, 2.0, 4.0)
+    with pytest.raises(ValueError):
+        validate_trace([span, {"kind": "event", "name": "e", "time": 1.0, "span": 1}])
+    with pytest.raises(ValueError):
+        validate_trace([span, {"kind": "event", "name": "e", "time": 5.0, "span": 1}])
+
+
+def test_validate_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        validate_trace([{"kind": "mystery"}])
+
+
+def test_span_to_record_shape():
+    span = Span(span_id=3, name="queue", start=1.0, request_id=2, parent_id=1, end=4.0)
+    assert span.to_record() == {
+        "kind": "span",
+        "span": 3,
+        "name": "queue",
+        "start": 1.0,
+        "end": 4.0,
+        "request": 2,
+        "parent": 1,
+    }

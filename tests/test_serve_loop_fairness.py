@@ -64,6 +64,14 @@ def test_time_in_queue_bounded_under_adversarial_long_prompts(policy, preemption
             f"request {rid} queued {telemetry.time_in_queue}s under {policy} "
             f"(bound {bound})"
         )
+        # TTFT obeys the same starvation bound: the first generated token
+        # cannot lag the arrival by more than the whole offered load either
+        assert telemetry.first_token_time is not None, f"request {rid} has no TTFT"
+        assert telemetry.ttft_seconds is not None and 0.0 <= telemetry.ttft_seconds <= bound, (
+            f"request {rid} TTFT {telemetry.ttft_seconds}s under {policy} (bound {bound})"
+        )
+        # decode span is consistent with the recorded endpoints
+        assert telemetry.decode_seconds == telemetry.finish_time - telemetry.first_token_time
 
 
 def _identical_streams(scheduler, count, total, prompt):
