@@ -44,6 +44,7 @@ from repro.serve import (
     ContinuousBatchingScheduler,
     LoopRequest,
     SwapStore,
+    attention_tolerance,
     decode_reference_mask,
 )
 from repro.utils.rng import random_qkv
@@ -74,12 +75,16 @@ def _workload(streams):
     return mask, horizon, data
 
 
-def _verify(outputs, mask, horizon, data):
+def _verify(outputs, mask, horizon, data, storage="fp32"):
     """Outputs must match the one-shot oracle before any number counts."""
     engine = GraphAttentionEngine()
     q, k, v = data[0]
     reference = engine.run(q, k, v, decode_reference_mask(mask, horizon))
-    np.testing.assert_allclose(outputs, reference.output, atol=1e-5, rtol=1e-5)
+    # quantized pools pay the documented storage-dtype error bound on top of
+    # the fp32 accumulation-roundoff floor
+    amplitude = max(float(np.abs(k).max()), float(np.abs(v).max()))
+    atol = max(attention_tolerance(storage, amplitude, DIM), 1e-5)
+    np.testing.assert_allclose(outputs, reference.output, atol=atol, rtol=1e-5)
 
 
 def _measure_baseline(streams):
@@ -118,7 +123,9 @@ def _measure_baseline(streams):
     }
 
 
-def _measure_loop(streams, *, num_blocks=None, preemption="auto", obs=NULL_OBS):
+def _measure_loop(
+    streams, *, num_blocks=None, preemption="auto", storage=None, obs=NULL_OBS
+):
     """The iteration-level loop over the same workload."""
     mask, horizon, data = _workload(streams)
     server = AttentionServer(cache_capacity=8, obs=obs)
@@ -127,6 +134,7 @@ def _measure_loop(streams, *, num_blocks=None, preemption="auto", obs=NULL_OBS):
         num_blocks=num_blocks or streams * (horizon // BLOCK_SIZE + 2),
         block_size=BLOCK_SIZE,
         name="bench",
+        storage=storage,
     )
     swap_store = SwapStore()
     scheduler = ContinuousBatchingScheduler(
@@ -152,7 +160,7 @@ def _measure_loop(streams, *, num_blocks=None, preemption="auto", obs=NULL_OBS):
             decode_iterations.append(time.perf_counter() - iteration_started)
     results = scheduler.results
     wall = time.perf_counter() - started
-    _verify(results[rids[0]], mask, horizon, data)
+    _verify(results[rids[0]], mask, horizon, data, storage=pool.storage)
     assert pool.blocks_in_use == 0
     server.close()
     stats = scheduler.stats
@@ -162,6 +170,7 @@ def _measure_loop(streams, *, num_blocks=None, preemption="auto", obs=NULL_OBS):
         decode_iterations = [s for s, t in stats.iteration_log if t > 0]
     total_tokens = streams * horizon
     return {
+        "storage": pool.storage,
         "wall_seconds": wall,
         "tokens_per_second": total_tokens / wall,
         "decode_tokens_per_second": (
@@ -231,6 +240,29 @@ def main() -> int:
         f"{storm['tokens_per_second']:,.0f} tok/s"
     )
 
+    # storage sweep: the same loop workload on quantized KV pools — tokens/sec
+    # per storage dtype, with the verify gate at each format's error bound
+    sweep_streams = 8 if args.quick else 32
+    storage_sweep = []
+    for storage in ("fp32", "fp16", "int8"):
+        run = _measure_loop(sweep_streams, storage=storage)
+        storage_sweep.append(
+            {
+                "storage": storage,
+                "streams": sweep_streams,
+                "tokens_per_second": run["tokens_per_second"],
+                "decode_tokens_per_second": run["decode_tokens_per_second"],
+                "token_latency_p50_ms": run["token_latency_p50_ms"],
+                "token_latency_p99_ms": run["token_latency_p99_ms"],
+            }
+        )
+        print(
+            f"   storage {storage:5s} ({sweep_streams} streams): "
+            f"{run['tokens_per_second']:8,.0f} tok/s "
+            f"(p50 {run['token_latency_p50_ms']:6.2f} ms, "
+            f"p99 {run['token_latency_p99_ms']:6.2f} ms)"
+        )
+
     # observability overhead: best-of-3 with the disabled recorder vs best-of-3
     # with metrics+tracing fully enabled; the disabled path must not lose
     # throughput even against the path doing strictly more work per hook
@@ -270,6 +302,7 @@ def main() -> int:
         },
         "results": rows,
         "preemption_storm": {"streams": storm_streams, **storm},
+        "storage_sweep": storage_sweep,
         "obs_overhead": obs_overhead,
         # registry snapshot from the enabled run, in the shared JSON schema
         "metrics": enabled_obs.snapshot().to_dict()["metrics"],

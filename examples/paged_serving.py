@@ -12,7 +12,10 @@ Demonstrates the paged KV-cache subsystem (``repro.serve.paging``):
 4. verify one stream bit-exactly against a private-cache session and the
    one-shot oracle,
 5. print the occupancy / share-hit / copy-on-write statistics, plus what the
-   same budget holds with private per-stream buffers.
+   same budget holds with private per-stream buffers,
+6. repeat one stream on an **int8-quantized pool** (``storage="int8"``): the
+   same budget carves ~3.5x the token slots, and the output error stays
+   inside the documented bound (``repro.serve.attention_tolerance``).
 
 Run:  python examples/paged_serving.py [--quick]
 """
@@ -26,6 +29,7 @@ import numpy as np
 from repro import AttentionServer, GraphAttentionEngine, random_qkv
 from repro.masks import longformer_mask
 from repro.perfmodel.decode import kv_cache_bytes
+from repro.serve import attention_tolerance
 from repro.serve.decode import DecodeSession, decode_reference_mask
 from repro.serve.paging import PoolExhausted
 
@@ -123,6 +127,35 @@ def main() -> None:
         f"{pool.evictable_blocks} blocks parked warm for the next identical prompt"
     )
     server.close()
+
+    # the same budget on an int8-quantized pool: quantize on write, dequantize
+    # in the gather path, error bounded as an explicit function of the dtype
+    int8_server = AttentionServer(cache_capacity=8)
+    int8_pool = int8_server.create_block_pool(
+        key_dim=dim, memory_budget_bytes=budget, block_size=block_size, storage="int8"
+    )
+    print(
+        f"   int8 storage: the same {budget / 1e6:.2f} MB budget carves "
+        f"{int8_pool.num_blocks} blocks vs {pool.num_blocks} at fp32 "
+        f"({int8_pool.num_blocks / pool.num_blocks:.2f}x the token slots)"
+    )
+    int8_session = int8_server.open_decode_session(
+        mask, horizon, retain_outputs=True, paged=True, reserve_tokens=0
+    )
+    int8_session.prefill(pq, pk, pv)
+    cq, ck, cv = continuations[0]
+    for i in range(decode_tokens):
+        int8_server.decode_step(int8_session, cq[i], ck[i], cv[i])
+    amplitude = max(float(np.abs(k).max()), float(np.abs(v).max()))
+    bound = max(attention_tolerance("int8", amplitude, dim), 1e-5)
+    err = float(np.abs(int8_session.outputs() - oracle.output).max())
+    assert err <= bound, f"int8 error {err:.2e} exceeds bound {bound:.2e}"
+    print(
+        f"   int8 verified: max |err| {err:.2e} <= documented bound {bound:.2e} "
+        f"vs the fp32 oracle"
+    )
+    int8_server.close_decode_session(int8_session)
+    int8_server.close()
 
 
 if __name__ == "__main__":

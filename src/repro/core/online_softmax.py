@@ -27,6 +27,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.core import compiled
 from repro.utils.validation import require
 
 
@@ -255,8 +256,17 @@ def segment_weighted_sum(
     ``values`` holds one value-row per edge (already gathered via the column
     indices, ``(..., nnz, d_v)``); the result has shape
     ``(..., num_rows, value_dim)`` with zero rows for empty segments.
+
+    When a compiled backend is active (:mod:`repro.core.compiled`), the
+    float64 path runs a fused single-pass reduction instead of materializing
+    the ``weights * values`` temporary; every caller in the process shares
+    whichever implementation is active, so cross-path bit-exactness
+    invariants hold within a backend.
     """
     indptr = np.asarray(indptr, dtype=np.int64)
+    fused = compiled.try_segment_weighted_sum(weights, values, indptr, value_dim)
+    if fused is not None:
+        return fused
     num_rows = indptr.size - 1
     batch_shape = weights.shape[:-1]
     acc = np.zeros(batch_shape + (num_rows, value_dim), dtype=values.dtype)

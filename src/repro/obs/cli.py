@@ -193,6 +193,13 @@ def scenarios() -> None:
 )
 @click.option("--seed", default=0, show_default=True, type=int, help="Workload seed.")
 @click.option(
+    "--storage",
+    default="fp32",
+    show_default=True,
+    type=click.Choice(("fp32", "fp16", "int8")),
+    help="KV block-pool storage dtype (compare snapshots across formats).",
+)
+@click.option(
     "--format",
     "fmt",
     default="table",
@@ -227,6 +234,7 @@ def scenarios() -> None:
 def run(
     scenario_name: str,
     seed: int,
+    storage: str,
     fmt: str,
     metric_patterns: tuple,
     out: Optional[str],
@@ -234,7 +242,7 @@ def run(
     prometheus_out: Optional[str],
 ) -> None:
     """Run SCENARIO on the virtual clock and render its metrics."""
-    result = run_scenario(scenario_name, seed=seed)
+    result = run_scenario(scenario_name, seed=seed, storage=storage)
     if fmt == "json":
         _render_json(result, metric_patterns)
     elif fmt == "csv":

@@ -140,6 +140,16 @@ class Observability:
             "Prefix tokens served from shared blocks",
             labels=("pool",),
         )
+        self.pool_kv_bytes = reg.gauge(
+            "pool_kv_bytes_in_use",
+            "Physical KV bytes of blocks mapped by live caches",
+            labels=("pool", "storage"),
+        )
+        self.pool_dequant_seconds = reg.counter(
+            "pool_dequant_seconds_total",
+            "Wall seconds spent decoding storage-encoded rows on gather",
+            labels=("pool", "storage"),
+        )
 
     def snapshot(self) -> MetricsSnapshot:
         return self.registry.snapshot()

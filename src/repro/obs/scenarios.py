@@ -311,6 +311,7 @@ def run_scenario(
     name_or_scenario,
     *,
     seed: int = 0,
+    storage: Optional[str] = None,
     obs: Optional[Observability] = None,
     max_iterations: int = 20_000,
     on_iteration: Optional[Callable[[int, Observability], None]] = None,
@@ -318,6 +319,9 @@ def run_scenario(
     """Drive one scenario to drain on a virtual clock; returns its result.
 
     ``obs`` defaults to a fresh enabled recorder (metrics + tracing);
+    ``storage`` selects the block pool's KV storage format (``"fp32"`` /
+    ``"fp16"`` / ``"int8"``) so operators can compare registry snapshots
+    across storage dtypes at identical workloads;
     ``on_iteration(iteration, obs)`` is invoked after every scheduler step so
     a live renderer can refresh mid-run.
     """
@@ -333,6 +337,7 @@ def run_scenario(
         key_dim=DIM,
         num_blocks=scenario.num_blocks,
         block_size=scenario.block_size,
+        storage=storage,
         # fixed label: repeated in-process runs must emit identical series
         name=f"{scenario.name}-pool",
     )

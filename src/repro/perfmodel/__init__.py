@@ -45,6 +45,7 @@ from repro.perfmodel.decode import (
     PreemptionCostEstimate,
     blocks_for_tokens,
     decode_step_flops,
+    kv_block_bytes,
     kv_cache_bytes,
     max_cached_tokens,
     paged_kv_cache_bytes,
@@ -74,6 +75,7 @@ __all__ = [
     "context_limit_table",
     "decode_step_flops",
     "get_device",
+    "kv_block_bytes",
     "kv_cache_bytes",
     "max_cached_tokens",
     "max_context_length",

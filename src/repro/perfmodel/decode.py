@@ -47,6 +47,18 @@ from repro.utils.validation import require
 #: for un-batched single-stream decoding.
 DECODE_ROW_EFFICIENCY = 0.05
 
+#: Per-token byte overhead of int8 KV storage: float32 ``scale`` and ``zero``
+#: for the key row and again for the value row, per head/batch slice.  Kept
+#: in sync with :data:`repro.serve.quant.QUANT_PARAM_BYTES_PER_TOKEN`
+#: (defined here independently so the analytical layer never imports the
+#: serving stack).
+QUANT_PARAM_BYTES_PER_TOKEN = 16
+
+
+def _storage_param_bytes(storage: Optional[str]) -> int:
+    """Quantization-parameter bytes per token row per slice for a storage."""
+    return QUANT_PARAM_BYTES_PER_TOKEN if storage == "int8" else 0
+
 
 def kv_cache_bytes(
     length: int,
@@ -76,6 +88,34 @@ def blocks_for_tokens(length: int, block_size: int) -> int:
     return -(-length // block_size)  # ceil
 
 
+def kv_block_bytes(
+    block_size: int,
+    head_dim: int,
+    *,
+    value_dim: Optional[int] = None,
+    heads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp16",
+    storage: Optional[str] = None,
+) -> int:
+    """Physical bytes of one KV block at a given *storage* format.
+
+    ``storage=None`` prices the block at the compute ``dtype`` (the
+    pre-quantization behaviour); ``"int8"`` storage adds the per-row
+    scale/zero-point parameter overhead the quantized
+    :class:`~repro.serve.paging.BlockPool` carries alongside its arenas.
+    Mirrors :attr:`BlockPool.block_bytes` with ``heads · batch`` slices.
+    """
+    require(block_size >= 1, "block size must be >= 1")
+    require(head_dim > 0 and heads > 0 and batch > 0, "invalid dimensions")
+    value_dim = head_dim if value_dim is None else value_dim
+    element = dtype_bytes(storage if storage is not None else dtype)
+    slices = heads * batch
+    data = slices * block_size * (head_dim + value_dim) * element
+    params = slices * block_size * _storage_param_bytes(storage)
+    return int(data + params)
+
+
 def paged_kv_cache_bytes(
     length: int,
     head_dim: int,
@@ -85,16 +125,23 @@ def paged_kv_cache_bytes(
     heads: int = 1,
     batch: int = 1,
     dtype: str = "fp16",
+    storage: Optional[str] = None,
 ) -> int:
     """Bytes a paged KV cache maps for ``length`` tokens.
 
     The block granularity rounds the footprint up to whole blocks — the
     *internal fragmentation* a paged allocator pays in exchange for zero
-    external fragmentation and prefix sharing.
+    external fragmentation and prefix sharing.  ``storage`` prices the
+    blocks at a quantized storage dtype instead of the compute ``dtype``.
     """
-    padded = blocks_for_tokens(length, block_size) * block_size
-    return kv_cache_bytes(
-        padded, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
+    return blocks_for_tokens(length, block_size) * kv_block_bytes(
+        block_size,
+        head_dim,
+        value_dim=value_dim,
+        heads=heads,
+        batch=batch,
+        dtype=dtype,
+        storage=storage,
     )
 
 
@@ -123,6 +170,7 @@ def paged_sessions_supported(
     heads: int = 1,
     batch: int = 1,
     dtype: str = "fp16",
+    storage: Optional[str] = None,
 ) -> int:
     """Concurrent paged streams a KV byte budget holds with a shared prompt.
 
@@ -130,16 +178,24 @@ def paged_sessions_supported(
     blocks (paid once); only full blocks of the shared prefix share cleanly,
     so the remainder counts as private.  Each stream then owns its private
     prompt tail plus ``decode_tokens`` generated tokens, rounded up to
-    blocks.  This is the capacity model ``benchmarks/bench_paging.py``
-    validates against the real :class:`~repro.serve.paging.BlockPool`.
+    blocks.  ``storage`` prices the blocks at a quantized storage format —
+    the ≥2x sessions-per-GiB int8 capacity lever.  This is the capacity
+    model ``benchmarks/bench_paging.py`` validates against the real
+    :class:`~repro.serve.paging.BlockPool`.
     """
     require(budget_bytes >= 0, "budget must be non-negative")
     require(
         0 <= shared_prefix_tokens <= prompt_tokens,
         "shared prefix cannot exceed the prompt",
     )
-    block_bytes = kv_cache_bytes(
-        block_size, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
+    block_bytes = kv_block_bytes(
+        block_size,
+        head_dim,
+        value_dim=value_dim,
+        heads=heads,
+        batch=batch,
+        dtype=dtype,
+        storage=storage,
     )
     total_blocks = budget_bytes // block_bytes
     shared_blocks = shared_prefix_tokens // block_size
@@ -332,6 +388,7 @@ def preemption_cost(
     batch: int = 1,
     dtype: str = "fp16",
     block_size: Optional[int] = None,
+    storage: Optional[str] = None,
     swap_bandwidth_fraction: float = SWAP_BANDWIDTH_FRACTION,
 ) -> PreemptionCostEstimate:
     """Price evicting a ``tokens``-long stream: swap round-trip vs. recompute.
@@ -339,11 +396,14 @@ def preemption_cost(
     *Swap* serializes the live KV rows to host memory and streams them back at
     resume — two copies of the cache footprint (block-padded when
     ``block_size`` is given) at ``swap_bandwidth_fraction`` of DRAM bandwidth,
-    each paying one launch overhead.  *Recompute* stores nothing and replays
-    the prompt's causal prefill on resume: one CSR pass over the prefix's
-    ``prefix_nnz`` causal edges (:meth:`DecodeRuntimeModel.estimate_recompute`).
-    Short prefixes over sparse rows recompute cheaper; long or dense prefixes
-    amortise the copy and prefer the swap.
+    each paying one launch overhead.  A quantized ``storage`` shrinks the
+    swap traffic to the encoded payload (bytes plus per-row parameters) —
+    the serving loop's swaps ship quantized blocks, never an fp32 inflation.
+    *Recompute* stores nothing and replays the prompt's causal prefill on
+    resume: one CSR pass over the prefix's ``prefix_nnz`` causal edges
+    (:meth:`DecodeRuntimeModel.estimate_recompute`).  Short prefixes over
+    sparse rows recompute cheaper; long or dense prefixes amortise the copy
+    and prefer the swap.
     """
     require(tokens >= 0, "tokens must be non-negative")
     require(prefix_nnz >= 0, "prefix_nnz must be non-negative")
@@ -368,11 +428,17 @@ def preemption_cost(
             heads=heads,
             batch=batch,
             dtype=dtype,
+            storage=storage,
         )
     else:
         swap_bytes = kv_cache_bytes(
-            tokens, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
-        )
+            tokens,
+            head_dim,
+            value_dim=value_dim,
+            heads=heads,
+            batch=batch,
+            dtype=storage if storage is not None else dtype,
+        ) + tokens * heads * batch * _storage_param_bytes(storage)
     bandwidth = device.memory_bandwidth * swap_bandwidth_fraction
     copy_seconds = swap_bytes / bandwidth + device.kernel_launch_overhead
     recompute = DecodeRuntimeModel(device).estimate_recompute(
@@ -397,6 +463,7 @@ def max_cached_tokens(
     heads: int = 1,
     batch: int = 1,
     dtype: str = "fp16",
+    storage: Optional[str] = None,
     reserved_bytes: int = 0,
     block_size: Optional[int] = None,
 ) -> int:
@@ -405,7 +472,8 @@ def max_cached_tokens(
     ``reserved_bytes`` carves out space for weights and activations; the
     remainder divides by the per-token cache footprint (the decode analogue
     of the Table II context-length limits — linear in ``L`` instead of the
-    quadratic score-matrix inequality).
+    quadratic score-matrix inequality).  ``storage`` prices the cache at a
+    quantized storage format instead of the compute ``dtype``.
 
     With ``block_size`` the budget is spent at block granularity instead:
     the stream holds at most ``num_blocks · block_size`` tokens, where only
@@ -417,16 +485,22 @@ def max_cached_tokens(
     if budget <= 0:
         return 0
     if block_size is not None:
-        block_bytes = kv_cache_bytes(
+        block_bytes = kv_block_bytes(
             block_size,
             head_dim,
             value_dim=value_dim,
             heads=heads,
             batch=batch,
             dtype=dtype,
+            storage=storage,
         )
         return int(budget // block_bytes) * int(block_size)
     per_token = kv_cache_bytes(
-        1, head_dim, value_dim=value_dim, heads=heads, batch=batch, dtype=dtype
-    )
+        1,
+        head_dim,
+        value_dim=value_dim,
+        heads=heads,
+        batch=batch,
+        dtype=storage if storage is not None else dtype,
+    ) + heads * batch * _storage_param_bytes(storage)
     return max(0, budget // per_token)

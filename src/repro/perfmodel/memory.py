@@ -235,14 +235,22 @@ def max_context_length(
     batch: int = 1,
     sparsity_factor: float = 1.0,
     accounting: str = "consistent",
+    reserved_bytes: int = 0,
 ) -> Optional[int]:
     """Maximum context length of ``algorithm`` on ``device`` (``None`` if unsupported).
 
     FlashAttention returns ``None`` for FP32 (it "does not operate on FP32
-    data", Table II).
+    data", Table II).  ``reserved_bytes`` carves a serving-side budget (e.g.
+    a paged KV arena, priced per storage dtype by
+    :func:`repro.perfmodel.decode.kv_block_bytes`) out of device memory
+    before solving for the context length.
     """
+    require(reserved_bytes >= 0, "reserved_bytes must be non-negative")
     if algorithm == "flash" and dtype_bytes(dtype) > 2:
         return None
+    capacity = device.memory_bytes - int(reserved_bytes)
+    if capacity <= 0:
+        return 0
     model = AttentionMemoryModel(
         algorithm=algorithm,
         dtype=dtype,
@@ -251,4 +259,4 @@ def max_context_length(
         batch=batch,
         accounting=accounting,
     )
-    return model.max_context_length(device.memory_bytes, sparsity_factor)
+    return model.max_context_length(capacity, sparsity_factor)

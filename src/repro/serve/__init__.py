@@ -22,6 +22,11 @@ Three layers turn the paper's kernels into a serving stack:
   copy-on-write divergence, LRU eviction of finished sessions' blocks,
   reject-or-queue admission control on the server, and a host-side
   :class:`SwapStore` parking preempted sessions' serialized caches.
+* :mod:`repro.serve.quant` — quantized block storage: pools accept a
+  ``storage="fp32"|"fp16"|"int8"`` axis (int8 rows carry per-row affine
+  scale/zero-point parameters) with explicit, property-tested error bounds
+  per storage dtype; sharing, copy-on-write and swap round-trips operate on
+  the encoded payload without ever inflating it to fp32.
 * :mod:`repro.serve.loop` — iteration-level continuous batching: a
   :class:`ContinuousBatchingScheduler` that owns the request lifecycle
   (admission, chunked-prefill/decode batch formation, preemption by
@@ -75,6 +80,13 @@ from repro.serve.paging import (
     SwapStore,
     SwapStoreStats,
 )
+from repro.serve.quant import (
+    STORAGE_DTYPES,
+    EncodedChunk,
+    attention_tolerance,
+    resolve_storage,
+    roundtrip_bound,
+)
 from repro.serve.plan import (
     DEFAULT_HEAD_DIM,
     ExecutionPlan,
@@ -104,6 +116,7 @@ __all__ = [
     "DEFAULT_HEAD_DIM",
     "DecodeSession",
     "DecodeTicket",
+    "EncodedChunk",
     "ExecutionPlan",
     "FCFSPolicy",
     "InfeasibleRequest",
@@ -120,6 +133,7 @@ __all__ = [
     "RequestBatch",
     "RequestTelemetry",
     "SchedulingPolicy",
+    "STORAGE_DTYPES",
     "ServerStats",
     "ServerStatsSnapshot",
     "ServingSession",
@@ -129,10 +143,13 @@ __all__ = [
     "VirtualClock",
     "WallClock",
     "WeightedFairPolicy",
+    "attention_tolerance",
     "compile_plan",
     "decode_reference_mask",
     "mask_key",
     "plan_cache_key",
+    "resolve_storage",
+    "roundtrip_bound",
     "scheduling_policy",
     "stacked_decode_step",
     "stacked_prefill",

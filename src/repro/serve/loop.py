@@ -760,10 +760,11 @@ class ContinuousBatchingScheduler:
         cache = PagedKVCache(self.pool, max_length=request.total_tokens)
         try:
             if stream.swap_key is not None:
-                # swap-in: re-extend the serialized rows; identical content
-                # re-shares any block still parked in the warm LRU
+                # swap-in: map the encoded payload back; identical stored
+                # bytes re-share any block still parked in the warm LRU, and
+                # quantized streams resume without a decode/re-encode cycle
                 handle = self.swap_store.peek(stream.swap_key)
-                cache.extend(handle.keys, handle.values)
+                cache.restore(handle)
             elif stream.emitted == 0:
                 # a victim preempted before any progress: re-admission must be
                 # a real capacity grant like a fresh open, not an advisory
@@ -1039,6 +1040,7 @@ class ContinuousBatchingScheduler:
             batch=prod(cache.batch_shape) if cache.batch_shape else 1,
             dtype=cache.dtype,
             block_size=self.pool.block_size,
+            storage=self.pool.storage,
         )
         return estimate.preferred
 

@@ -34,6 +34,15 @@ The gather/scatter contract keeps decoding bit-exact: a block table lookup
 maps logical token positions to physical arena rows, and the kernels consume
 exactly the same gathered ``(..., E, d)`` views they would have read from a
 contiguous cache.
+
+**Quantized storage** (:mod:`repro.serve.quant`): a pool's ``storage`` axis
+(``"fp32"`` / ``"fp16"`` / ``"int8"``) decouples what the arenas hold from
+the compute dtype its gathers return.  Chunks are encoded on write (int8
+rows carry per-row float32 scale/zero parameters in parallel arenas) and
+dequantized on gather through the optional compiled fast path
+(:mod:`repro.core.compiled`); fingerprints hash the *encoded* payload, so
+prefix sharing, copy-on-write and byte-exact swap restores all operate on
+quantized blocks without ever inflating them to fp32.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from math import prod
@@ -48,9 +58,18 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import compiled
 from repro.obs.recorder import NULL_OBS, Observability
 from repro.perfmodel.decode import blocks_for_tokens
-from repro.utils.dtypes import INDEX_DTYPE
+from repro.serve.quant import (
+    STORAGE_DTYPES,
+    EncodedChunk,
+    decode_chunk,
+    encode_chunk,
+    resolve_storage,
+    storage_param_bytes_per_token,
+)
+from repro.utils.dtypes import INDEX_DTYPE, resolve_dtype
 from repro.utils.validation import require
 
 #: Default tokens per block — small enough that a short prompt's padding
@@ -66,13 +85,24 @@ class PoolExhausted(RuntimeError):
     """No free or evictable block can satisfy an allocation or admission."""
 
 
-def _fingerprint(parent: str, k_bytes: bytes, v_bytes: bytes, fill: int) -> str:
-    """Chained content hash of one block given the fingerprint of its prefix."""
+def _fingerprint(
+    parent: str, k_bytes: bytes, v_bytes: bytes, fill: int, params: bytes = b""
+) -> str:
+    """Chained content hash of one block given the fingerprint of its prefix.
+
+    ``params`` carries the serialized quantization parameters for int8
+    storage (empty for float storage, so fp32 fingerprints are byte-for-byte
+    the pre-quantization scheme).  Hashing the *encoded* payload is what
+    makes sharing and swap-restore consistent on quantized pools: two chunks
+    share a block exactly when their stored bytes are identical.
+    """
     digest = hashlib.sha1()
     digest.update(parent.encode())
     digest.update(fill.to_bytes(4, "little"))
     digest.update(k_bytes)
     digest.update(v_bytes)
+    if params:
+        digest.update(params)
     return digest.hexdigest()
 
 
@@ -126,6 +156,7 @@ class BlockPool:
         value_dim: Optional[int] = None,
         batch_shape: Tuple[int, ...] = (),
         dtype=np.float32,
+        storage: Optional[str] = None,
         obs: Optional[Observability] = None,
         name: Optional[str] = None,
     ) -> None:
@@ -139,9 +170,29 @@ class BlockPool:
         self.key_dim = int(key_dim)
         self.value_dim = int(value_dim)
         self.batch_shape = tuple(int(s) for s in batch_shape)
+        #: compute dtype: what gathers return and kernels consume
+        self._dtype = resolve_dtype(dtype)
+        #: storage format of the arenas; defaults to matching the compute dtype
+        self.storage = resolve_storage(storage, self._dtype)
+        storage_dtype = STORAGE_DTYPES[self.storage]
+        #: identity storage needs no decode — the fp32 hot path stays a view
+        self._identity = storage_dtype == self._dtype
         rows = self.num_blocks * self.block_size
-        self._keys = np.zeros(self.batch_shape + (rows, self.key_dim), dtype=dtype)
-        self._values = np.zeros(self.batch_shape + (rows, self.value_dim), dtype=dtype)
+        self._keys = np.zeros(
+            self.batch_shape + (rows, self.key_dim), dtype=storage_dtype
+        )
+        self._values = np.zeros(
+            self.batch_shape + (rows, self.value_dim), dtype=storage_dtype
+        )
+        if self.storage == "int8":
+            # per-row affine parameters, indexed by physical row like the arenas
+            param_shape = self.batch_shape + (rows,)
+            self._k_scale = np.ones(param_shape, dtype=np.float32)
+            self._k_zero = np.zeros(param_shape, dtype=np.float32)
+            self._v_scale = np.ones(param_shape, dtype=np.float32)
+            self._v_zero = np.zeros(param_shape, dtype=np.float32)
+        else:
+            self._k_scale = self._k_zero = self._v_scale = self._v_zero = None
         self._refcounts = np.zeros(self.num_blocks, dtype=np.int64)
         self._in_use = 0  # blocks with refcount > 0, maintained on 0<->1 edges
         self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
@@ -170,6 +221,12 @@ class BlockPool:
             self._obs_free = blocks.labels(pool=self.name, state="free")
             self._obs_evictable = blocks.labels(pool=self.name, state="evictable")
             self._obs_in_use = blocks.labels(pool=self.name, state="in_use")
+            self._obs_kv_bytes = self.obs.pool_kv_bytes.labels(
+                pool=self.name, storage=self.storage
+            )
+            self._obs_dequant = self.obs.pool_dequant_seconds.labels(
+                pool=self.name, storage=self.storage
+            )
         self._refresh_gauges()
 
     # ------------------------------------------------------------------ #
@@ -183,14 +240,22 @@ class BlockPool:
         value_dim: Optional[int] = None,
         batch_shape: Tuple[int, ...] = (),
         dtype=np.float32,
+        storage: Optional[str] = None,
         obs: Optional[Observability] = None,
         name: Optional[str] = None,
     ) -> "BlockPool":
-        """Size a pool to a byte budget: as many blocks as the arenas can hold."""
+        """Size a pool to a byte budget: as many blocks as the arenas can hold.
+
+        The per-block cost is priced at the *storage* dtype — an int8 pool
+        carves roughly 4x the blocks of an fp32 pool from one budget, minus
+        the per-row quantization-parameter overhead.
+        """
         value_dim = key_dim if value_dim is None else value_dim
-        element = np.dtype(dtype).itemsize
-        per_block = (
-            prod(batch_shape or (1,)) * block_size * (key_dim + value_dim) * element
+        resolved = resolve_storage(storage, resolve_dtype(dtype))
+        element = STORAGE_DTYPES[resolved].itemsize
+        slices = prod(batch_shape or (1,))
+        per_block = slices * block_size * (
+            (key_dim + value_dim) * element + storage_param_bytes_per_token(resolved)
         )
         num_blocks = int(memory_budget_bytes) // per_block
         require(
@@ -205,6 +270,7 @@ class BlockPool:
             value_dim=value_dim,
             batch_shape=batch_shape,
             dtype=dtype,
+            storage=storage,
             obs=obs,
             name=name,
         )
@@ -212,19 +278,35 @@ class BlockPool:
     # ------------------------------------------------------------------ #
     @property
     def dtype(self) -> np.dtype:
+        """Compute dtype: what gathers return, regardless of storage format."""
+        return self._dtype
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Element dtype the arenas physically hold."""
         return self._keys.dtype
 
     @property
     def block_bytes(self) -> int:
-        """Physical bytes of one block (its K and V tiles across the batch)."""
-        rows = prod(self.batch_shape) if self.batch_shape else 1
+        """Physical bytes of one block: K/V tiles plus quantization parameters."""
+        slices = prod(self.batch_shape) if self.batch_shape else 1
         element = self._keys.dtype.itemsize
-        return int(rows * self.block_size * (self.key_dim + self.value_dim) * element)
+        data = slices * self.block_size * (self.key_dim + self.value_dim) * element
+        params = slices * self.block_size * storage_param_bytes_per_token(self.storage)
+        return int(data + params)
 
     @property
     def nbytes(self) -> int:
         """Total arena bytes (the fixed memory budget the pool occupies)."""
-        return int(self._keys.nbytes + self._values.nbytes)
+        total = self._keys.nbytes + self._values.nbytes
+        if self._k_scale is not None:
+            total += (
+                self._k_scale.nbytes
+                + self._k_zero.nbytes
+                + self._v_scale.nbytes
+                + self._v_zero.nbytes
+            )
+        return int(total)
 
     @property
     def free_blocks(self) -> int:
@@ -265,6 +347,7 @@ class BlockPool:
             self._obs_free.set(len(self._free))
             self._obs_evictable.set(len(self._evictable))
             self._obs_in_use.set(self._in_use)
+            self._obs_kv_bytes.set(self._in_use * self.block_bytes)
 
     def stats_snapshot(self) -> BlockPoolStats:
         """Tear-free copy of the pool's counters and gauges (under the lock)."""
@@ -430,33 +513,125 @@ class BlockPool:
     # ------------------------------------------------------------------ #
     # Data plane
     # ------------------------------------------------------------------ #
+    def encode(self, k_rows: np.ndarray, v_rows: np.ndarray) -> EncodedChunk:
+        """Encode compute-dtype K/V rows into this pool's storage format."""
+        return encode_chunk(k_rows, v_rows, self.storage)
+
+    def write_encoded(self, block: int, offset: int, chunk: EncodedChunk) -> None:
+        """Scatter an encoded chunk into ``block`` starting at ``offset``."""
+        count = chunk.tokens
+        require(offset >= 0 and offset + count <= self.block_size, "write exceeds block")
+        start = block * self.block_size + offset
+        stop = start + count
+        self._keys[..., start:stop, :] = chunk.k
+        self._values[..., start:stop, :] = chunk.v
+        if self._k_scale is not None:
+            self._k_scale[..., start:stop] = chunk.k_scale
+            self._k_zero[..., start:stop] = chunk.k_zero
+            self._v_scale[..., start:stop] = chunk.v_scale
+            self._v_zero[..., start:stop] = chunk.v_zero
+
     def write(
         self, block: int, offset: int, k_rows: np.ndarray, v_rows: np.ndarray
     ) -> None:
-        """Scatter token rows into ``block`` starting at ``offset``."""
-        count = int(k_rows.shape[-2])
-        require(offset >= 0 and offset + count <= self.block_size, "write exceeds block")
-        start = block * self.block_size + offset
-        self._keys[..., start : start + count, :] = k_rows
-        self._values[..., start : start + count, :] = v_rows
+        """Scatter compute-dtype token rows into ``block`` (encodes on the way)."""
+        self.write_encoded(block, offset, self.encode(k_rows, v_rows))
 
     def copy_block(self, src: int, dst: int, fill: int) -> None:
-        """Copy the first ``fill`` rows of ``src`` into ``dst`` (the COW copy)."""
+        """Copy the first ``fill`` rows of ``src`` into ``dst`` (the COW copy).
+
+        A raw byte move in storage space — quantization parameters travel
+        with their rows, so a COW of quantized content is exact by
+        construction (no decode/re-encode, hence no added error).
+        """
         s, d = src * self.block_size, dst * self.block_size
         self._keys[..., d : d + fill, :] = self._keys[..., s : s + fill, :]
         self._values[..., d : d + fill, :] = self._values[..., s : s + fill, :]
+        if self._k_scale is not None:
+            self._k_scale[..., d : d + fill] = self._k_scale[..., s : s + fill]
+            self._k_zero[..., d : d + fill] = self._k_zero[..., s : s + fill]
+            self._v_scale[..., d : d + fill] = self._v_scale[..., s : s + fill]
+            self._v_zero[..., d : d + fill] = self._v_zero[..., s : s + fill]
         with self._lock:
             self.stats.cow_copies += 1
             if self.obs.enabled:
                 self._obs_cow.inc()
 
-    def block_rows(self, block: int, fill: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Contiguous views of one block's first ``fill`` K/V rows."""
+    def encoded_block_rows(self, block: int, fill: int) -> EncodedChunk:
+        """One block's first ``fill`` rows as stored (views, storage dtype)."""
         start = block * self.block_size
-        return (
-            self._keys[..., start : start + fill, :],
-            self._values[..., start : start + fill, :],
+        stop = start + fill
+        if self._k_scale is None:
+            return EncodedChunk(
+                k=self._keys[..., start:stop, :], v=self._values[..., start:stop, :]
+            )
+        return EncodedChunk(
+            k=self._keys[..., start:stop, :],
+            v=self._values[..., start:stop, :],
+            k_scale=self._k_scale[..., start:stop],
+            k_zero=self._k_zero[..., start:stop],
+            v_scale=self._v_scale[..., start:stop],
+            v_zero=self._v_zero[..., start:stop],
         )
+
+    def block_rows(self, block: int, fill: int) -> Tuple[np.ndarray, np.ndarray]:
+        """One block's first ``fill`` K/V rows decoded to the compute dtype."""
+        return decode_chunk(self.encoded_block_rows(block, fill), self._dtype)
+
+    def encoded_rows(self, physical: np.ndarray) -> EncodedChunk:
+        """Copies of arbitrary physical rows as stored (the swap-out payload)."""
+        if self._k_scale is None:
+            return EncodedChunk(
+                k=self._keys[..., physical, :], v=self._values[..., physical, :]
+            )
+        return EncodedChunk(
+            k=self._keys[..., physical, :],
+            v=self._values[..., physical, :],
+            k_scale=self._k_scale[..., physical],
+            k_zero=self._k_zero[..., physical],
+            v_scale=self._v_scale[..., physical],
+            v_zero=self._v_zero[..., physical],
+        )
+
+    def chunk_fingerprint(self, parent: str, chunk: EncodedChunk, fill: int) -> str:
+        """Chained content hash of an encoded chunk (storage bytes + params)."""
+        return _fingerprint(
+            parent,
+            np.ascontiguousarray(chunk.k).tobytes(),
+            np.ascontiguousarray(chunk.v).tobytes(),
+            fill,
+            chunk.param_bytes(),
+        )
+
+    def _decode_gather(
+        self,
+        arena: np.ndarray,
+        scale: Optional[np.ndarray],
+        zero: Optional[np.ndarray],
+        physical: np.ndarray,
+    ) -> np.ndarray:
+        """Gather physical rows and decode them to the compute dtype."""
+        if self._identity:
+            # storage == compute: the fp32 hot path stays one fancy-index
+            return arena[..., physical, :]
+        started = time.perf_counter() if self.obs.enabled else 0.0
+        if scale is None:
+            out = arena[..., physical, :].astype(self._dtype)
+        else:
+            out = compiled.gather_dequant_int8(arena, scale, zero, physical)
+            if self._dtype != out.dtype:
+                out = out.astype(self._dtype)
+        if self.obs.enabled:
+            self._obs_dequant.inc(time.perf_counter() - started)
+        return out
+
+    def decode_key_rows(self, physical: np.ndarray) -> np.ndarray:
+        """Key rows at ``physical`` arena indices, decoded to the compute dtype."""
+        return self._decode_gather(self._keys, self._k_scale, self._k_zero, physical)
+
+    def decode_value_rows(self, physical: np.ndarray) -> np.ndarray:
+        """Value rows at ``physical`` arena indices, decoded to the compute dtype."""
+        return self._decode_gather(self._values, self._v_scale, self._v_zero, physical)
 
     # ------------------------------------------------------------------ #
     def check_consistency(self) -> None:
@@ -503,7 +678,7 @@ class _Step(NamedTuple):
     take: int  # tokens this chunk covers
     fingerprint: Optional[str]  # registered on commit; None for a partial tail
     block: Optional[int] = None  # share: the physical block to map
-    pos: int = 0  # fresh: offset of the chunk in the input rows
+    chunk: Optional[EncodedChunk] = None  # tail/fresh: the rows to scatter
 
 
 class PagedKVCache:
@@ -617,12 +792,17 @@ class PagedKVCache:
         return self._table_cache[positions // size] * size + positions % size
 
     def gather_keys(self, positions: np.ndarray) -> np.ndarray:
-        """Key rows of logical token ``positions``, ``batch_shape + (E, d_k)``."""
-        return self.pool._keys[..., self._physical(positions), :]
+        """Key rows of logical token ``positions``, ``batch_shape + (E, d_k)``.
+
+        Rows come back in the pool's *compute* dtype: identity storage is the
+        same single fancy-index as before, quantized storage dequantizes
+        through the compiled gather path.
+        """
+        return self.pool.decode_key_rows(self._physical(positions))
 
     def gather_values(self, positions: np.ndarray) -> np.ndarray:
         """Value rows of logical token ``positions``, ``batch_shape + (E, d_v)``."""
-        return self.pool._values[..., self._physical(positions), :]
+        return self.pool.decode_value_rows(self._physical(positions))
 
     def keys(self) -> np.ndarray:
         """All live key rows gathered contiguously (copy, for inspection/tests)."""
@@ -700,14 +880,29 @@ class PagedKVCache:
             v_block.shape == self.batch_shape + (count, self.value_dim),
             "value block shape does not match the pool layout",
         )
+        if count == 0:
+            return self._length
+        # one whole-extend encode; per-row coding means slicing the payload
+        # per block below is identical to encoding each block separately
+        k_compute = np.ascontiguousarray(k_block, dtype=self.pool.dtype)
+        v_compute = np.ascontiguousarray(v_block, dtype=self.pool.dtype)
+        return self._extend_encoded(
+            self.pool.encode(k_compute, v_compute), count, reserved
+        )
+
+    def _extend_encoded(
+        self,
+        payload: EncodedChunk,
+        count: int,
+        reserved: Optional[List[int]],
+    ) -> int:
+        """Probe/commit an already-encoded payload (extend and swap restore)."""
         require(
             self.max_length is None or self._length + count <= self.max_length,
             f"KV cache full: {self._length + count} tokens exceed the decode "
             f"horizon {self.max_length}",
         )
         start = self._length
-        if count == 0:
-            return start
         owns_reservation = reserved is None
         snapshot = (
             list(self._blocks),
@@ -724,14 +919,12 @@ class PagedKVCache:
         shares: List[int] = []  # token counts credited per probe share hit
         try:
             steps, fresh_needed, chain = self._probe_extend(
-                k_block, v_block, count, acquired, shares
+                payload, count, acquired, shares
             )
             if owns_reservation:
                 shortfall = max(0, fresh_needed - len(self._prereserved))
                 reserved = self.pool.reserve(shortfall) if shortfall else []
-            self._commit_extend(
-                k_block, v_block, steps, reserved, acquired, held, deferred, pending
-            )
+            self._commit_extend(steps, reserved, acquired, held, deferred, pending)
             self._chain = chain
         except Exception:
             # full rollback: restore the table, return every new reference and
@@ -798,8 +991,7 @@ class PagedKVCache:
 
     def _probe_extend(
         self,
-        k_block: np.ndarray,
-        v_block: np.ndarray,
+        payload: EncodedChunk,
         count: int,
         acquired: List[int],
         shares: List[int],
@@ -815,9 +1007,13 @@ class PagedKVCache:
         own copy; the references land in ``acquired`` (and their token
         counts in ``shares``) so a failed reservation rolls back both the
         references and the share credit.
+
+        Fingerprints hash the *encoded* payload (quantized bytes plus their
+        per-row parameters), so two sessions share a block exactly when its
+        stored content matches — and a swap restore of the same payload
+        regenerates the same chain.
         """
         size = self.pool.block_size
-        dtype = self.pool.dtype
         steps: List[_Step] = []
         fresh_needed = 0
         chain = self._chain
@@ -832,29 +1028,20 @@ class PagedKVCache:
             if not self._tail_claimed:
                 fresh_needed += 1
             take = min(size - fill, count)
+            chunk = payload.slice(0, take)
             fingerprint = None
             if fill + take == size:
-                k_old, v_old = self.pool.block_rows(self._blocks[-1], fill)
-                k_full = np.concatenate(
-                    [k_old, np.asarray(k_block[..., :take, :], dtype=dtype)], axis=-2
+                full = self.pool.encoded_block_rows(self._blocks[-1], fill).concat(
+                    chunk
                 )
-                v_full = np.concatenate(
-                    [v_old, np.asarray(v_block[..., :take, :], dtype=dtype)], axis=-2
-                )
-                fingerprint = _fingerprint(
-                    chain,
-                    np.ascontiguousarray(k_full).tobytes(),
-                    np.ascontiguousarray(v_full).tobytes(),
-                    size,
-                )
+                fingerprint = self.pool.chunk_fingerprint(chain, full, size)
                 chain = fingerprint
-            steps.append(_Step("tail", take, fingerprint))
+            steps.append(_Step("tail", take, fingerprint, chunk=chunk))
             pos = take
         while pos < count:
             take = min(size, count - pos)
-            k_rows = np.ascontiguousarray(k_block[..., pos : pos + take, :], dtype=dtype)
-            v_rows = np.ascontiguousarray(v_block[..., pos : pos + take, :], dtype=dtype)
-            fingerprint = _fingerprint(chain, k_rows.tobytes(), v_rows.tobytes(), take)
+            chunk = payload.slice(pos, pos + take)
+            fingerprint = self.pool.chunk_fingerprint(chain, chunk, take)
             shared = self.pool.lookup(fingerprint, tokens=take)
             if shared is not None:
                 acquired.append(shared)
@@ -862,7 +1049,7 @@ class PagedKVCache:
                 steps.append(_Step("share", take, fingerprint, block=shared))
             else:
                 fresh_needed += 1
-                steps.append(_Step("fresh", take, fingerprint, pos=pos))
+                steps.append(_Step("fresh", take, fingerprint, chunk=chunk))
             if take == size:
                 chain = fingerprint
             pos += take
@@ -870,8 +1057,6 @@ class PagedKVCache:
 
     def _commit_extend(
         self,
-        k_block: np.ndarray,
-        v_block: np.ndarray,
         steps: List[_Step],
         reserved: Optional[List[int]],
         acquired: List[int],
@@ -898,12 +1083,8 @@ class PagedKVCache:
                 self.share_hits += 1
                 self._tail.fill = 0 if take == size else take
             elif step.kind == "fresh":
-                pos = step.pos
                 block = self._acquire(reserved, acquired, held)
-                self.pool.write(
-                    block, 0, k_block[..., pos : pos + take, :],
-                    v_block[..., pos : pos + take, :],
-                )
+                self.pool.write_encoded(block, 0, step.chunk)
                 pending.append((step.fingerprint, block))
                 self._blocks.append(block)
                 self._blocks_set.add(block)
@@ -926,9 +1107,7 @@ class PagedKVCache:
                     self._table_dirty = True
                     tail = fresh
                     self.cow_copies += 1
-                self.pool.write(
-                    tail, fill, k_block[..., :take, :], v_block[..., :take, :]
-                )
+                self.pool.write_encoded(tail, fill, step.chunk)
                 if step.fingerprint is not None:
                     pending.append((step.fingerprint, tail))
                     self._tail.fill = 0
@@ -956,11 +1135,13 @@ class PagedKVCache:
         self.pool.release(blocks)
 
     def swap_out(self) -> "SwapHandle":
-        """Serialize the live K/V rows to host copies and release every block.
+        """Serialize the live rows *as stored* and release every block.
 
-        The returned :class:`SwapHandle` is the preempted stream's parking
-        spot: restoring is a plain ``extend`` of the handle's rows into a
-        fresh cache.  Because fingerprint-registered blocks park in the
+        The returned :class:`SwapHandle` carries the encoded payload —
+        quantized bytes plus their per-row parameters for int8 pools, never
+        an fp32 inflation — so parking a quantized stream costs the pool's
+        per-token storage footprint, and a :meth:`restore` maps exactly the
+        bytes that left.  Because fingerprint-registered blocks park in the
         pool's evictable LRU at release, a prompt whose blocks survive until
         the resume is *re-shared* by the restore's probe instead of
         rewritten — the swap-in usually costs refcount bumps, not copies,
@@ -968,11 +1149,44 @@ class PagedKVCache:
         was reclaimed.
         """
         require(not self.released, "cache was released back to the pool")
+        physical = self._physical(np.arange(self._length, dtype=np.int64))
         handle = SwapHandle(
-            keys=self.keys(), values=self.values(), length=self._length
+            payload=self.pool.encoded_rows(physical),
+            storage=self.pool.storage,
+            dtype=self.pool.dtype,
+            length=self._length,
         )
         self.release()
         return handle
+
+    def restore(self, handle: "SwapHandle") -> None:
+        """Map a swap handle's encoded payload into this (empty) cache.
+
+        The payload re-enters block-by-block through the same probe/commit
+        machinery as :meth:`extend`; identical stored bytes regenerate
+        identical chain fingerprints, so blocks still parked in the pool's
+        evictable LRU are re-shared instead of rewritten.  The rows are
+        never decoded to the compute dtype on the way — a quantized stream
+        resumes with exactly the bytes it swapped out, with zero added
+        quantization error.
+        """
+        require(not self.released, "cache was released back to the pool")
+        require(self._length == 0, "restore requires an empty cache")
+        require(
+            handle.storage == self.pool.storage,
+            f"swap handle holds {handle.storage} payload, pool stores "
+            f"{self.pool.storage}",
+        )
+        require(
+            handle.payload.k.shape
+            == self.batch_shape + (handle.length, self.key_dim)
+            and handle.payload.v.shape
+            == self.batch_shape + (handle.length, self.value_dim),
+            "swap handle layout does not match the pool",
+        )
+        if handle.length == 0:
+            return
+        self._extend_encoded(handle.payload, handle.length, None)
 
 
 # --------------------------------------------------------------------------- #
@@ -980,15 +1194,33 @@ class PagedKVCache:
 # --------------------------------------------------------------------------- #
 @dataclass
 class SwapHandle:
-    """Host-side copy of one preempted stream's live K/V rows."""
+    """Host-side copy of one preempted stream's live K/V rows, as stored.
 
-    keys: np.ndarray  # batch_shape + (length, d_k)
-    values: np.ndarray  # batch_shape + (length, d_v)
+    ``payload`` is the pool's encoded representation (storage dtype plus
+    int8 quantization parameters); ``keys``/``values`` decode it to the
+    compute dtype on demand for inspection and compatibility — restoring
+    through :meth:`PagedKVCache.restore` never decodes.
+    """
+
+    payload: EncodedChunk
+    storage: str
+    dtype: np.dtype
     length: int
 
     @property
+    def keys(self) -> np.ndarray:
+        """Decoded key rows, ``batch_shape + (length, d_k)`` compute dtype."""
+        return decode_chunk(self.payload, self.dtype)[0]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Decoded value rows, ``batch_shape + (length, d_v)`` compute dtype."""
+        return decode_chunk(self.payload, self.dtype)[1]
+
+    @property
     def nbytes(self) -> int:
-        return int(self.keys.nbytes + self.values.nbytes)
+        """Host bytes parked: the encoded payload, not its fp32 inflation."""
+        return self.payload.nbytes
 
 
 @dataclass

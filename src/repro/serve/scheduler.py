@@ -304,6 +304,7 @@ class AttentionServer:
         value_dim: Optional[int] = None,
         batch_shape: Tuple[int, ...] = (),
         dtype=np.float32,
+        storage: Optional[str] = None,
         memory_budget_bytes: Optional[int] = None,
         num_blocks: Optional[int] = None,
         block_size: int = DEFAULT_BLOCK_SIZE,
@@ -315,6 +316,8 @@ class AttentionServer:
         server may spend — blocks are carved until the budget is full) or by
         an explicit ``num_blocks``.  Every paged session the server opens
         afterwards draws from this pool and shares identical prefixes.
+        ``storage`` selects the arena format (``"fp32"``/``"fp16"``/
+        ``"int8"``); a byte budget then buys proportionally more blocks.
         """
         require(
             (memory_budget_bytes is None) != (num_blocks is None),
@@ -328,6 +331,7 @@ class AttentionServer:
                 value_dim=value_dim,
                 batch_shape=batch_shape,
                 dtype=dtype,
+                storage=storage,
                 obs=self.obs,
                 name=name,
             )
@@ -339,6 +343,7 @@ class AttentionServer:
                 value_dim=value_dim,
                 batch_shape=batch_shape,
                 dtype=dtype,
+                storage=storage,
                 obs=self.obs,
                 name=name,
             )

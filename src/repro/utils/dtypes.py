@@ -19,11 +19,13 @@ DTypeLike = Union[str, type, np.dtype]
 #: the analytical memory model (which can be told to use 64-bit indices).
 INDEX_DTYPE = np.dtype(np.int32)
 
-#: Bytes per element for the dtypes the paper considers.
+#: Bytes per element for the dtypes the paper considers, plus the int8
+#: storage dtype the quantized KV cache uses.
 DTYPE_BYTES = {
     np.dtype(np.float16): 2,
     np.dtype(np.float32): 4,
     np.dtype(np.float64): 8,
+    np.dtype(np.int8): 1,
     np.dtype(np.int32): 4,
     np.dtype(np.int64): 8,
     np.dtype(np.bool_): 1,
@@ -39,25 +41,36 @@ _ALIASES = {
     "fp64": np.float64,
     "double": np.float64,
     "float64": np.float64,
+    # note: no "i8" alias — numpy spells int64 that way; "int8" is unambiguous
+    "int8": np.int8,
 }
 
 
-def resolve_dtype(dtype: DTypeLike) -> np.dtype:
+def resolve_dtype(dtype: DTypeLike, *, allow_integer: bool = False) -> np.dtype:
     """Resolve a dtype-like value (``"fp16"``, ``np.float32`` ...) to a numpy dtype.
 
     Raises ``TypeError`` for values that are not floating point dtypes since
-    the attention kernels only operate on floats.
+    the attention kernels only operate on floats.  ``allow_integer=True``
+    additionally admits signed-integer *storage* dtypes (the quantized KV
+    cache stores int8 payloads) — compute paths must keep the default so a
+    quantized array can never reach a kernel undequantized.
     """
     if isinstance(dtype, str):
         key = dtype.strip().lower()
         if key in _ALIASES:
-            return np.dtype(_ALIASES[key])
-        resolved = np.dtype(key)
+            resolved = np.dtype(_ALIASES[key])
+        else:
+            resolved = np.dtype(key)
     else:
         resolved = np.dtype(dtype)
-    if resolved.kind != "f":
-        raise TypeError(f"expected a floating point dtype, got {resolved!r}")
-    return resolved
+    if resolved.kind == "f":
+        return resolved
+    if allow_integer and resolved.kind == "i":
+        return resolved
+    raise TypeError(
+        f"expected a floating point dtype"
+        f"{' (or integer storage dtype)' if allow_integer else ''}, got {resolved!r}"
+    )
 
 
 def as_float_dtype(array: np.ndarray, dtype: DTypeLike) -> np.ndarray:

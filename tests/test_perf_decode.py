@@ -6,6 +6,7 @@ from repro.perfmodel.decode import (
     DecodeRuntimeModel,
     blocks_for_tokens,
     decode_step_flops,
+    kv_block_bytes,
     kv_cache_bytes,
     max_cached_tokens,
     paged_kv_cache_bytes,
@@ -161,6 +162,66 @@ class TestPagedAccounting:
                 block_size=16,
                 head_dim=64,
             )
+
+
+class TestStorageAccounting:
+    def test_kv_block_bytes_matches_dense_block_at_default_storage(self):
+        assert kv_block_bytes(16, 64, dtype="fp16") == kv_cache_bytes(
+            16, 64, dtype="fp16"
+        )
+        assert kv_block_bytes(16, 64, dtype="fp32", storage="fp32") == kv_cache_bytes(
+            16, 64, dtype="fp32"
+        )
+
+    def test_int8_storage_prices_payload_plus_params(self):
+        # 16 tokens · (64 + 64) int8 elements + 16 tokens · 16 param bytes
+        assert kv_block_bytes(16, 64, dtype="fp32", storage="int8") == 16 * (
+            128 + 16
+        )
+
+    def test_param_overhead_scales_with_slices(self):
+        one = kv_block_bytes(16, 64, dtype="fp32", storage="int8")
+        assert kv_block_bytes(16, 64, heads=4, dtype="fp32", storage="int8") == 4 * one
+
+    def test_paged_bytes_at_storage(self):
+        fp32 = paged_kv_cache_bytes(33, 64, block_size=16, dtype="fp32")
+        int8 = paged_kv_cache_bytes(33, 64, block_size=16, dtype="fp32", storage="int8")
+        assert int8 < fp32 / 2  # >2x capacity after the param overhead
+
+    def test_int8_at_least_doubles_sessions_supported(self):
+        budget = 1 << 30
+        kwargs = dict(
+            prompt_tokens=256,
+            shared_prefix_tokens=224,
+            decode_tokens=8,
+            block_size=8,
+            head_dim=64,
+            dtype="fp32",
+        )
+        fp32 = paged_sessions_supported(budget, **kwargs)
+        int8 = paged_sessions_supported(budget, storage="int8", **kwargs)
+        assert int8 >= 2 * fp32 > 0
+
+    def test_preemption_swap_ships_the_encoded_payload(self):
+        kwargs = dict(prefix_nnz=50_000, head_dim=64, dtype="fp32")
+        fp32 = preemption_cost(A100_SXM4_80GB, 1024, **kwargs)
+        int8 = preemption_cost(A100_SXM4_80GB, 1024, storage="int8", **kwargs)
+        # int8 payload + 16B/token params vs 8B/token of fp32 K+V rows... the
+        # dense path: (64+64)·1 + 16 = 144 B/token vs (64+64)·4 = 512 B/token
+        assert int8.swap_bytes == 1024 * 144
+        assert int8.swap_bytes < fp32.swap_bytes
+        assert int8.swap_seconds < fp32.swap_seconds
+
+    def test_max_cached_tokens_grows_with_quantized_storage(self):
+        dense = max_cached_tokens(A100_SXM4_80GB, head_dim=64, dtype="fp32")
+        quant = max_cached_tokens(
+            A100_SXM4_80GB, head_dim=64, dtype="fp32", storage="int8"
+        )
+        assert quant >= 2 * dense
+        paged = max_cached_tokens(
+            A100_SXM4_80GB, head_dim=64, dtype="fp32", storage="int8", block_size=16
+        )
+        assert paged <= quant and quant - paged < 16
 
 
 class TestPreemptionCost:

@@ -39,11 +39,37 @@ class TestResolveDtype:
         with pytest.raises(TypeError):
             resolve_dtype(np.bool_)
 
+    def test_allow_integer_admits_storage_dtypes(self):
+        # the quantized KV cache stores int8 payloads; compute paths keep
+        # the default so a quantized array can never reach a kernel raw
+        assert resolve_dtype("int8", allow_integer=True) == np.int8
+        assert resolve_dtype(np.int8, allow_integer=True) == np.int8
+        assert resolve_dtype("fp32", allow_integer=True) == np.float32
+
+    def test_allow_integer_still_rejects_bool(self):
+        with pytest.raises(TypeError):
+            resolve_dtype(np.bool_, allow_integer=True)
+
+    def test_int8_rejected_by_default(self):
+        with pytest.raises(TypeError):
+            resolve_dtype("int8")
+        with pytest.raises(TypeError):
+            resolve_dtype(np.int8)
+
 
 class TestDtypeBytes:
     @pytest.mark.parametrize(
         "dtype,expected",
-        [("fp16", 2), ("fp32", 4), ("fp64", 8), (np.int32, 4), (np.int64, 8), (np.bool_, 1)],
+        [
+            ("fp16", 2),
+            ("fp32", 4),
+            ("fp64", 8),
+            ("int8", 1),
+            (np.int8, 1),
+            (np.int32, 4),
+            (np.int64, 8),
+            (np.bool_, 1),
+        ],
     )
     def test_known_sizes(self, dtype, expected):
         assert dtype_bytes(dtype) == expected
