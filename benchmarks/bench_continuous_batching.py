@@ -41,6 +41,7 @@ from repro.masks.windowed import LocalMask
 from repro.obs import NULL_OBS, Observability
 from repro.serve import (
     AttentionServer,
+    ServingClient,
     ContinuousBatchingScheduler,
     LoopRequest,
     SwapStore,
@@ -94,10 +95,11 @@ def _measure_baseline(streams):
     server.create_block_pool(
         key_dim=DIM, num_blocks=streams * (horizon // BLOCK_SIZE + 2), block_size=BLOCK_SIZE
     )
+    client = ServingClient(server)
     started = time.perf_counter()
     sessions = []
     for q, k, v in data:
-        session = server.open_decode_session(mask, horizon, retain_outputs=True, paged=True)
+        session = client.open_session(mask, horizon, retain_outputs=True, paged=True)
         session.prefill(q[:PROMPT], k[:PROMPT], v[:PROMPT])
         sessions.append(session)
     cycles = []

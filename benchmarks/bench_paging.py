@@ -51,7 +51,7 @@ from repro.perfmodel.decode import (
     paging_fragmentation_overhead,
 )
 from repro.obs import Observability
-from repro.serve import AttentionServer, attention_tolerance
+from repro.serve import AttentionServer, ServingClient, attention_tolerance
 from repro.serve.decode import DecodeSession, decode_reference_mask
 from repro.serve.quant import quantize_rows
 from repro.utils.rng import random_qkv
@@ -94,10 +94,11 @@ def _measure(
         storage=storage,
     )
 
+    client = ServingClient(server)
     sessions = []
     amplitude = 0.0
     for s in range(streams):
-        session = server.open_decode_session(
+        session = client.open_session(
             mask, horizon, retain_outputs=True, paged=True, reserve_tokens=0
         )
         tq, tk, tv = tails[s]

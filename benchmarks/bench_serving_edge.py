@@ -1,0 +1,254 @@
+"""SLO-aware scheduling and the async serving edge, end to end.
+
+Two measurements over the serving edge introduced with :mod:`repro.serve.edge`:
+
+1. **SLO attainment** — the ``slo-burst`` scenario (a deadline-free batch
+   tenant floods admission while a chat tenant arrives with tight SLOs) runs
+   twice on identical virtual-clock workloads: once under FCFS, once under
+   the least-slack-first ``SlackPolicy``.  Acceptance: slack must attain
+   >= 90% of the chat tenant's deadlines on a workload where FCFS attains
+   < 60% — reordering, not extra capacity, is what closes the gap.
+2. **Edge streaming overhead** — the same fixed-seed workload is served once
+   directly through the loop (``scheduler.step()`` to drain) and once
+   streamed chunk-by-chunk through :class:`AsyncServingEdge` consumers.
+   Every streamed output is verified bit-exact against its per-request
+   :class:`DecodeSession` oracle before any number counts; the report is the
+   edge's wall-time overhead over the bare loop.
+
+Results are appended as one JSON record to ``BENCH_edge.json`` at the
+repository root, with the slack run's full metrics snapshot (including the
+per-tenant ``tenant_slo_total`` series) embedded.
+
+Run:  PYTHONPATH=src python benchmarks/bench_serving_edge.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.masks.windowed import LocalMask
+from repro.obs.scenarios import run_scenario
+from repro.serve import (
+    AsyncServingEdge,
+    AttentionServer,
+    ContinuousBatchingScheduler,
+    DecodeSession,
+    LoopRequest,
+    VirtualClock,
+)
+from repro.utils.rng import random_qkv
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_edge.json"
+
+#: Acceptance floor: chat-tenant SLO attainment under the slack policy.
+SLACK_ATTAINMENT_THRESHOLD = 0.90
+
+#: Acceptance ceiling: FCFS must demonstrably starve the same deadlines.
+FCFS_ATTAINMENT_CEILING = 0.60
+
+DIM = 4
+MASK = LocalMask(window=5)
+PROMPT = 8
+DECODE = 24
+BLOCK_SIZE = 4
+
+
+def _slo_attainment(seed: int):
+    """Run slo-burst under both policies; return their summary blocks."""
+    runs = {}
+    for policy in ("fcfs", "slack"):
+        result = run_scenario("slo-burst", seed=seed, policy=policy)
+        slo = result.slo_attainment()
+        assert slo is not None, "slo-burst must carry SLO requests"
+        runs[policy] = {
+            "attainment": slo["attainment"],
+            "attained": slo["attained"],
+            "requests": slo["requests"],
+            "tenants": slo["tenants"],
+            "iterations": result.iterations,
+            "metrics": result.obs.snapshot().to_dict()["metrics"],
+        }
+        print(
+            f"   {policy:5s}: {slo['attained']}/{slo['requests']} deadlines attained "
+            f"({slo['attainment']:.0%}) in {result.iterations} iterations"
+        )
+    return runs
+
+
+def _workload(streams):
+    horizon = PROMPT + DECODE
+    data = [random_qkv(horizon, DIM, dtype=np.float32, seed=500 + s) for s in range(streams)]
+    return horizon, data
+
+
+def _oracle(q, k, v, horizon):
+    session = DecodeSession.start(MASK, horizon, retain_outputs=True)
+    session.prefill(q[:PROMPT], k[:PROMPT], v[:PROMPT])
+    for i in range(PROMPT, horizon):
+        session.step(q[i], k[i], v[i])
+    return session.outputs()
+
+
+def _build_scheduler(streams, horizon):
+    server = AttentionServer(cache_capacity=8)
+    server.create_block_pool(
+        key_dim=DIM,
+        num_blocks=streams * (horizon // BLOCK_SIZE + 2),
+        block_size=BLOCK_SIZE,
+        name="edge-bench",
+    )
+    return ContinuousBatchingScheduler(
+        server,
+        clock=VirtualClock(),
+        max_streams=streams,
+        prefill_chunk=PROMPT,
+    )
+
+
+def _measure_loop_direct(streams):
+    """Bare loop: submit everything, step to drain, verify against oracles."""
+    horizon, data = _workload(streams)
+    scheduler = _build_scheduler(streams, horizon)
+    started = time.perf_counter()
+    rids = [
+        scheduler.submit(LoopRequest(q=q, k=k, v=v, mask=MASK, prompt_tokens=PROMPT))
+        for q, k, v in data
+    ]
+    while scheduler.active:
+        scheduler.step()
+    wall = time.perf_counter() - started
+    for rid, (q, k, v) in zip(rids, data):
+        np.testing.assert_array_equal(scheduler.results[rid], _oracle(q, k, v, horizon))
+    scheduler.server.close()
+    tokens = streams * horizon
+    return {"wall_seconds": wall, "tokens_per_second": tokens / wall}
+
+
+def _measure_edge_streaming(streams):
+    """The same workload streamed through AsyncServingEdge consumers."""
+    horizon, data = _workload(streams)
+    scheduler = _build_scheduler(streams, horizon)
+    chunk_counts = []
+
+    async def run():
+        outputs = []
+        async with AsyncServingEdge(scheduler) as edge:
+            handles = [
+                await edge.submit(
+                    LoopRequest(q=q, k=k, v=v, mask=MASK, prompt_tokens=PROMPT)
+                )
+                for q, k, v in data
+            ]
+
+            async def consume(handle):
+                chunks = [chunk async for chunk in handle]
+                chunk_counts.append(len(chunks))
+                return np.concatenate(chunks, axis=-2)
+
+            outputs = await asyncio.gather(*[consume(h) for h in handles])
+        return outputs
+
+    started = time.perf_counter()
+    outputs = asyncio.run(run())
+    wall = time.perf_counter() - started
+    for output, (q, k, v) in zip(outputs, data):
+        np.testing.assert_array_equal(output, _oracle(q, k, v, horizon))
+    scheduler.server.close()
+    tokens = streams * horizon
+    return {
+        "wall_seconds": wall,
+        "tokens_per_second": tokens / wall,
+        "chunks_per_stream": float(np.mean(chunk_counts)),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced CI configuration")
+    parser.add_argument("--seed", type=int, default=0, help="slo-burst workload seed")
+    args = parser.parse_args()
+
+    print("== SLO attainment: slo-burst under FCFS vs least-slack-first")
+    slo_runs = _slo_attainment(args.seed)
+
+    streams = 8 if args.quick else 32
+    print(f"== Edge streaming overhead at {streams} concurrent streams")
+    direct = _measure_loop_direct(streams)
+    edge = _measure_edge_streaming(streams)
+    overhead = (
+        edge["wall_seconds"] / direct["wall_seconds"] if direct["wall_seconds"] else 0.0
+    )
+    print(
+        f"   bare loop {direct['tokens_per_second']:8,.0f} tok/s  |  edge "
+        f"{edge['tokens_per_second']:8,.0f} tok/s "
+        f"({edge['chunks_per_stream']:.1f} chunks/stream, "
+        f"{overhead:.2f}x wall of the bare loop)"
+    )
+
+    slack = slo_runs["slack"]
+    fcfs = slo_runs["fcfs"]
+    record = {
+        "benchmark": "bench_serving_edge",
+        "quick": bool(args.quick),
+        "config": {
+            "dim": DIM,
+            "prompt": PROMPT,
+            "decode": DECODE,
+            "block_size": BLOCK_SIZE,
+            "streams": streams,
+            "seed": args.seed,
+        },
+        "slo_burst": {
+            policy: {key: value for key, value in run.items() if key != "metrics"}
+            for policy, run in slo_runs.items()
+        },
+        "edge_streaming": {"streams": streams, "direct": direct, "edge": edge},
+        # the slack run's registry snapshot: per-tenant tenant_slo_total,
+        # serving_slo_slack_seconds, and the serving latency families
+        "metrics": slack["metrics"],
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"   record appended to {RECORD_PATH.name}")
+
+    if slack["attainment"] < SLACK_ATTAINMENT_THRESHOLD:
+        print(
+            f"FAIL: slack policy attained {slack['attainment']:.0%} of slo-burst "
+            f"deadlines, below the {SLACK_ATTAINMENT_THRESHOLD:.0%} floor",
+            file=sys.stderr,
+        )
+        return 1
+    if fcfs["attainment"] >= FCFS_ATTAINMENT_CEILING:
+        print(
+            f"FAIL: FCFS attained {fcfs['attainment']:.0%} on slo-burst — the "
+            f"scenario no longer exhibits head-of-line blocking "
+            f"(ceiling {FCFS_ATTAINMENT_CEILING:.0%})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"   acceptance ok: slack {slack['attainment']:.0%} >= "
+        f"{SLACK_ATTAINMENT_THRESHOLD:.0%} while FCFS {fcfs['attainment']:.0%} < "
+        f"{FCFS_ATTAINMENT_CEILING:.0%} on the same workload"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -107,6 +107,16 @@ def _render_summary_lines(summary: dict) -> List[str]:
             f"  {key}: count={q['count']} p50={_fmt(q['p50'])} "
             f"p95={_fmt(q['p95'])} p99={_fmt(q['p99'])}"
         )
+    slo = summary.get("slo")
+    if slo is not None:
+        per_tenant = " ".join(
+            f"{tenant}={bucket['attained']}/{bucket['attained'] + bucket['missed']}"
+            for tenant, bucket in sorted(slo["tenants"].items())
+        )
+        lines.append(
+            f"  slo: requests={slo['requests']} attained={slo['attained']} "
+            f"attainment={_fmt(slo['attainment'])} {per_tenant}".rstrip()
+        )
     return lines
 
 
@@ -193,6 +203,13 @@ def scenarios() -> None:
 )
 @click.option("--seed", default=0, show_default=True, type=int, help="Workload seed.")
 @click.option(
+    "--policy",
+    default=None,
+    show_default="scenario default",
+    type=click.Choice(("fcfs", "priority", "weighted", "slack")),
+    help="Override the scenario's scheduling policy (compare SLO attainment).",
+)
+@click.option(
     "--storage",
     default="fp32",
     show_default=True,
@@ -234,6 +251,7 @@ def scenarios() -> None:
 def run(
     scenario_name: str,
     seed: int,
+    policy: Optional[str],
     storage: str,
     fmt: str,
     metric_patterns: tuple,
@@ -242,7 +260,7 @@ def run(
     prometheus_out: Optional[str],
 ) -> None:
     """Run SCENARIO on the virtual clock and render its metrics."""
-    result = run_scenario(scenario_name, seed=seed, storage=storage)
+    result = run_scenario(scenario_name, seed=seed, storage=storage, policy=policy)
     if fmt == "json":
         _render_json(result, metric_patterns)
     elif fmt == "csv":

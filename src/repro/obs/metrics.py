@@ -48,6 +48,15 @@ SERVING_SECONDS_BUCKETS = tuple(float(2.0**e) for e in range(-10, 13))
 #: Token-count bounds (prefill chunks, batch sizes).
 TOKEN_BUCKETS = tuple(float(2.0**e) for e in range(0, 15))
 
+#: Signed power-of-two bounds for SLO slack at finish: negative slack means
+#: the deadline was missed by that much, so the histogram must resolve both
+#: sides of zero.
+SLACK_SECONDS_BUCKETS = (
+    tuple(-float(2.0**e) for e in range(12, -3, -1))
+    + (0.0,)
+    + tuple(float(2.0**e) for e in range(-2, 13))
+)
+
 
 def _label_values(label_names: Tuple[str, ...], labels: Mapping[str, object]) -> Tuple[str, ...]:
     require(
@@ -493,5 +502,6 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "SERVING_SECONDS_BUCKETS",
+    "SLACK_SECONDS_BUCKETS",
     "TOKEN_BUCKETS",
 ]

@@ -29,6 +29,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     MetricsSnapshot,
     SERVING_SECONDS_BUCKETS,
+    SLACK_SECONDS_BUCKETS,
     TOKEN_BUCKETS,
 )
 from repro.obs.tracing import DEFAULT_TRACE_CAPACITY, TraceBuffer
@@ -65,6 +66,9 @@ class Observability:
         )
         self.requests_finished = reg.counter(
             "loop_requests_finished_total", "Requests fully drained"
+        )
+        self.requests_cancelled = reg.counter(
+            "loop_requests_cancelled_total", "Requests abandoned before finishing"
         )
         self.iterations = reg.counter("loop_iterations_total", "Scheduler iterations run")
         self.preemptions = reg.counter(
@@ -105,6 +109,37 @@ class Observability:
             "loop_iteration_batch_tokens",
             "Tokens scheduled per iteration",
             buckets=TOKEN_BUCKETS,
+        )
+        # -- serving edge / tenants --------------------------------------- #
+        self.edge_requests = reg.counter(
+            "edge_requests_total",
+            "Edge admission decisions by tenant and outcome",
+            labels=("tenant", "outcome"),
+        )
+        self.edge_throttles = reg.counter(
+            "edge_throttled_total",
+            "Edge rejections by tenant and reason (rate/quota/budget)",
+            labels=("tenant", "reason"),
+        )
+        self.edge_active_streams = reg.gauge(
+            "edge_active_streams",
+            "Streams currently live on the serving edge",
+            labels=("tenant",),
+        )
+        self.edge_backpressure = reg.counter(
+            "edge_backpressure_events_total",
+            "Consumer-stall hold transitions applied by the edge",
+            labels=("tenant",),
+        )
+        self.tenant_slo = reg.counter(
+            "tenant_slo_total",
+            "Finished SLO-carrying requests by tenant and outcome",
+            labels=("tenant", "outcome"),
+        )
+        self.slo_slack_seconds = reg.histogram(
+            "serving_slo_slack_seconds",
+            "SLO budget left at finish (negative = missed by that much)",
+            buckets=SLACK_SECONDS_BUCKETS,
         )
         # -- server / kernel dispatch ------------------------------------ #
         self.kernel_seconds = reg.histogram(

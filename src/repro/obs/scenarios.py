@@ -17,6 +17,9 @@ The scenario zoo mirrors the serving shapes the roadmap cares about:
 * ``agentic``  — few streams, long decodes (tool-using agent shape).
 * ``rag``      — long prompts, short answers (retrieval-augmented shape).
 * ``storm``    — a pool at the feasibility edge; every iteration preempts.
+* ``slo-burst`` — a no-deadline batch tenant monopolizes the token budget
+  while a chat tenant arrives with tight SLOs; FCFS head-of-line blocking
+  misses most deadlines, the slack policy reorders and attains them.
 
 This module lives in ``src`` (not the test harness) because the installed
 console script must run scenarios without a checkout of ``tests/``.
@@ -40,6 +43,7 @@ from repro.serve import (
     ContinuousBatchingScheduler,
     LoopRequest,
     VirtualClock,
+    resolve_serving_kwargs,
     scheduling_policy,
 )
 from repro.utils.rng import random_qkv
@@ -69,6 +73,8 @@ class ScenarioRequest:
     priority: float
     arrival: float
     seed: int
+    tenant: Optional[str] = None
+    slo: Optional[float] = None
 
     @property
     def total(self) -> int:
@@ -118,6 +124,8 @@ def _requests(entries: Sequence[dict]) -> Tuple[ScenarioRequest, ...]:
                 priority=float(entry.get("priority", 1.0)),
                 arrival=arrival,
                 seed=int(entry.get("seed", 1000 + index)),
+                tenant=entry.get("tenant"),
+                slo=None if entry.get("slo") is None else float(entry["slo"]),
             )
         )
     return tuple(out)
@@ -240,6 +248,46 @@ def _storm(seed: int) -> Scenario:
     )
 
 
+def _slo_burst(seed: int) -> Scenario:
+    # A batch tenant with no deadlines floods admission at t=0; a chat tenant
+    # trickles in behind it with tight SLOs.  Under FCFS the batch streams
+    # monopolize the iteration token budget (head-of-line blocking) and most
+    # chat deadlines blow; least-slack-first reorders per iteration and
+    # attains them.  Run with ``policy="slack"`` to see the contrast.
+    batch = [
+        {
+            "mask": 0,
+            "prompt": 16,
+            "decode": 16,
+            "gap": 0.0,
+            "tenant": "batch",
+            "seed": seed * 61 + i,
+        }
+        for i in range(3)
+    ]
+    chat = [
+        {
+            "mask": 1,
+            "prompt": 4,
+            "decode": 4,
+            "gap": 1.0,
+            "tenant": "chat",
+            "slo": 10.0,
+            "seed": seed * 71 + i,
+        }
+        for i in range(9)
+    ]
+    return Scenario(
+        name="slo-burst",
+        description="Deadline-free batch flood vs. a chat tenant with tight SLOs.",
+        requests=_requests(batch + chat),
+        extra_blocks=30,
+        max_streams=8,
+        prefill_chunk=4,
+        max_iteration_tokens=8,
+    )
+
+
 SCENARIOS: Dict[str, Callable[[int], Scenario]] = {
     "quick": _quick,
     "steady": _steady,
@@ -247,6 +295,7 @@ SCENARIOS: Dict[str, Callable[[int], Scenario]] = {
     "agentic": _agentic,
     "rag": _rag,
     "storm": _storm,
+    "slo-burst": _slo_burst,
 }
 
 
@@ -286,7 +335,7 @@ class ScenarioResult:
                 "p99": sample.quantile(0.99),
             }
 
-        return {
+        summary = {
             "scenario": self.scenario.name,
             "seed": self.seed,
             "requests": len(self.scenario.requests),
@@ -298,6 +347,35 @@ class ScenarioResult:
             "queue_seconds": _percentiles("serving_queue_seconds"),
             "per_token_seconds": _percentiles("serving_per_token_seconds"),
             "preemption_stall_seconds": _percentiles("serving_preemption_stall_seconds"),
+        }
+        slo = self.slo_attainment()
+        if slo is not None:
+            summary["slo"] = slo
+        return summary
+
+    def slo_attainment(self) -> Optional[dict]:
+        """Per-tenant SLO attainment from telemetry; ``None`` without SLOs.
+
+        Each tenant block counts only its deadline-carrying requests;
+        ``attainment`` is attained/total over every SLO request in the run.
+        """
+        with_slo = [
+            t for t in self.telemetry.values() if t.slo_latency_seconds is not None
+        ]
+        if not with_slo:
+            return None
+        tenants: Dict[str, Dict[str, int]] = {}
+        for telemetry in with_slo:
+            bucket = tenants.setdefault(
+                telemetry.tenant or "default", {"attained": 0, "missed": 0}
+            )
+            bucket["attained" if telemetry.slo_attained else "missed"] += 1
+        attained = sum(bucket["attained"] for bucket in tenants.values())
+        return {
+            "requests": len(with_slo),
+            "attained": attained,
+            "attainment": attained / len(with_slo),
+            "tenants": tenants,
         }
 
     def to_dict(self) -> dict:
@@ -313,6 +391,8 @@ def run_scenario(
     seed: int = 0,
     storage: Optional[str] = None,
     obs: Optional[Observability] = None,
+    policy=None,
+    clock=None,
     max_iterations: int = 20_000,
     on_iteration: Optional[Callable[[int, Observability], None]] = None,
 ) -> ScenarioResult:
@@ -321,17 +401,27 @@ def run_scenario(
     ``obs`` defaults to a fresh enabled recorder (metrics + tracing);
     ``storage`` selects the block pool's KV storage format (``"fp32"`` /
     ``"fp16"`` / ``"int8"``) so operators can compare registry snapshots
-    across storage dtypes at identical workloads;
-    ``on_iteration(iteration, obs)`` is invoked after every scheduler step so
-    a live renderer can refresh mid-run.
+    across storage dtypes at identical workloads; ``policy`` (a name or a
+    :class:`~repro.serve.SchedulingPolicy` instance) overrides the
+    scenario's baked-in policy — how the CLI and bench compare FCFS vs.
+    slack on the same workload — and ``clock`` overrides the default fresh
+    :class:`~repro.serve.VirtualClock` (both validated by the same
+    :func:`~repro.serve.resolve_serving_kwargs` helper the scheduler and
+    client use); ``on_iteration(iteration, obs)`` is invoked after every
+    scheduler step so a live renderer can refresh mid-run.
     """
     scenario = (
         name_or_scenario
         if isinstance(name_or_scenario, Scenario)
         else build_scenario(name_or_scenario, seed=seed)
     )
-    if obs is None:
-        obs = Observability()
+    policy, clock, obs = resolve_serving_kwargs(
+        policy=policy,
+        clock=clock if clock is not None else VirtualClock(),
+        obs=obs if obs is not None else Observability(),
+        policy_seed=scenario.policy_seed,
+        default_policy=scheduling_policy(scenario.policy, seed=scenario.policy_seed),
+    )
     server = AttentionServer(cache_capacity=32, obs=obs)
     server.create_block_pool(
         key_dim=DIM,
@@ -341,10 +431,9 @@ def run_scenario(
         # fixed label: repeated in-process runs must emit identical series
         name=f"{scenario.name}-pool",
     )
-    clock = VirtualClock()
     scheduler = ContinuousBatchingScheduler(
         server,
-        policy=scheduling_policy(scenario.policy, seed=scenario.policy_seed),
+        policy=policy,
         clock=clock,
         max_streams=scenario.max_streams,
         prefill_chunk=scenario.prefill_chunk,
@@ -366,6 +455,8 @@ def run_scenario(
                     mask=MASKS[request.mask_index],
                     prompt_tokens=min(request.prompt, request.total),
                     priority=request.priority,
+                    tenant=request.tenant,
+                    slo_latency_seconds=request.slo,
                 )
             )
         if not scheduler.active:

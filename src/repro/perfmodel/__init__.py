@@ -43,11 +43,13 @@ from repro.perfmodel.decode import (
     DecodeRuntimeModel,
     DecodeStepEstimate,
     PreemptionCostEstimate,
+    SloEstimate,
     blocks_for_tokens,
     decode_step_flops,
     kv_block_bytes,
     kv_cache_bytes,
     max_cached_tokens,
+    min_feasible_slo,
     paged_kv_cache_bytes,
     paged_sessions_supported,
     paging_fragmentation_overhead,
@@ -67,6 +69,7 @@ __all__ = [
     "MemoryBreakdown",
     "PreemptionCostEstimate",
     "RuntimeEstimate",
+    "SloEstimate",
     "RuntimeModel",
     "V100_SXM2_32GB",
     "blocks_for_tokens",
@@ -79,6 +82,7 @@ __all__ = [
     "kv_cache_bytes",
     "max_cached_tokens",
     "max_context_length",
+    "min_feasible_slo",
     "paged_kv_cache_bytes",
     "paged_sessions_supported",
     "paging_fragmentation_overhead",

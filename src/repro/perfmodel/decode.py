@@ -347,6 +347,97 @@ class DecodeRuntimeModel:
         return full.seconds / step.seconds if step.seconds > 0 else float("inf")
 
 
+@dataclass(frozen=True)
+class SloEstimate:
+    """Smallest end-to-end latency SLO a request shape can possibly meet.
+
+    The serving edge admits a request against a deadline; this object is the
+    analytical floor of that deadline on an *unloaded* device — one chunked
+    prefill over the prompt's causal edges plus ``decode_tokens`` incremental
+    steps.  Any SLO below :attr:`min_latency_seconds` is infeasible no matter
+    how the scheduler orders work; feasible SLOs still need queueing headroom
+    on a contended loop.
+    """
+
+    device: str
+    prompt_tokens: int
+    decode_tokens: int
+    prefill_seconds: float
+    decode_step_seconds: float
+
+    @property
+    def decode_seconds(self) -> float:
+        """Total modelled decode time: ``decode_tokens`` incremental steps."""
+        return self.decode_tokens * self.decode_step_seconds
+
+    @property
+    def min_latency_seconds(self) -> float:
+        """Unloaded-device floor: prefill plus every decode step, serialized."""
+        return self.prefill_seconds + self.decode_seconds
+
+    def feasible(self, slo_latency_seconds: float) -> bool:
+        """Whether a deadline is achievable at all (ignoring queueing)."""
+        require(slo_latency_seconds > 0, "SLO must be positive")
+        return slo_latency_seconds >= self.min_latency_seconds
+
+    def recommended_slo(self, headroom: float = 2.0) -> float:
+        """A deadline with multiplicative queueing headroom over the floor."""
+        require(headroom >= 1.0, "headroom must be >= 1")
+        return self.min_latency_seconds * headroom
+
+
+def min_feasible_slo(
+    device: DeviceSpec,
+    *,
+    prompt_tokens: int,
+    decode_tokens: int,
+    prompt_nnz: Optional[int] = None,
+    row_edges: Optional[int] = None,
+    head_dim: int = 64,
+    value_dim: Optional[int] = None,
+    dtype: str = "fp16",
+    heads: int = 1,
+    batch: int = 1,
+) -> SloEstimate:
+    """Model the tightest latency SLO a ``prompt + decode`` request can meet.
+
+    The prefill term prices one causal pass over the prompt
+    (:meth:`DecodeRuntimeModel.estimate_recompute`; ``prompt_nnz`` defaults
+    to the dense causal edge count).  The decode term charges
+    ``decode_tokens`` incremental steps at the *final* row width
+    (``row_edges`` defaults to the full ``prompt_tokens + decode_tokens``
+    context) — a conservative per-step cost for sparse masks, exact for
+    dense causal rows.  The edge and the bench use this to sanity-check
+    scenario deadlines: an SLO below the returned floor is unattainable by
+    construction, not a scheduling failure.
+    """
+    require(prompt_tokens >= 1, "prompt_tokens must be positive")
+    require(decode_tokens >= 0, "decode_tokens must be non-negative")
+    if prompt_nnz is None:
+        prompt_nnz = prompt_tokens * (prompt_tokens + 1) // 2
+    if row_edges is None:
+        row_edges = prompt_tokens + decode_tokens
+    model = DecodeRuntimeModel(device)
+    prefill = model.estimate_recompute(
+        prompt_nnz, prompt_tokens, head_dim, dtype=dtype, heads=heads, batch=batch
+    )
+    step = model.estimate_step(
+        row_edges,
+        head_dim,
+        value_dim=value_dim,
+        dtype=dtype,
+        heads=heads,
+        batch=batch,
+    )
+    return SloEstimate(
+        device=device.name,
+        prompt_tokens=int(prompt_tokens),
+        decode_tokens=int(decode_tokens),
+        prefill_seconds=prefill.seconds,
+        decode_step_seconds=step.seconds,
+    )
+
+
 #: Fraction of DRAM bandwidth a host-side KV swap sustains.  Swap traffic
 #: crosses the device boundary (PCIe / pinned-host staging), so it moves far
 #: below the on-device rate the decode gathers enjoy; one quarter keeps the

@@ -31,28 +31,44 @@ Three layers turn the paper's kernels into a serving stack:
   :class:`ContinuousBatchingScheduler` that owns the request lifecycle
   (admission, chunked-prefill/decode batch formation, preemption by
   swap-out or recompute, completion) under pluggable scheduling policies
-  (FCFS / priority / weighted-fair sampling) and an injected clock, so the
-  whole loop is testable on virtual time.
+  (FCFS / priority / weighted-fair sampling / least-slack deadline) and an
+  injected clock, so the whole loop is testable on virtual time.
+* :mod:`repro.serve.client` / :mod:`repro.serve.edge` — the public serving
+  surface: :class:`ServingClient` consolidates every way to get served
+  (``generate`` sync, ``agenerate`` async, session-level escape hatches),
+  and :class:`AsyncServingEdge` is the asyncio front door — streaming
+  token responses over per-stream queues, consumer backpressure, per-tenant
+  rate/stream/block quotas, SLO-aware slack scheduling, graceful drain.
 
 Quick start::
 
-    from repro.serve import AttentionServer, AttentionRequest
+    from repro.serve import ServingClient
     from repro.masks import longformer_mask
 
-    server = AttentionServer(cache_capacity=16)
+    client = ServingClient(key_dim=8, num_blocks=64, policy="slack")
     mask = longformer_mask(reach=16, global_tokens=(0,))
-    response = server.handle(q, k, v, mask)     # compiles + caches the plan
-    response = server.handle(q, k, v, mask)     # warm: kernels only
-    print(server.stats.throughput_rps, server.cache.stats.hit_rate)
+    result = client.generate(q, k, v, mask, prompt_tokens=16,
+                             tenant="acme", slo_latency_seconds=2.0)
+    print(result.output.shape, result.telemetry.slo_attained)
 """
 
 from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.client import GenerationResult, ServingClient
 from repro.serve.decode import (
     DecodeSession,
     KVCache,
     decode_reference_mask,
     stacked_decode_step,
     stacked_prefill,
+)
+from repro.serve.edge import (
+    AsyncServingEdge,
+    EdgeClosed,
+    EdgeStats,
+    StreamCancelled,
+    TenantConfig,
+    TenantThrottled,
+    TokenStream,
 )
 from repro.serve.loop import (
     ContinuousBatchingScheduler,
@@ -65,9 +81,11 @@ from repro.serve.loop import (
     PriorityPolicy,
     RequestTelemetry,
     SchedulingPolicy,
+    SlackPolicy,
     VirtualClock,
     WallClock,
     WeightedFairPolicy,
+    resolve_serving_kwargs,
     scheduling_policy,
 )
 from repro.serve.paging import (
@@ -105,6 +123,7 @@ from repro.serve.session import (
 )
 
 __all__ = [
+    "AsyncServingEdge",
     "AttentionRequest",
     "AttentionResponse",
     "AttentionServer",
@@ -116,9 +135,12 @@ __all__ = [
     "DEFAULT_HEAD_DIM",
     "DecodeSession",
     "DecodeTicket",
+    "EdgeClosed",
+    "EdgeStats",
     "EncodedChunk",
     "ExecutionPlan",
     "FCFSPolicy",
+    "GenerationResult",
     "InfeasibleRequest",
     "IterationReport",
     "KVCache",
@@ -136,10 +158,16 @@ __all__ = [
     "STORAGE_DTYPES",
     "ServerStats",
     "ServerStatsSnapshot",
+    "ServingClient",
     "ServingSession",
+    "SlackPolicy",
+    "StreamCancelled",
     "SwapHandle",
     "SwapStore",
     "SwapStoreStats",
+    "TenantConfig",
+    "TenantThrottled",
+    "TokenStream",
     "VirtualClock",
     "WallClock",
     "WeightedFairPolicy",
@@ -148,9 +176,10 @@ __all__ = [
     "decode_reference_mask",
     "mask_key",
     "plan_cache_key",
+    "resolve_serving_kwargs",
     "resolve_storage",
-    "roundtrip_bound",
     "scheduling_policy",
+    "roundtrip_bound",
     "stacked_decode_step",
     "stacked_prefill",
 ]

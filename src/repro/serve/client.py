@@ -1,0 +1,439 @@
+"""``ServingClient`` — the one public façade over the serving stack.
+
+Before this module there were three divergent ways to get attention served:
+``AttentionServer.open_decode_session`` (reject-mode paged or plain
+sessions), ``request_decode_session`` (queue-mode tickets), and raw
+``scheduler.submit`` against the continuous-batching loop.  The client
+consolidates them:
+
+* :meth:`ServingClient.generate` — synchronous end-to-end: submit one
+  :class:`~repro.serve.loop.LoopRequest` (or raw ``q/k/v``) and drive the
+  loop until it finishes.  Everything routes through the scheduler, so
+  concurrent ``generate_many`` calls batch and preempt like real traffic.
+* :meth:`ServingClient.agenerate` — the same contract ``async``, routed
+  through a lazily-started :class:`~repro.serve.edge.AsyncServingEdge` on
+  the current event loop (tenant limits and SLO scheduling included).
+* :meth:`ServingClient.open_session` / :meth:`ServingClient.request_session`
+  — the session-level escape hatches the old entry points exposed, for
+  callers that drive :class:`~repro.serve.decode.DecodeSession` steps
+  themselves.  The deprecated ``AttentionServer`` methods now shim onto the
+  same internals and warn.
+
+Constructor keywords follow the stack-wide normalized style (``obs=``,
+``clock=``, ``policy=``, ``storage=``), validated by the shared
+:func:`~repro.serve.loop.resolve_serving_kwargs` helper — the same one the
+scheduler and the scenario runner use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.engine import MaskInput
+from repro.obs.recorder import Observability
+from repro.perfmodel.devices import DeviceSpec
+from repro.serve.edge import AsyncServingEdge, TenantConfig, TokenStream
+from repro.serve.loop import (
+    ContinuousBatchingScheduler,
+    LoopRequest,
+    RequestTelemetry,
+    resolve_serving_kwargs,
+)
+from repro.serve.paging import DEFAULT_BLOCK_SIZE, SwapStore
+from repro.serve.quant import resolve_storage
+from repro.serve.scheduler import AttentionServer, DecodeTicket
+from repro.serve.decode import DecodeSession
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """One finished stream: its id, stacked output, and telemetry."""
+
+    request_id: int
+    #: ``batch_shape + (total_tokens, d_v)`` attention outputs, prompt included
+    output: np.ndarray
+    telemetry: RequestTelemetry
+
+    @property
+    def slo_attained(self) -> Optional[bool]:
+        return self.telemetry.slo_attained
+
+
+class ServingClient:
+    """The blessed entry point: one object, every way to get served.
+
+    Build it over an existing :class:`~repro.serve.scheduler.AttentionServer`
+    (or scheduler), or let it assemble the stack itself:
+
+    >>> client = ServingClient(key_dim=8, num_blocks=64)
+    >>> result = client.generate(q, k, v, mask, prompt_tokens=16)
+
+    Parameters
+    ----------
+    server:
+        An existing server to wrap; built fresh when omitted.
+    scheduler:
+        An existing loop to route through (mutually exclusive with
+        ``server`` and the stack-assembly keywords below).
+    obs, clock, policy, policy_seed:
+        Normalized observability / clock / scheduling-policy keywords
+        (``policy`` accepts a registry name or an instance), validated by
+        :func:`~repro.serve.loop.resolve_serving_kwargs`.
+    storage, key_dim, value_dim, num_blocks, memory_budget_bytes,
+    block_size, batch_shape, pool_dtype:
+        Block-pool assembly: when ``key_dim`` is given and the server has no
+        pool, one is created (sized by ``num_blocks`` — default 64 — or
+        ``memory_budget_bytes``) with the requested ``storage`` format.
+    max_streams, prefill_chunk, max_iteration_tokens, preemption,
+    swap_store, device:
+        Passed to the :class:`~repro.serve.loop.ContinuousBatchingScheduler`
+        the client builds lazily on first loop-routed call.
+    tenants, default_tenant, max_buffered_chunks:
+        Tenant isolation config for the async edge ``agenerate`` uses.
+    """
+
+    def __init__(
+        self,
+        server: Optional[AttentionServer] = None,
+        *,
+        scheduler: Optional[ContinuousBatchingScheduler] = None,
+        obs: Optional[Observability] = None,
+        clock=None,
+        policy=None,
+        policy_seed: int = 0,
+        storage: Optional[str] = None,
+        key_dim: Optional[int] = None,
+        value_dim: Optional[int] = None,
+        num_blocks: Optional[int] = None,
+        memory_budget_bytes: Optional[int] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        batch_shape: Tuple[int, ...] = (),
+        pool_dtype=np.float32,
+        max_streams: int = 8,
+        prefill_chunk: int = 32,
+        max_iteration_tokens: Optional[int] = None,
+        preemption: str = "auto",
+        swap_store: Optional[SwapStore] = None,
+        device: Optional[DeviceSpec] = None,
+        tenants: Optional[Dict[str, TenantConfig]] = None,
+        default_tenant: Optional[TenantConfig] = None,
+        max_buffered_chunks: int = 8,
+    ) -> None:
+        if scheduler is not None:
+            require(
+                server is None,
+                "pass either scheduler= or server=, not both",
+            )
+            require(
+                policy is None and clock is None and obs is None,
+                "policy/clock/obs are configured on the scheduler you passed; "
+                "leave them unset here",
+            )
+            self.server = scheduler.server
+            self._scheduler: Optional[ContinuousBatchingScheduler] = scheduler
+            self._policy = scheduler.policy
+            self._clock = scheduler.clock
+            self._obs = scheduler.obs
+        else:
+            self.server = server if server is not None else AttentionServer(obs=obs)
+            self._scheduler = None
+            # policy/clock resolved now (fail fast on typos); obs defaults to
+            # the server's recorder at scheduler-build time
+            self._policy, self._clock, self._obs = resolve_serving_kwargs(
+                policy=policy,
+                policy_seed=policy_seed,
+                clock=clock,
+                obs=obs,
+                default_obs=self.server.obs,
+            )
+        self._storage = (
+            resolve_storage(storage, pool_dtype) if storage is not None else None
+        )
+        if key_dim is not None and self.server.block_pool is None:
+            if num_blocks is None and memory_budget_bytes is None:
+                num_blocks = 64
+            self.server.create_block_pool(
+                key_dim=key_dim,
+                value_dim=value_dim,
+                batch_shape=batch_shape,
+                dtype=pool_dtype,
+                storage=self._storage,
+                num_blocks=num_blocks,
+                memory_budget_bytes=memory_budget_bytes,
+                block_size=block_size,
+            )
+        elif self._storage is not None and self.server.block_pool is not None:
+            require(
+                self.server.block_pool.storage == self._storage,
+                f"server pool stores {self.server.block_pool.storage!r} but "
+                f"storage={self._storage!r} was requested",
+            )
+        self._loop_kwargs = dict(
+            max_streams=max_streams,
+            prefill_chunk=prefill_chunk,
+            max_iteration_tokens=max_iteration_tokens,
+            preemption=preemption,
+            swap_store=swap_store,
+            device=device,
+        )
+        self._tenants = tenants
+        self._default_tenant = default_tenant
+        self._max_buffered_chunks = max_buffered_chunks
+        self._edge: Optional[AsyncServingEdge] = None
+        self._edge_loop = None
+
+    # ------------------------------------------------------------------ #
+    # The loop (built lazily: session-only clients need no block pool)
+    # ------------------------------------------------------------------ #
+    @property
+    def scheduler(self) -> ContinuousBatchingScheduler:
+        if self._scheduler is None:
+            require(
+                self.server.block_pool is not None,
+                "loop-routed generation needs a KV block pool: construct the "
+                "client with key_dim=/num_blocks= (or call "
+                "client.server.create_block_pool first)",
+            )
+            self._scheduler = ContinuousBatchingScheduler(
+                self.server,
+                policy=self._policy,
+                clock=self._clock,
+                obs=self._obs,
+                **self._loop_kwargs,
+            )
+        return self._scheduler
+
+    @property
+    def clock(self):
+        return self._clock
+
+    @property
+    def obs(self) -> Observability:
+        return self._obs
+
+    # ------------------------------------------------------------------ #
+    # Synchronous generation
+    # ------------------------------------------------------------------ #
+    def _as_request(
+        self,
+        q,
+        k,
+        v,
+        mask: MaskInput = None,
+        *,
+        prompt_tokens: int = 1,
+        priority: float = 1.0,
+        tenant: Optional[str] = None,
+        slo_latency_seconds: Optional[float] = None,
+    ) -> LoopRequest:
+        return LoopRequest(
+            q=q,
+            k=k,
+            v=v,
+            mask=mask,
+            prompt_tokens=prompt_tokens,
+            priority=priority,
+            tenant=tenant,
+            slo_latency_seconds=slo_latency_seconds,
+        )
+
+    def submit(self, request: LoopRequest) -> int:
+        """Queue a prepared request on the loop; returns its id."""
+        return self.scheduler.submit(request)
+
+    def generate(
+        self,
+        q,
+        k,
+        v,
+        mask: MaskInput = None,
+        *,
+        prompt_tokens: int = 1,
+        priority: float = 1.0,
+        tenant: Optional[str] = None,
+        slo_latency_seconds: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+    ) -> GenerationResult:
+        """Serve one stream end to end through the loop, synchronously."""
+        request = self._as_request(
+            q,
+            k,
+            v,
+            mask,
+            prompt_tokens=prompt_tokens,
+            priority=priority,
+            tenant=tenant,
+            slo_latency_seconds=slo_latency_seconds,
+        )
+        rid = self.scheduler.submit(request)
+        self._drive({rid}, max_iterations)
+        return self._result(rid)
+
+    def generate_many(
+        self, requests: Sequence[LoopRequest], *, max_iterations: Optional[int] = None
+    ) -> List[GenerationResult]:
+        """Submit a batch and drive the loop until all of them finish."""
+        rids = [self.scheduler.submit(request) for request in requests]
+        self._drive(set(rids), max_iterations)
+        return [self._result(rid) for rid in rids]
+
+    def _drive(self, rids: Set[int], max_iterations: Optional[int]) -> None:
+        scheduler = self.scheduler
+        stalled = 0
+        while any(rid not in scheduler.results for rid in rids):
+            if max_iterations is not None and scheduler.stats.iterations >= max_iterations:
+                raise RuntimeError(
+                    f"generation exceeded {max_iterations} iterations with "
+                    f"{scheduler.active} streams still active"
+                )
+            report = scheduler.step()
+            if report.tokens == 0 and not report.admitted and not report.finished:
+                stalled += 1
+                require(
+                    stalled < 2, "serving loop stalled: no admission, tokens, or finishes"
+                )
+            else:
+                stalled = 0
+
+    def _result(self, rid: int) -> GenerationResult:
+        output = self.scheduler.results.pop(rid)
+        return GenerationResult(
+            request_id=rid, output=output, telemetry=self.scheduler.telemetry[rid]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Async generation (routed through the edge)
+    # ------------------------------------------------------------------ #
+    async def _ensure_edge(self) -> AsyncServingEdge:
+        loop = asyncio.get_running_loop()
+        if self._edge is None or self._edge_loop is not loop or not self._edge.running:
+            self._edge = AsyncServingEdge(
+                self.scheduler,
+                tenants=self._tenants,
+                default_tenant=self._default_tenant,
+                max_buffered_chunks=self._max_buffered_chunks,
+                obs=self._obs,
+            )
+            self._edge_loop = loop
+            await self._edge.start()
+        return self._edge
+
+    @property
+    def edge(self) -> Optional[AsyncServingEdge]:
+        """The edge backing ``agenerate`` (None until first async call)."""
+        return self._edge
+
+    async def astream(
+        self, request: LoopRequest, *, tenant: Optional[str] = None
+    ) -> TokenStream:
+        """Admit one prepared request and stream its chunks through the edge.
+
+        The streaming sibling of :meth:`submit`: tenant limits are enforced
+        at admission and the returned :class:`~repro.serve.edge.TokenStream`
+        yields output chunks as the loop emits them.
+        """
+        edge = await self._ensure_edge()
+        return await edge.submit(request, tenant=tenant)
+
+    async def agenerate(
+        self,
+        q,
+        k,
+        v,
+        mask: MaskInput = None,
+        *,
+        prompt_tokens: int = 1,
+        priority: float = 1.0,
+        tenant: Optional[str] = None,
+        slo_latency_seconds: Optional[float] = None,
+    ) -> GenerationResult:
+        """``generate``'s async twin: same stream, same bits, via the edge."""
+        edge = await self._ensure_edge()
+        request = self._as_request(
+            q,
+            k,
+            v,
+            mask,
+            prompt_tokens=prompt_tokens,
+            priority=priority,
+            tenant=tenant,
+            slo_latency_seconds=slo_latency_seconds,
+        )
+        handle = await edge.submit(request)
+        output = await handle.collect()
+        return GenerationResult(
+            request_id=handle.request_id,
+            output=output,
+            telemetry=self.scheduler.telemetry[handle.request_id],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Session-level entry points (the consolidated old paths)
+    # ------------------------------------------------------------------ #
+    def open_session(
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool = False,
+        paged: bool = False,
+        pool=None,
+        reserve_tokens: Optional[int] = None,
+    ) -> DecodeSession:
+        """Open a decode session (reject-mode admission for paged sessions).
+
+        The consolidated form of the deprecated
+        ``AttentionServer.open_decode_session``; see that shim's target for
+        full semantics.
+        """
+        return self.server._open_decode_session(
+            mask,
+            horizon,
+            retain_outputs=retain_outputs,
+            paged=paged,
+            pool=pool,
+            reserve_tokens=reserve_tokens,
+        )
+
+    def request_session(
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool = False,
+        pool=None,
+        reserve_tokens: Optional[int] = None,
+    ) -> DecodeTicket:
+        """Queue-mode admission (the consolidated ``request_decode_session``)."""
+        return self.server._request_decode_session(
+            mask,
+            horizon,
+            retain_outputs=retain_outputs,
+            pool=pool,
+            reserve_tokens=reserve_tokens,
+        )
+
+    def close_session(self, session: DecodeSession) -> List[DecodeTicket]:
+        """Finish a session; returns any queued tickets admitted by the space."""
+        return self.server.close_decode_session(session)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the server's worker pool (the edge task dies with its loop)."""
+        self.server.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["GenerationResult", "ServingClient"]

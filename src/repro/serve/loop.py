@@ -116,9 +116,14 @@ class LoopRequest:
     first ``prompt_tokens`` rows are the prompt the scheduler prefills in
     chunks, the remaining ``T - prompt_tokens`` rows feed one decode step
     each.  ``priority`` weighs the request under priority/weighted-fair
-    policies (higher = more urgent; must be positive).  ``request_id`` is
-    assigned by the scheduler at submit (ids double as swap-store keys, so
-    they come from one collision-free counter).
+    policies (higher = more urgent; must be positive).  ``tenant`` names the
+    principal the request bills to (the serving edge keys quotas, rate
+    limits, and SLO-attainment metrics on it).  ``slo_latency_seconds`` is an
+    optional end-to-end deadline measured from submit on the scheduler's
+    clock: :class:`SlackPolicy` schedules by the remaining budget, and
+    :class:`RequestTelemetry` records whether it was attained.
+    ``request_id`` is assigned by the scheduler at submit (ids double as
+    swap-store keys, so they come from one collision-free counter).
     """
 
     q: np.ndarray
@@ -127,6 +132,8 @@ class LoopRequest:
     mask: MaskInput = None
     prompt_tokens: int = 1
     priority: float = 1.0
+    tenant: Optional[str] = None
+    slo_latency_seconds: Optional[float] = None
     request_id: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -143,6 +150,13 @@ class LoopRequest:
             "prompt_tokens must lie within the stream",
         )
         require(self.priority > 0, "priority must be positive")
+        require(
+            self.tenant is None or (isinstance(self.tenant, str) and self.tenant),
+            "tenant must be a non-empty string when given",
+        )
+        if self.slo_latency_seconds is not None:
+            self.slo_latency_seconds = float(self.slo_latency_seconds)
+            require(self.slo_latency_seconds > 0.0, "slo_latency_seconds must be positive")
 
     @property
     def total_tokens(self) -> int:
@@ -166,6 +180,11 @@ class RequestTelemetry:
     prompt_tokens: int
     total_tokens: int
     arrival_time: float
+    #: tenant the request bills to (``None`` for untagged callers)
+    tenant: Optional[str] = None
+    #: end-to-end deadline budget measured from ``arrival_time`` (``None`` =
+    #: best-effort; SLO fields below stay ``None``/unset for these)
+    slo_latency_seconds: Optional[float] = None
     first_scheduled_time: Optional[float] = None
     finish_time: Optional[float] = None
     #: clock time the first token *past the prompt* was emitted (for
@@ -182,6 +201,20 @@ class RequestTelemetry:
     recompute_restores: int = 0
     tokens_emitted: int = 0
     iterations_scheduled: int = 0
+    #: set at finish for SLO-carrying requests: did turnaround beat the SLO?
+    slo_attained: Optional[bool] = None
+    #: SLO budget left at finish (negative = missed by that much); ``None``
+    #: for best-effort requests or until the stream finishes
+    slack_at_finish: Optional[float] = None
+    #: the caller abandoned the stream before it finished
+    cancelled: bool = False
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute clock time the SLO expires (None for best-effort)."""
+        if self.slo_latency_seconds is None:
+            return None
+        return self.arrival_time + self.slo_latency_seconds
 
     @property
     def time_in_queue(self) -> float:
@@ -320,17 +353,110 @@ class WeightedFairPolicy(SchedulingPolicy):
         return order
 
 
+class SlackPolicy(SchedulingPolicy):
+    """Least-slack-first deadline scheduling; priority breaks ties.
+
+    A stream's *slack* is the SLO budget it would have left if served at full
+    speed from now on: ``deadline - now - remaining_tokens * step_seconds``.
+    Ranking by ascending slack is the weighted-Kaczmarz move applied to
+    deadlines — serve the stream whose residual (time budget) is most nearly
+    violated, the way the adaptive row-sampling methods pick the row with
+    the largest residual norm.  Best-effort streams (no SLO) carry infinite
+    slack, so they fill leftover capacity and are the first preemption
+    victims (the default ``victims`` reversal makes eviction most-slack
+    first, i.e. deadline-driven).
+
+    ``step_seconds`` is the assumed per-token service time; the default of
+    1.0 matches :class:`VirtualClock`'s one-second iterations, so simulated
+    slack is exact.  On a wall clock pass a measured per-token latency.
+    """
+
+    name = "slack"
+
+    def __init__(self, *, step_seconds: float = 1.0) -> None:
+        require(step_seconds >= 0.0, "step_seconds must be non-negative")
+        self.step_seconds = float(step_seconds)
+
+    def slack(self, stream: _Stream, now: float) -> float:
+        telemetry = stream.telemetry
+        deadline = telemetry.deadline
+        if deadline is None:
+            return float("inf")
+        remaining = telemetry.total_tokens - telemetry.tokens_emitted
+        return deadline - now - remaining * self.step_seconds
+
+    def rank(self, streams: Sequence[_Stream], now: float) -> List[_Stream]:
+        return sorted(
+            streams,
+            key=lambda s: (
+                self.slack(s, now),
+                -s.request.priority,
+                s.telemetry.arrival_time,
+                s.telemetry.request_id,
+            ),
+        )
+
+
+#: name → factory taking the policy seed (ignored by the deterministic ones)
 _POLICIES = {
-    FCFSPolicy.name: FCFSPolicy,
-    PriorityPolicy.name: PriorityPolicy,
-    WeightedFairPolicy.name: WeightedFairPolicy,
+    FCFSPolicy.name: lambda seed: FCFSPolicy(),
+    PriorityPolicy.name: lambda seed: PriorityPolicy(),
+    WeightedFairPolicy.name: lambda seed: WeightedFairPolicy(seed),
+    SlackPolicy.name: lambda seed: SlackPolicy(),
 }
 
 
-def scheduling_policy(name: str, *, seed: int = 0) -> SchedulingPolicy:
-    """Build a policy by name (``"fcfs"``, ``"priority"``, ``"weighted"``)."""
-    require(name in _POLICIES, f"unknown policy {name!r}; known: {sorted(_POLICIES)}")
-    return _POLICIES[name](seed) if name == WeightedFairPolicy.name else _POLICIES[name]()
+def scheduling_policy(name, *, seed: int = 0) -> SchedulingPolicy:
+    """Resolve a policy: by name (``"fcfs"``, ``"priority"``, ``"weighted"``,
+    ``"slack"``) or pass an already-built :class:`SchedulingPolicy` through.
+
+    Raises :exc:`ValueError` listing the valid names on anything else, so a
+    typo'd config fails with the menu rather than a bare lookup error.
+    """
+    if isinstance(name, SchedulingPolicy):
+        return name
+    if not isinstance(name, str) or name not in _POLICIES:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; valid names: "
+            f"{sorted(_POLICIES)} (or pass a SchedulingPolicy instance)"
+        )
+    return _POLICIES[name](seed)
+
+
+def resolve_serving_kwargs(
+    *,
+    policy=None,
+    clock=None,
+    obs: Optional[Observability] = None,
+    policy_seed: int = 0,
+    default_policy: Optional[SchedulingPolicy] = None,
+    default_obs: Optional[Observability] = None,
+) -> Tuple[SchedulingPolicy, object, Observability]:
+    """The one shared validator behind the uniform constructor keywords.
+
+    :class:`ContinuousBatchingScheduler`, :class:`~repro.serve.client.ServingClient`
+    and :func:`repro.obs.scenarios.run_scenario` all accept ``policy=`` (name
+    or instance), ``clock=`` and ``obs=``; this helper normalizes them
+    identically instead of each call site re-implementing the checks.
+    Returns ``(policy, clock, obs)`` with defaults applied.
+    """
+    resolved_policy = (
+        scheduling_policy(policy, seed=policy_seed)
+        if policy is not None
+        else (default_policy if default_policy is not None else FCFSPolicy())
+    )
+    resolved_clock = clock if clock is not None else WallClock()
+    require(
+        callable(getattr(resolved_clock, "now", None))
+        and callable(getattr(resolved_clock, "tick", None)),
+        "clock must provide now() and tick() (WallClock / VirtualClock)",
+    )
+    resolved_obs = obs if obs is not None else (default_obs if default_obs is not None else NULL_OBS)
+    require(
+        isinstance(resolved_obs, Observability),
+        "obs must be an Observability recorder (or None for the default)",
+    )
+    return resolved_policy, resolved_clock, resolved_obs
 
 
 # --------------------------------------------------------------------------- #
@@ -367,6 +493,9 @@ class LoopStatsSnapshot:
     admitted: int
     admission_blocked: int
     finished: int
+    cancelled: int
+    slo_attained: int
+    slo_missed: int
     prefill_tokens: int
     decode_tokens: int
     preemptions: int
@@ -405,6 +534,11 @@ class LoopStats:
     admitted: int = 0
     admission_blocked: int = 0
     finished: int = 0
+    #: streams abandoned via :meth:`ContinuousBatchingScheduler.cancel`
+    cancelled: int = 0
+    #: finished SLO-carrying streams that beat / missed their deadline
+    slo_attained: int = 0
+    slo_missed: int = 0
     prefill_tokens: int = 0
     decode_tokens: int = 0
     preemptions: int = 0
@@ -445,6 +579,9 @@ class LoopStats:
                 admitted=self.admitted,
                 admission_blocked=self.admission_blocked,
                 finished=self.finished,
+                cancelled=self.cancelled,
+                slo_attained=self.slo_attained,
+                slo_missed=self.slo_missed,
                 prefill_tokens=self.prefill_tokens,
                 decode_tokens=self.decode_tokens,
                 preemptions=self.preemptions,
@@ -471,8 +608,9 @@ class ContinuousBatchingScheduler:
         block pool installed (``create_block_pool``): every stream the loop
         admits is a paged decode session against that pool.
     policy:
-        A :class:`SchedulingPolicy` (default FCFS) ordering admission, batch
-        formation and preemption victims.
+        A :class:`SchedulingPolicy` instance or registry name (``"fcfs"`` —
+        the default — ``"priority"``, ``"weighted"``, ``"slack"``) ordering
+        admission, batch formation and preemption victims.
     clock:
         :class:`WallClock` (default) or :class:`VirtualClock` — all telemetry
         timestamps come from it, never from the host clock.
@@ -500,13 +638,20 @@ class ContinuousBatchingScheduler:
         defaults to the no-op :data:`~repro.obs.recorder.NULL_OBS`).  All
         trace timestamps come from ``clock``, so traces on a
         :class:`VirtualClock` replay bit-identically.
+    on_emit:
+        Optional callback ``(request_id, kind, output)`` fired synchronously
+        whenever a stream emits tokens (``kind`` is ``"prefill"`` or
+        ``"decode"``); per-stream listeners can additionally be registered
+        with :meth:`add_emit_listener`.  The serving edge bridges these into
+        per-stream asyncio queues.
     """
 
     def __init__(
         self,
         server,
         *,
-        policy: Optional[SchedulingPolicy] = None,
+        policy=None,
+        policy_seed: int = 0,
         clock=None,
         max_streams: int = 8,
         prefill_chunk: int = 32,
@@ -515,6 +660,7 @@ class ContinuousBatchingScheduler:
         swap_store: Optional[SwapStore] = None,
         device: Optional[DeviceSpec] = None,
         obs: Optional[Observability] = None,
+        on_emit=None,
     ) -> None:
         require(
             server.block_pool is not None,
@@ -532,21 +678,30 @@ class ContinuousBatchingScheduler:
         )
         self.server = server
         self.pool = server.block_pool
-        self.policy = policy or FCFSPolicy()
-        self.clock = clock or WallClock()
+        self.policy, self.clock, self.obs = resolve_serving_kwargs(
+            policy=policy,
+            policy_seed=policy_seed,
+            clock=clock,
+            obs=obs,
+            default_obs=getattr(server, "obs", NULL_OBS),
+        )
         self.max_streams = int(max_streams)
         self.prefill_chunk = int(prefill_chunk)
         self.max_iteration_tokens = max_iteration_tokens
         self.preemption = preemption
         self.swap_store = swap_store if swap_store is not None else SwapStore()
         self.device = device if device is not None else server.device
-        self.obs = obs if obs is not None else getattr(server, "obs", NULL_OBS)
+        self.on_emit = on_emit
         self.stats = LoopStats()
         self.results: Dict[int, np.ndarray] = {}
         self.telemetry: Dict[int, RequestTelemetry] = {}
         self._streams: Dict[int, _Stream] = {}
         self._waiting: List[_Stream] = []
         self._running: List[_Stream] = []
+        #: request ids excluded from admission and batch formation until
+        #: released — the edge's backpressure lever for stalled consumers
+        self._held: set = set()
+        self._emit_listeners: Dict[int, object] = {}
 
     # ------------------------------------------------------------------ #
     # Intake
@@ -581,6 +736,8 @@ class ContinuousBatchingScheduler:
             prompt_tokens=request.prompt_tokens,
             total_tokens=request.total_tokens,
             arrival_time=now,
+            tenant=request.tenant,
+            slo_latency_seconds=request.slo_latency_seconds,
         )
         stream = _Stream(request=request, telemetry=telemetry, waiting_since=now)
         self._streams[rid] = stream
@@ -621,6 +778,94 @@ class ContinuousBatchingScheduler:
     @property
     def active(self) -> int:
         return self.waiting + self.running
+
+    @property
+    def held(self) -> int:
+        """Streams currently excluded from scheduling by :meth:`hold`."""
+        return len(self._held)
+
+    # ------------------------------------------------------------------ #
+    # Streaming hooks: emit listeners, holds, cancellation
+    # ------------------------------------------------------------------ #
+    def add_emit_listener(self, request_id: int, listener) -> None:
+        """Register ``listener(request_id, kind, output)`` for one stream."""
+        require(request_id in self._streams, f"unknown or finished request {request_id}")
+        self._emit_listeners[request_id] = listener
+
+    def remove_emit_listener(self, request_id: int) -> None:
+        self._emit_listeners.pop(request_id, None)
+
+    def _notify_emit(self, stream: _Stream, kind: str, output: np.ndarray) -> None:
+        rid = stream.request.request_id
+        if self.on_emit is not None:
+            self.on_emit(rid, kind, output)
+        listener = self._emit_listeners.get(rid)
+        if listener is not None:
+            listener(rid, kind, output)
+
+    def hold(self, request_id: int) -> None:
+        """Exclude a stream from admission and batch formation (backpressure).
+
+        A held running stream keeps its session and blocks — it simply stops
+        being scheduled — so resuming is free.  The pool pressure a held
+        stream exerts is the caller's to manage (the edge releases holds as
+        its consumer drains).
+        """
+        require(request_id in self._streams, f"unknown or finished request {request_id}")
+        self._held.add(request_id)
+
+    def release_hold(self, request_id: int) -> None:
+        self._held.discard(request_id)
+
+    def cancel(self, request_id: int) -> bool:
+        """Abort a submitted stream wherever it is in its lifecycle.
+
+        Releases the session's blocks (or pops its swap-store payload),
+        retracts any prefix-share credit by closing the paged cache through
+        the server, and marks telemetry ``cancelled``.  Partial outputs are
+        dropped — a cancelled stream never lands in :attr:`results`.
+        Returns ``False`` for unknown / already-finished ids (cancellation
+        races a natural finish benignly).
+        """
+        stream = self._streams.get(request_id)
+        if stream is None or stream.state == _FINISHED:
+            return False
+        if stream.state == _RUNNING:
+            self._running.remove(stream)
+            self.server.close_decode_session(stream.session)
+        else:
+            self._waiting.remove(stream)
+            if stream.swap_key is not None:
+                self.swap_store.pop(stream.swap_key)
+                stream.swap_key = None
+            if stream.session is not None:
+                # preempted-by-recompute session: no cache to release, but the
+                # close still retires the session record on the server
+                self.server.close_decode_session(stream.session)
+        stream.state = _FINISHED
+        stream.outputs = []
+        self._held.discard(request_id)
+        self._emit_listeners.pop(request_id, None)
+        telemetry = stream.telemetry
+        telemetry.cancelled = True
+        del self._streams[request_id]
+        with self.stats.lock:
+            self.stats.cancelled += 1
+        obs = self.obs
+        if obs.enabled:
+            now = self.clock.now()
+            obs.requests_cancelled.inc()
+            obs.active_streams.set(len(self._running))
+            obs.queued_streams.set(len(self._waiting))
+            if obs.trace is not None:
+                if stream.queue_span is not None:
+                    obs.trace.end_span(stream.queue_span, now)
+                    stream.queue_span = None
+                obs.trace.event("cancel", now, span=stream.span, request_id=request_id)
+                if stream.span is not None:
+                    obs.trace.end_span(stream.span, now, tokens=telemetry.tokens_emitted)
+                    stream.span = None
+        return True
 
     # ------------------------------------------------------------------ #
     # The iteration
@@ -690,6 +935,8 @@ class ContinuousBatchingScheduler:
         for stream in self.policy.rank(self._waiting, now):
             if len(self._running) >= self.max_streams:
                 break
+            if stream.request.request_id in self._held:
+                continue
             try:
                 self._activate(stream, report)
             except PoolExhausted:
@@ -706,7 +953,7 @@ class ContinuousBatchingScheduler:
             # fresh stream: PR-4 admission — first-chunk blocks prereserved
             # atomically, or the open rejects and the stream keeps waiting
             first_chunk = min(self.prefill_chunk, request.prompt_tokens) or 1
-            stream.session = self.server.open_decode_session(
+            stream.session = self.server._open_decode_session(
                 request.mask,
                 request.total_tokens,
                 paged=True,
@@ -818,6 +1065,8 @@ class ContinuousBatchingScheduler:
         for stream in self.policy.rank(self._running, self.clock.now()):
             if budget < 1:
                 break
+            if stream.request.request_id in self._held:
+                continue
             if stream.prompt_remaining > 0:
                 count = int(min(self.prefill_chunk, stream.prompt_remaining, budget))
                 plan.append((stream, "prefill", count))
@@ -895,6 +1144,7 @@ class ContinuousBatchingScheduler:
             now = self.clock.now()
             for (stream, _, count), response in zip(group, responses):
                 stream.outputs.append(response.result.output)
+                self._notify_emit(stream, "prefill", response.result.output)
                 stream.emitted += count
                 stream.telemetry.tokens_emitted += count
                 stream.telemetry.iterations_scheduled += 1
@@ -928,6 +1178,7 @@ class ContinuousBatchingScheduler:
             now = self.clock.now()
             for (stream, _, _), response in zip(group, responses):
                 stream.outputs.append(response.result.output)
+                self._notify_emit(stream, "decode", response.result.output)
                 stream.emitted += 1
                 telemetry = stream.telemetry
                 telemetry.tokens_emitted += 1
@@ -1064,8 +1315,23 @@ class ContinuousBatchingScheduler:
                 if obs.enabled:
                     obs.ttft_seconds.observe(now - telemetry.arrival_time)
             telemetry.decode_seconds = now - telemetry.first_token_time
+            if telemetry.slo_latency_seconds is not None:
+                telemetry.slack_at_finish = telemetry.slo_latency_seconds - (
+                    now - telemetry.arrival_time
+                )
+                telemetry.slo_attained = telemetry.slack_at_finish >= 0.0
+                if telemetry.slo_attained:
+                    self.stats.slo_attained += 1
+                else:
+                    self.stats.slo_missed += 1
             if obs.enabled:
                 obs.requests_finished.inc()
+                if telemetry.slo_attained is not None:
+                    outcome = "attained" if telemetry.slo_attained else "missed"
+                    obs.tenant_slo.labels(
+                        tenant=telemetry.tenant or "default", outcome=outcome
+                    ).inc()
+                    obs.slo_slack_seconds.observe(telemetry.slack_at_finish)
                 decode_after_first = telemetry.total_tokens - telemetry.prompt_tokens - 1
                 if decode_after_first > 0:
                     obs.per_token_seconds.observe(
@@ -1081,6 +1347,8 @@ class ContinuousBatchingScheduler:
                         )
                         stream.span = None
             self._running.remove(stream)
+            self._held.discard(rid)
+            self._emit_listeners.pop(rid, None)
             # drop the stream record: it pins the request's full q/k/v
             # tensors, which must not accumulate with a perpetual server's
             # lifetime traffic (results/telemetry stay until the caller
@@ -1101,8 +1369,10 @@ __all__ = [
     "PriorityPolicy",
     "RequestTelemetry",
     "SchedulingPolicy",
+    "SlackPolicy",
     "VirtualClock",
     "WallClock",
     "WeightedFairPolicy",
+    "resolve_serving_kwargs",
     "scheduling_policy",
 ]

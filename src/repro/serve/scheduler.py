@@ -22,12 +22,14 @@ each group's plan edge count times its stacked width as its load — the same
 pick-work-by-expected-cost idea the distributed partitioners apply to query
 rows.
 
-Autoregressive decoding streams through the same front-end:
-:meth:`AttentionServer.open_decode_session` hands out
-:class:`~repro.serve.decode.DecodeSession` objects whose decode-mode plans
-share the server's plan cache, and :meth:`AttentionServer.decode_steps`
-coalesces same-plan same-position steps from concurrent sessions into one
-stacked kernel pass (continuous batching).
+Autoregressive decoding streams through the same front-end: the
+:class:`~repro.serve.client.ServingClient` façade (``open_session`` /
+``request_session``) hands out :class:`~repro.serve.decode.DecodeSession`
+objects whose decode-mode plans share the server's plan cache, and
+:meth:`AttentionServer.decode_steps` coalesces same-plan same-position steps
+from concurrent sessions into one stacked kernel pass (continuous batching).
+The old ``open_decode_session`` / ``request_decode_session`` entry points
+survive as deprecation shims over the same internals.
 """
 
 from __future__ import annotations
@@ -36,6 +38,7 @@ import dataclasses
 import itertools
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -86,7 +89,7 @@ class RequestBatch:
 class DecodeTicket:
     """Admission-queue entry for a paged decode session.
 
-    Returned by :meth:`AttentionServer.request_decode_session`: when the pool
+    Returned by :meth:`repro.serve.client.ServingClient.request_session`: when the pool
     had room the ticket is already admitted (``session`` set); otherwise it
     waits FIFO until :meth:`AttentionServer.close_decode_session` (or an
     explicit :meth:`AttentionServer.admit_queued`) frees enough blocks.
@@ -423,6 +426,38 @@ class AttentionServer:
         pool: Optional[BlockPool] = None,
         reserve_tokens: Optional[int] = None,
     ) -> DecodeSession:
+        """Deprecated shim: use :meth:`repro.serve.client.ServingClient.open_session`.
+
+        The unified client façade is the one public way to open sessions;
+        this name survives one deprecation cycle for existing callers and
+        simply delegates (with a :class:`DeprecationWarning`).
+        """
+        warnings.warn(
+            "AttentionServer.open_decode_session is deprecated; open sessions "
+            "through repro.serve.ServingClient (client.open_session / "
+            "client.generate) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._open_decode_session(
+            mask,
+            horizon,
+            retain_outputs=retain_outputs,
+            paged=paged,
+            pool=pool,
+            reserve_tokens=reserve_tokens,
+        )
+
+    def _open_decode_session(
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool = False,
+        paged: bool = False,
+        pool: Optional[BlockPool] = None,
+        reserve_tokens: Optional[int] = None,
+    ) -> DecodeSession:
         """Open an autoregressive decoding stream against this server.
 
         The decode-mode plan (per-row stencil program) is fetched from — or
@@ -436,7 +471,8 @@ class AttentionServer:
         a real capacity grant: blocks for ``reserve_tokens`` tokens (default:
         one block) are held by the session up front, or the session is
         *rejected* with :exc:`~repro.serve.paging.PoolExhausted`.  Use
-        :meth:`request_decode_session` for queue-instead-of-reject admission.
+        :meth:`_request_decode_session` (``ServingClient.request_session``)
+        for queue-instead-of-reject admission.
 
         Reject-mode opens serialize with queue-mode admission under the
         server's admission lock, but they do not *wait behind* the FIFO
@@ -482,6 +518,34 @@ class AttentionServer:
         return session
 
     def request_decode_session(
+        self,
+        mask: MaskInput,
+        horizon: int,
+        *,
+        retain_outputs: bool = False,
+        pool: Optional[BlockPool] = None,
+        reserve_tokens: Optional[int] = None,
+    ) -> DecodeTicket:
+        """Deprecated shim: use :meth:`repro.serve.client.ServingClient.request_session`.
+
+        Delegates to the internal queue-mode admission path with a
+        :class:`DeprecationWarning`, exactly like :meth:`open_decode_session`.
+        """
+        warnings.warn(
+            "AttentionServer.request_decode_session is deprecated; use "
+            "repro.serve.ServingClient.request_session instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._request_decode_session(
+            mask,
+            horizon,
+            retain_outputs=retain_outputs,
+            pool=pool,
+            reserve_tokens=reserve_tokens,
+        )
+
+    def _request_decode_session(
         self,
         mask: MaskInput,
         horizon: int,

@@ -1,0 +1,231 @@
+"""ServingClient: the one public surface over sessions, loop, and edge.
+
+Also the only tests allowed to call the deprecated ``AttentionServer``
+session entry points — everything else in the tree goes through the client.
+"""
+
+import asyncio
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.masks.windowed import Dilated1DMask, LocalMask
+from repro.obs.recorder import Observability
+from repro.obs.scenarios import run_scenario
+from repro.serve import (
+    AttentionServer,
+    ContinuousBatchingScheduler,
+    DecodeSession,
+    FCFSPolicy,
+    GenerationResult,
+    ServingClient,
+    SlackPolicy,
+    VirtualClock,
+    resolve_serving_kwargs,
+    scheduling_policy,
+)
+from repro.utils.rng import random_qkv
+
+DIM = 4
+MASK = LocalMask(window=3)
+
+
+def _data(total, seed):
+    return random_qkv(total, DIM, dtype=np.float32, seed=seed)
+
+
+def _oracle(q, k, v, mask, prompt):
+    total = q.shape[-2]
+    session = DecodeSession.start(mask, total, retain_outputs=True)
+    session.prefill(q[:prompt], k[:prompt], v[:prompt])
+    for i in range(prompt, total):
+        session.step(q[i], k[i], v[i])
+    return session.outputs()
+
+
+def _client(**kwargs):
+    kwargs.setdefault("key_dim", DIM)
+    kwargs.setdefault("num_blocks", 32)
+    kwargs.setdefault("block_size", 4)
+    kwargs.setdefault("clock", VirtualClock())
+    return ServingClient(**kwargs)
+
+
+class TestGenerate:
+    def test_generate_matches_session_oracle(self):
+        q, k, v = _data(12, seed=3)
+        with _client(policy="slack") as client:
+            result = client.generate(q, k, v, MASK, prompt_tokens=5)
+        assert isinstance(result, GenerationResult)
+        np.testing.assert_array_equal(result.output, _oracle(q, k, v, MASK, 5))
+        assert result.telemetry.tokens_emitted == 12
+
+    def test_generate_many_interleaves_but_matches_solo(self):
+        workloads = [
+            (_data(8 + 2 * i, seed=20 + i), Dilated1DMask(window=3, dilation=2), 4)
+            for i in range(3)
+        ]
+        with _client() as client:
+            results = client.generate_many(
+                [
+                    client._as_request(q, k, v, mask, prompt_tokens=prompt)
+                    for (q, k, v), mask, prompt in workloads
+                ]
+            )
+        for result, ((q, k, v), mask, prompt) in zip(results, workloads):
+            np.testing.assert_array_equal(result.output, _oracle(q, k, v, mask, prompt))
+
+    def test_slo_and_tenant_reach_telemetry(self):
+        q, k, v = _data(8, seed=5)
+        with _client(policy="slack") as client:
+            result = client.generate(
+                q, k, v, MASK, prompt_tokens=4, tenant="acme", slo_latency_seconds=40.0
+            )
+        assert result.telemetry.tenant == "acme"
+        assert result.slo_attained is True
+        assert result.telemetry.slack_at_finish is not None
+
+    def test_agenerate_equals_generate(self):
+        q, k, v = _data(10, seed=7)
+        with _client() as sync_client:
+            expected = sync_client.generate(q, k, v, MASK, prompt_tokens=4).output
+
+        async def run():
+            with _client() as async_client:
+                result = await async_client.agenerate(q, k, v, MASK, prompt_tokens=4)
+                return result.output
+
+        np.testing.assert_array_equal(asyncio.run(run()), expected)
+
+
+class TestConstructorKeywords:
+    """The uniform obs=/clock=/policy=/storage= surface (one shared validator)."""
+
+    def test_policy_accepts_name_and_instance(self):
+        assert isinstance(_client(policy="slack")._policy, SlackPolicy)
+        custom = FCFSPolicy()
+        assert _client(policy=custom)._policy is custom
+
+    def test_unknown_policy_name_lists_valid_names(self):
+        with pytest.raises(ValueError) as info:
+            _client(policy="sjf")
+        message = str(info.value)
+        assert "sjf" in message
+        for name in ("fcfs", "priority", "slack", "weighted"):
+            assert name in message
+
+    def test_scheduling_policy_registry_contract(self):
+        # the satellite fix: unknown names raise ValueError (not KeyError)
+        # naming every valid policy; instances pass straight through
+        with pytest.raises(ValueError):
+            scheduling_policy("nope")
+        instance = SlackPolicy()
+        assert scheduling_policy(instance) is instance
+
+    def test_storage_keyword_builds_quantized_pool(self):
+        client = _client(storage="int8")
+        assert client.server.block_pool.storage == "int8"
+        q, k, v = _data(8, seed=9)
+        result = client.generate(q, k, v, MASK, prompt_tokens=4)
+        assert result.output.shape == (8, DIM)
+        client.close()
+
+    def test_storage_mismatch_with_existing_pool_rejected(self):
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=8, storage="fp16")
+        with pytest.raises(ValueError):
+            ServingClient(server, storage="int8")
+        server.close()
+
+    def test_invalid_clock_and_obs_rejected(self):
+        with pytest.raises(ValueError):
+            _client(clock=object())
+        with pytest.raises(ValueError):
+            _client(obs="yes please")
+
+    def test_adopting_a_scheduler_rejects_conflicting_keywords(self):
+        server = AttentionServer()
+        server.create_block_pool(key_dim=DIM, num_blocks=16, block_size=4)
+        scheduler = ContinuousBatchingScheduler(server, clock=VirtualClock())
+        client = ServingClient(scheduler=scheduler)
+        assert client.scheduler is scheduler
+        assert client.clock is scheduler.clock
+        with pytest.raises(ValueError):
+            ServingClient(scheduler=scheduler, policy="slack")
+        with pytest.raises(ValueError):
+            ServingClient(server, scheduler=scheduler)
+        server.close()
+
+    def test_session_only_client_needs_no_pool(self):
+        client = ServingClient()  # no key_dim: no pool, sessions still work
+        session = client.open_session(MASK, 8, retain_outputs=True)
+        q, k, v = _data(8, seed=11)
+        session.prefill(q[:4], k[:4], v[:4])
+        for i in range(4, 8):
+            session.step(q[i], k[i], v[i])
+        np.testing.assert_array_equal(session.outputs(), _oracle(q, k, v, MASK, 4))
+        with pytest.raises(ValueError):
+            _ = client.scheduler  # loop-routed generation does need the pool
+        client.close()
+
+    def test_run_scenario_accepts_the_same_keywords(self):
+        result = run_scenario(
+            "quick", policy=SlackPolicy(), clock=VirtualClock(), obs=Observability()
+        )
+        assert result.loop_stats.finished == len(result.scenario.requests)
+        with pytest.raises(ValueError):
+            run_scenario("quick", policy="sjf")
+
+    def test_resolver_is_shared(self):
+        policy, clock, obs = resolve_serving_kwargs(
+            policy="slack", clock=VirtualClock(), obs=None
+        )
+        assert isinstance(policy, SlackPolicy)
+        assert not obs.enabled  # NULL_OBS default
+
+
+class TestSessionFacade:
+    def test_queue_mode_admission_via_client(self):
+        client = _client(num_blocks=5, block_size=4)
+        hog = client.open_session(MASK, 16, paged=True, reserve_tokens=16)
+        ticket = client.request_session(MASK, 8, reserve_tokens=8)
+        assert not ticket.admitted
+        client.close_session(hog)
+        assert ticket.admitted
+        session = ticket.session
+        q, k, v = _data(8, seed=13)
+        session.prefill(q[:4], k[:4], v[:4])
+        client.close_session(session)
+        client.close()
+
+
+class TestDeprecatedShims:
+    """Old entry points still work (their tests elsewhere must keep passing)
+    but warn; the new client paths stay silent."""
+
+    def test_open_decode_session_warns_and_delegates(self):
+        with AttentionServer() as server:
+            with pytest.warns(DeprecationWarning, match="ServingClient"):
+                session = server.open_decode_session(MASK, 8, retain_outputs=True)
+            q, k, v = _data(8, seed=15)
+            session.prefill(q[:4], k[:4], v[:4])
+            for i in range(4, 8):
+                session.step(q[i], k[i], v[i])
+            np.testing.assert_array_equal(session.outputs(), _oracle(q, k, v, MASK, 4))
+
+    def test_request_decode_session_warns_and_delegates(self):
+        with AttentionServer() as server:
+            server.create_block_pool(key_dim=DIM, num_blocks=8, block_size=4)
+            with pytest.warns(DeprecationWarning, match="ServingClient"):
+                ticket = server.request_decode_session(MASK, 8, reserve_tokens=4)
+            assert ticket.admitted
+
+    def test_client_paths_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with _client() as client:
+                session = client.open_session(MASK, 8)
+                client.close_session(session)
+                q, k, v = _data(8, seed=17)
+                client.generate(q, k, v, MASK, prompt_tokens=4)

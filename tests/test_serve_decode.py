@@ -20,6 +20,7 @@ from repro.serve.decode import (
     decode_reference_mask,
     stacked_decode_step,
 )
+from repro.serve.client import ServingClient
 from repro.serve.scheduler import AttentionServer
 from repro.utils.rng import random_qkv
 
@@ -249,8 +250,8 @@ class TestServerStreaming:
     def test_sessions_share_cached_decode_plan(self):
         with AttentionServer(cache_capacity=8) as server:
             mask = longformer_mask(reach=3, global_tokens=(0,))
-            first = server.open_decode_session(mask, 32)
-            second = server.open_decode_session(mask, 32)
+            first = ServingClient(server).open_session(mask, 32)
+            second = ServingClient(server).open_session(mask, 32)
             assert not first.plan_cache_hit
             assert second.plan_cache_hit
             assert second.plan is first.plan
@@ -272,7 +273,7 @@ class TestServerStreaming:
         data = [random_qkv(length, dim, dtype=np.float32, seed=80 + s) for s in range(streams)]
         with AttentionServer(cache_capacity=8) as server:
             sessions = [
-                server.open_decode_session(mask, length, retain_outputs=True)
+                ServingClient(server).open_session(mask, length, retain_outputs=True)
                 for _ in range(streams)
             ]
             for s, (q, k, v) in zip(sessions, data):
@@ -297,8 +298,8 @@ class TestServerStreaming:
 
     def test_ragged_sessions_form_singleton_groups(self):
         with AttentionServer(cache_capacity=8) as server:
-            a = server.open_decode_session(LocalMask(window=3), 16)
-            b = server.open_decode_session(LocalMask(window=5), 16)
+            a = ServingClient(server).open_session(LocalMask(window=3), 16)
+            b = ServingClient(server).open_session(LocalMask(window=5), 16)
             q, k, v = random_qkv(2, 4, dtype=np.float32, seed=91)
             responses = server.decode_steps(
                 [(a, q[0], k[0], v[0]), (b, q[0], k[0], v[0])]
@@ -308,7 +309,7 @@ class TestServerStreaming:
 
     def test_single_session_step_helper(self):
         with AttentionServer(cache_capacity=8) as server:
-            session = server.open_decode_session(LocalMask(window=3), 16)
+            session = ServingClient(server).open_session(LocalMask(window=3), 16)
             q, k, v = random_qkv(1, 4, dtype=np.float32, seed=93)
             response = server.decode_step(session, q[0], k[0], v[0])
             assert response.result.meta["position"] == 0
@@ -316,7 +317,7 @@ class TestServerStreaming:
 
     def test_duplicate_session_in_one_call_rejected(self):
         with AttentionServer(cache_capacity=8) as server:
-            session = server.open_decode_session(LocalMask(window=3), 16)
+            session = ServingClient(server).open_session(LocalMask(window=3), 16)
             q, k, v = random_qkv(2, 4, dtype=np.float32, seed=97)
             with pytest.raises(ValueError):
                 server.decode_steps(

@@ -31,7 +31,7 @@ from harness.simulation import (
     stream_tensors,
 )
 from repro.core.engine import GraphAttentionEngine
-from repro.serve import AttentionRequest, AttentionServer
+from repro.serve import AttentionRequest, AttentionServer, ServingClient
 from repro.serve.decode import decode_reference_mask
 
 
@@ -60,7 +60,7 @@ def _run_workload(requests, streams, *, flush_every, engine):
     for spec in streams:
         mask = MASKS[spec["mask"]]
         length = spec["length"]
-        session = server.open_decode_session(mask, length, retain_outputs=True, paged=True)
+        session = ServingClient(server).open_session(mask, length, retain_outputs=True, paged=True)
         q, k, v = stream_tensors(spec)
         prompt = min(spec["prompt"], length)
         if prompt:

@@ -13,6 +13,7 @@ from repro.core.engine import GraphAttentionEngine
 from repro.masks.windowed import LocalMask
 from repro.serve import (
     AttentionServer,
+    ServingClient,
     ContinuousBatchingScheduler,
     DecodeSession,
     FCFSPolicy,
@@ -223,8 +224,8 @@ class TestStackedPrefill:
         with AttentionServer() as server:
             pool = server.create_block_pool(key_dim=DIM, num_blocks=64, block_size=4)
             q, k, v = random_qkv(12, DIM, dtype=np.float32, seed=6)
-            a = server.open_decode_session(MASK, 12, paged=True)
-            b = server.open_decode_session(MASK, 12, paged=True)
+            a = ServingClient(server).open_session(MASK, 12, paged=True)
+            b = ServingClient(server).open_session(MASK, 12, paged=True)
             responses = server.prefill_chunks(
                 [(a, q[:6], k[:6], v[:6]), (b, q[:6], k[:6], v[:6])]
             )

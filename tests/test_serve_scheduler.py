@@ -10,6 +10,7 @@ from repro.core.engine import GraphAttentionEngine
 from repro.distributed.partition_balance import balanced_worker_bins
 from repro.masks.presets import longformer_mask
 from repro.masks.windowed import LocalMask
+from repro.serve.client import ServingClient
 from repro.serve.paging import BlockPool, PoolExhausted
 from repro.serve.scheduler import AttentionServer
 from repro.serve.session import AttentionRequest
@@ -264,7 +265,7 @@ class TestPagedAdmission:
     def test_paged_session_requires_a_pool(self):
         with AttentionServer() as server:
             with pytest.raises(ValueError):
-                server.open_decode_session(LocalMask(window=3), 8, paged=True)
+                ServingClient(server).open_session(LocalMask(window=3), 8, paged=True)
 
     def test_create_block_pool_needs_exactly_one_sizing(self):
         with AttentionServer() as server:
@@ -282,7 +283,7 @@ class TestPagedAdmission:
             )
             assert pool.nbytes <= 1 << 16
             assert server.stats.block_occupancy == 0.0
-            session = server.open_decode_session(LocalMask(window=3), 16, paged=True)
+            session = ServingClient(server).open_session(LocalMask(window=3), 16, paged=True)
             q, k, v = random_qkv(8, self.DIM, seed=1)
             session.prefill(q, k, v)
             assert server.stats.block_occupancy > 0.0
@@ -293,25 +294,25 @@ class TestPagedAdmission:
 
     def test_admission_rejects_when_pool_is_full(self):
         with self._server(num_blocks=2, block_size=4) as server:
-            first = server.open_decode_session(
+            first = ServingClient(server).open_session(
                 LocalMask(window=3), 8, paged=True, reserve_tokens=8
             )
             q, k, v = random_qkv(8, self.DIM, seed=2)
             first.prefill(q, k, v)  # owns both blocks
             with pytest.raises(PoolExhausted):
-                server.open_decode_session(
+                ServingClient(server).open_session(
                     LocalMask(window=3), 8, paged=True, reserve_tokens=8
                 )
             assert server.stats.admission_rejected == 1
 
     def test_queued_ticket_admitted_when_blocks_free(self):
         with self._server(num_blocks=2, block_size=4) as server:
-            first = server.open_decode_session(
+            first = ServingClient(server).open_session(
                 LocalMask(window=3), 8, paged=True, reserve_tokens=8
             )
             q, k, v = random_qkv(8, self.DIM, seed=3)
             first.prefill(q, k, v)
-            ticket = server.request_decode_session(
+            ticket = ServingClient(server).request_session(
                 LocalMask(window=3), 8, reserve_tokens=8
             )
             assert not ticket.admitted
@@ -327,13 +328,13 @@ class TestPagedAdmission:
 
     def test_queue_preserves_fifo_order(self):
         with self._server(num_blocks=2, block_size=4) as server:
-            first = server.open_decode_session(
+            first = ServingClient(server).open_session(
                 LocalMask(window=3), 8, paged=True, reserve_tokens=8
             )
             q, k, v = random_qkv(8, self.DIM, seed=4)
             first.prefill(q, k, v)
             tickets = [
-                server.request_decode_session(LocalMask(window=3), 8, reserve_tokens=4)
+                ServingClient(server).request_session(LocalMask(window=3), 8, reserve_tokens=4)
                 for _ in range(3)
             ]
             server.close_decode_session(first)
@@ -345,15 +346,15 @@ class TestPagedAdmission:
         # close_decode_session) left queued tickets stranded, and every later
         # request queued behind them despite a fully free pool
         with self._server(num_blocks=2, block_size=4) as server:
-            first = server.open_decode_session(
+            first = ServingClient(server).open_session(
                 LocalMask(window=3), 8, paged=True, reserve_tokens=8
             )
-            stranded = server.request_decode_session(
+            stranded = ServingClient(server).request_session(
                 LocalMask(window=3), 8, reserve_tokens=8
             )
             assert not stranded.admitted
             first.close()  # frees the pool without touching the server queue
-            later = server.request_decode_session(
+            later = ServingClient(server).request_session(
                 LocalMask(window=3), 8, reserve_tokens=8
             )
             assert stranded.admitted  # drained before the new request decided
@@ -366,15 +367,15 @@ class TestPagedAdmission:
         # for an exhausted pool must not block tickets (or fresh requests)
         # bound for a different pool with free blocks
         with self._server(num_blocks=2, block_size=4) as server:
-            hog = server.open_decode_session(
+            hog = ServingClient(server).open_session(
                 LocalMask(window=3), 8, paged=True, reserve_tokens=8
             )
-            stuck = server.request_decode_session(
+            stuck = ServingClient(server).request_session(
                 LocalMask(window=3), 8, reserve_tokens=8
             )
             assert not stuck.admitted
             other_pool = BlockPool(2, 4, key_dim=self.DIM)
-            ticket = server.request_decode_session(
+            ticket = ServingClient(server).request_session(
                 LocalMask(window=3), 8, pool=other_pool, reserve_tokens=8
             )
             assert ticket.admitted  # other pool has room; no cross-pool wait
@@ -390,16 +391,16 @@ class TestPagedAdmission:
         with self._server(num_blocks=2, block_size=4) as server:
             too_big = 2 * 4 + 1  # needs 3 blocks of 2
             with pytest.raises(ValueError):
-                server.request_decode_session(
+                ServingClient(server).request_session(
                     LocalMask(window=3), 16, reserve_tokens=too_big
                 )
             assert server.queued_sessions == 0
             with pytest.raises(ValueError):
-                server.open_decode_session(
+                ServingClient(server).open_session(
                     LocalMask(window=3), 16, paged=True, reserve_tokens=too_big
                 )
             # a feasible request still sails through afterwards
-            session = server.open_decode_session(
+            session = ServingClient(server).open_session(
                 LocalMask(window=3), 8, paged=True, reserve_tokens=8
             )
             server.close_decode_session(session)
@@ -410,8 +411,8 @@ class TestPagedAdmission:
         with self._server(num_blocks=4, block_size=4) as server:
             for _ in range(6):
                 with pytest.raises(ValueError):
-                    server.open_decode_session(np.ones((3, 5)), 8, paged=True)
+                    ServingClient(server).open_session(np.ones((3, 5)), 8, paged=True)
             assert server.block_pool.blocks_in_use == 0
-            session = server.open_decode_session(LocalMask(window=3), 8, paged=True)
+            session = ServingClient(server).open_session(LocalMask(window=3), 8, paged=True)
             assert session.paged
             server.close_decode_session(session)

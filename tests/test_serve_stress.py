@@ -27,7 +27,7 @@ import pytest
 from harness.simulation import fuzz_seeds, stream_tensors
 from repro.core.engine import GraphAttentionEngine
 from repro.masks.windowed import LocalMask
-from repro.serve import AttentionServer, BlockPool, PoolExhausted
+from repro.serve import AttentionServer, BlockPool, PoolExhausted, ServingClient
 from repro.serve.decode import DecodeSession, decode_reference_mask, stacked_decode_step
 from repro.utils.rng import derive_seed
 
@@ -66,6 +66,7 @@ def test_threaded_streams_tiny_pool_no_deadlock_no_leaks():
     # 18 blocks of 4 tokens: each 24-token stream wants 6, so at most 3
     # streams fit concurrently against 4 workers — permanent pressure
     pool = server.create_block_pool(key_dim=DIM, num_blocks=18, block_size=4)
+    client = ServingClient(server)
     failures = []
     admission_lock = threading.Lock()  # serialises open/close vs. admission
 
@@ -77,7 +78,7 @@ def test_threaded_streams_tiny_pool_no_deadlock_no_leaks():
             for _ in range(10_000):  # bounded retry; a deadlock trips the bound
                 try:
                     with admission_lock:
-                        session = server.open_decode_session(
+                        session = client.open_session(
                             MASK, LENGTH, retain_outputs=True, paged=True,
                             reserve_tokens=LENGTH,
                         )
@@ -127,11 +128,12 @@ def test_shared_prompt_under_pressure_all_streams_correct():
     # 2 shared prompt blocks + one private tail block per stream: 8 streams
     # need 2 + 8 = 10 blocks; private copies would need 8 * 3 = 24
     pool = server.create_block_pool(key_dim=DIM, num_blocks=12, block_size=4)
+    client = ServingClient(server)
     q, k, v = _stream_qkv(77)
     oracle = _oracle(q, k, v)
     sessions = []
     for _ in range(8):
-        session = server.open_decode_session(MASK, LENGTH, retain_outputs=True, paged=True)
+        session = client.open_session(MASK, LENGTH, retain_outputs=True, paged=True)
         session.prefill(q[:PROMPT], k[:PROMPT], v[:PROMPT])
         sessions.append(session)
     assert pool.blocks_in_use <= 2 + len(sessions)  # shared prompt paid once
