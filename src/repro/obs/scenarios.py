@@ -75,6 +75,8 @@ class ScenarioRequest:
     seed: int
     tenant: Optional[str] = None
     slo: Optional[float] = None
+    #: speculation depth submitted as ``LoopRequest.speculate_k`` (0 = off)
+    speculate: int = 0
 
     @property
     def total(self) -> int:
@@ -126,6 +128,7 @@ def _requests(entries: Sequence[dict]) -> Tuple[ScenarioRequest, ...]:
                 seed=int(entry.get("seed", 1000 + index)),
                 tenant=entry.get("tenant"),
                 slo=None if entry.get("slo") is None else float(entry["slo"]),
+                speculate=int(entry.get("speculate", 0)),
             )
         )
     return tuple(out)
@@ -136,7 +139,16 @@ def _requests(entries: Sequence[dict]) -> Tuple[ScenarioRequest, ...]:
 # --------------------------------------------------------------------------- #
 def _quick(seed: int) -> Scenario:
     entries = [
-        {"mask": i, "prompt": 6 + 2 * (i % 3), "decode": 4, "gap": 1.0, "seed": seed * 97 + i}
+        {
+            "mask": i,
+            "prompt": 6 + 2 * (i % 3),
+            "decode": 4,
+            "gap": 1.0,
+            "seed": seed * 97 + i,
+            # alternate plain / speculative streams so the CI smoke snapshot
+            # always carries the speculate_* counters and accept-rate series
+            "speculate": 3 if i % 2 else 0,
+        }
         for i in range(6)
     ]
     return Scenario(
@@ -457,6 +469,7 @@ def run_scenario(
                     priority=request.priority,
                     tenant=request.tenant,
                     slo_latency_seconds=request.slo,
+                    speculate_k=request.speculate,
                 )
             )
         if not scheduler.active:

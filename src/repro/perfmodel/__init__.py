@@ -44,6 +44,7 @@ from repro.perfmodel.decode import (
     DecodeStepEstimate,
     PreemptionCostEstimate,
     SloEstimate,
+    SpeculationCostEstimate,
     blocks_for_tokens,
     decode_step_flops,
     kv_block_bytes,
@@ -54,6 +55,7 @@ from repro.perfmodel.decode import (
     paged_sessions_supported,
     paging_fragmentation_overhead,
     preemption_cost,
+    speculation_cost,
 )
 
 __all__ = [
@@ -70,6 +72,7 @@ __all__ = [
     "PreemptionCostEstimate",
     "RuntimeEstimate",
     "SloEstimate",
+    "SpeculationCostEstimate",
     "RuntimeModel",
     "V100_SXM2_32GB",
     "blocks_for_tokens",
@@ -87,4 +90,5 @@ __all__ = [
     "paged_sessions_supported",
     "paging_fragmentation_overhead",
     "preemption_cost",
+    "speculation_cost",
 ]

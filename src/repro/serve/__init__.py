@@ -27,6 +27,12 @@ Three layers turn the paper's kernels into a serving stack:
   scale/zero-point parameters) with explicit, property-tested error bounds
   per storage dtype; sharing, copy-on-write and swap round-trips operate on
   the encoded payload without ever inflating it to fp32.
+* :mod:`repro.serve.speculate` — speculative multi-token decoding: a thinned
+  *draft* pass proposes up to ``k`` tokens per stream
+  (:meth:`~repro.masks.base.MaskSpec.draft_variant` mask per family), one
+  stacked *verify* pass accepts the longest agreeing prefix, and rejected
+  tokens roll back atomically from the paged KV cache — emitted outputs are
+  bit-exact against one-token decoding by construction.
 * :mod:`repro.serve.loop` — iteration-level continuous batching: a
   :class:`ContinuousBatchingScheduler` that owns the request lifecycle
   (admission, chunked-prefill/decode batch formation, preemption by
@@ -114,6 +120,11 @@ from repro.serve.plan import (
     plan_cache_key,
 )
 from repro.serve.scheduler import AttentionServer, DecodeTicket, RequestBatch
+from repro.serve.speculate import (
+    DEFAULT_DRAFT_FRACTION,
+    SpeculationOutcome,
+    speculative_decode_steps,
+)
 from repro.serve.session import (
     AttentionRequest,
     AttentionResponse,
@@ -132,6 +143,7 @@ __all__ = [
     "CacheStats",
     "ContinuousBatchingScheduler",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_DRAFT_FRACTION",
     "DEFAULT_HEAD_DIM",
     "DecodeSession",
     "DecodeTicket",
@@ -161,6 +173,7 @@ __all__ = [
     "ServingClient",
     "ServingSession",
     "SlackPolicy",
+    "SpeculationOutcome",
     "StreamCancelled",
     "SwapHandle",
     "SwapStore",
@@ -180,6 +193,7 @@ __all__ = [
     "resolve_storage",
     "scheduling_policy",
     "roundtrip_bound",
+    "speculative_decode_steps",
     "stacked_decode_step",
     "stacked_prefill",
 ]

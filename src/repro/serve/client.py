@@ -230,6 +230,7 @@ class ServingClient:
         priority: float = 1.0,
         tenant: Optional[str] = None,
         slo_latency_seconds: Optional[float] = None,
+        speculate_k: int = 0,
     ) -> LoopRequest:
         return LoopRequest(
             q=q,
@@ -240,6 +241,7 @@ class ServingClient:
             priority=priority,
             tenant=tenant,
             slo_latency_seconds=slo_latency_seconds,
+            speculate_k=speculate_k,
         )
 
     def submit(self, request: LoopRequest) -> int:
@@ -257,9 +259,14 @@ class ServingClient:
         priority: float = 1.0,
         tenant: Optional[str] = None,
         slo_latency_seconds: Optional[float] = None,
+        speculate_k: int = 0,
         max_iterations: Optional[int] = None,
     ) -> GenerationResult:
-        """Serve one stream end to end through the loop, synchronously."""
+        """Serve one stream end to end through the loop, synchronously.
+
+        ``speculate_k > 1`` decodes the stream speculatively (draft-and-verify
+        multi-token steps); outputs are bit-identical to plain stepping.
+        """
         request = self._as_request(
             q,
             k,
@@ -269,6 +276,7 @@ class ServingClient:
             priority=priority,
             tenant=tenant,
             slo_latency_seconds=slo_latency_seconds,
+            speculate_k=speculate_k,
         )
         rid = self.scheduler.submit(request)
         self._drive({rid}, max_iterations)
@@ -351,6 +359,7 @@ class ServingClient:
         priority: float = 1.0,
         tenant: Optional[str] = None,
         slo_latency_seconds: Optional[float] = None,
+        speculate_k: int = 0,
     ) -> GenerationResult:
         """``generate``'s async twin: same stream, same bits, via the edge."""
         edge = await self._ensure_edge()
@@ -363,6 +372,7 @@ class ServingClient:
             priority=priority,
             tenant=tenant,
             slo_latency_seconds=slo_latency_seconds,
+            speculate_k=speculate_k,
         )
         handle = await edge.submit(request)
         output = await handle.collect()

@@ -201,6 +201,17 @@ class KVCache:
             np.asarray(k_row)[..., None, :], np.asarray(v_row)[..., None, :]
         )
 
+    def truncate(self, length: int) -> None:
+        """Discard tokens past ``length`` (speculative-decode rollback).
+
+        The contiguous twin of the paged cache's speculative window: rows
+        above ``length`` become dead capacity (never re-read — every gather
+        checks the live range), so rejected draft tokens vanish without a
+        copy and the accepted prefix keeps its exact written bytes.
+        """
+        require(0 <= length <= self._length, "truncate target outside the live range")
+        self._length = int(length)
+
 
 # --------------------------------------------------------------------------- #
 # Row attention core
@@ -213,7 +224,8 @@ def _edge_attention(
     *,
     scale_value: float,
     out_dtype,
-) -> Tuple[np.ndarray, OnlineSoftmaxState]:
+    return_scores: bool = False,
+):
     """Attention of ``R`` query rows over pre-gathered per-edge K/V rows.
 
     ``q_rows`` is ``(..., R, d_k)``; ``k_edges``/``v_edges`` hold one
@@ -221,6 +233,10 @@ def _edge_attention(
     delimits each query row's edges.  The per-row softmax statistics are
     folded through an :class:`OnlineSoftmaxState` so empty rows (fully masked
     queries) finalise to zero exactly like the one-shot kernels.
+
+    ``return_scores=True`` appends the raw scaled ``(..., E)`` score vector to
+    the return tuple — the speculative verify pass reads per-row argmaxes off
+    it without recomputing the dot products.
     """
     acc_dtype = accumulator_dtype(q_rows.dtype)
     q_acc = np.asarray(q_rows, dtype=acc_dtype)
@@ -235,6 +251,8 @@ def _edge_attention(
     row_max, row_sum, weights = segment_softmax_stats(scores, indptr)
     accumulator = segment_weighted_sum(weights, v_acc, indptr, v_acc.shape[-1])
     state = OnlineSoftmaxState(row_max=row_max, row_sum=row_sum, accumulator=accumulator)
+    if return_scores:
+        return state.finalize(dtype=out_dtype), state, scores
     return state.finalize(dtype=out_dtype), state
 
 

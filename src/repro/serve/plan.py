@@ -188,6 +188,9 @@ class ExecutionPlan:
     batch: int = 1
     mode: str = "full"
     decode: Optional[RowProgram] = None
+    #: decode plans keep the spec they were compiled from, so derived variants
+    #: (the speculative draft pass's thinned mask) can be compiled on demand
+    spec: Optional[MaskSpec] = None
 
     @property
     def num_kernel_calls(self) -> int:
@@ -384,6 +387,7 @@ def compile_plan(
             batch=batch,
             mode="decode",
             decode=program,
+            spec=spec,
         )
 
     if mask is None:

@@ -63,6 +63,11 @@ from repro.serve.paging import (
     PoolExhausted,
 )
 from repro.serve.plan import ExecutionPlan, compile_plan, plan_cache_key
+from repro.serve.speculate import (
+    DEFAULT_DRAFT_FRACTION,
+    SpeculationOutcome,
+    speculative_decode_steps,
+)
 from repro.serve.session import (
     AttentionRequest,
     AttentionResponse,
@@ -825,6 +830,90 @@ class AttentionServer:
         if self.obs.enabled:
             self.obs.server_requests.labels(phase="decode").inc(len(steps))
         return responses
+
+    def speculate_steps(
+        self,
+        steps: Sequence[Tuple[DecodeSession, np.ndarray, np.ndarray, np.ndarray]],
+        *,
+        draft_fraction: float = DEFAULT_DRAFT_FRACTION,
+    ) -> List[Optional[SpeculationOutcome]]:
+        """Serve one draft-and-verify pass per ``(session, q, k, v)`` entry.
+
+        The multi-token twin of :meth:`decode_steps`: ``q``/``k``/``v`` carry
+        ``batch_shape + (k, d)`` stacks of the next ``k`` candidate tokens,
+        and entries whose sessions share one plan, position and tensor shape
+        fuse into one :func:`~repro.serve.speculate.speculative_decode_steps`
+        group.  Outcomes follow the input order; emitted outputs are
+        bit-exact equal to what ``k`` sequential one-token steps would have
+        produced (``None`` marks a session closed concurrently inside the
+        append window).
+        """
+        steps = list(steps)
+        if not steps:
+            return []
+        started = time.perf_counter()
+        seen_sessions = set()
+        groups: "Dict[Tuple, List[int]]" = {}
+        for index, (session, q, k, v) in enumerate(steps):
+            require(
+                id(session) not in seen_sessions,
+                "a session may appear at most once per speculate_steps call",
+            )
+            seen_sessions.add(id(session))
+            group_key = (
+                session.plan.key or id(session.plan),
+                session.position,
+                np.shape(q),
+                np.shape(v),
+                np.asarray(q).dtype.str,
+                np.asarray(k).dtype.str,
+                np.asarray(v).dtype.str,
+            )
+            groups.setdefault(group_key, []).append(index)
+
+        outcomes: List[Optional[SpeculationOutcome]] = [None] * len(steps)
+        drafted = accepted = rolled_back = fallbacks = 0
+        for indices in groups.values():
+            group_started = time.perf_counter()
+            sessions = [steps[i][0] for i in indices]
+            group_outcomes = speculative_decode_steps(
+                sessions,
+                [steps[i][1] for i in indices],
+                [steps[i][2] for i in indices],
+                [steps[i][3] for i in indices],
+                draft_fraction=draft_fraction,
+            )
+            latency = (time.perf_counter() - group_started) / len(indices)
+            if self.obs.enabled:
+                plan_key = sessions[0].plan.key or "adhoc"
+                kernel = self.obs.kernel_seconds.labels(plan=plan_key, phase="speculate")
+                for _ in indices:
+                    kernel.observe(latency)
+            for index, outcome in zip(indices, group_outcomes):
+                outcomes[index] = outcome
+                if outcome is None:
+                    continue
+                drafted += outcome.drafted
+                accepted += outcome.accepted
+                rolled_back += outcome.rolled_back
+                fallbacks += int(outcome.fallback)
+                if self.obs.enabled:
+                    self.obs.speculate_accept_rate.observe(outcome.accept_rate)
+
+        with self.stats.lock:
+            self.stats.speculate_passes += len(steps)
+            self.stats.speculate_drafted += drafted
+            self.stats.speculate_accepted += accepted
+            self.stats.speculate_rolled_back += rolled_back
+            self.stats.speculate_fallbacks += fallbacks
+            self.stats.speculate_wall_seconds += time.perf_counter() - started
+        if self.obs.enabled:
+            self.obs.server_requests.labels(phase="speculate").inc(len(steps))
+            self.obs.speculate_drafted.inc(drafted)
+            self.obs.speculate_accepted.inc(accepted)
+            self.obs.speculate_rolled_back.inc(rolled_back)
+            self.obs.speculate_fallbacks.inc(fallbacks)
+        return outcomes
 
     def _process(self, requests: List[AttentionRequest]) -> List[AttentionResponse]:
         if not requests:

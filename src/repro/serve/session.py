@@ -102,6 +102,12 @@ _SERVER_COUNTER_FIELDS = (
     "prefill_stacked_executions",
     "prefill_coalesced_chunks",
     "prefill_wall_seconds",
+    "speculate_passes",
+    "speculate_drafted",
+    "speculate_accepted",
+    "speculate_rolled_back",
+    "speculate_fallbacks",
+    "speculate_wall_seconds",
     "paged_sessions",
     "sessions_closed",
     "admission_rejected",
@@ -138,6 +144,12 @@ class ServerStats:
     prefill_stacked_executions: int = 0
     prefill_coalesced_chunks: int = 0
     prefill_wall_seconds: float = 0.0
+    speculate_passes: int = 0
+    speculate_drafted: int = 0
+    speculate_accepted: int = 0
+    speculate_rolled_back: int = 0
+    speculate_fallbacks: int = 0
+    speculate_wall_seconds: float = 0.0
     paged_sessions: int = 0
     sessions_closed: int = 0
     admission_rejected: int = 0
@@ -180,6 +192,13 @@ class ServerStats:
         return self.decode_steps / self.decode_wall_seconds
 
     @property
+    def speculate_accept_rate(self) -> float:
+        """Accepted fraction of drafted speculative tokens (0.0 before any pass)."""
+        if self.speculate_drafted <= 0:
+            return 0.0
+        return self.speculate_accepted / self.speculate_drafted
+
+    @property
     def block_occupancy(self) -> float:
         """Fraction of the shared pool's blocks mapped by live sessions."""
         return self.pool.occupancy if self.pool is not None else 0.0
@@ -212,6 +231,12 @@ class ServerStatsSnapshot:
     prefill_stacked_executions: int
     prefill_coalesced_chunks: int
     prefill_wall_seconds: float
+    speculate_passes: int
+    speculate_drafted: int
+    speculate_accepted: int
+    speculate_rolled_back: int
+    speculate_fallbacks: int
+    speculate_wall_seconds: float
     paged_sessions: int
     sessions_closed: int
     admission_rejected: int
@@ -223,6 +248,7 @@ class ServerStatsSnapshot:
     throughput_rps = ServerStats.throughput_rps
     mean_latency_s = ServerStats.mean_latency_s
     decode_steps_per_second = ServerStats.decode_steps_per_second
+    speculate_accept_rate = ServerStats.speculate_accept_rate
     block_occupancy = ServerStats.block_occupancy
     block_share_hits = ServerStats.block_share_hits
 

@@ -3,9 +3,9 @@
 One seeded driver is the single source of randomized serving workloads for
 the whole test suite: Poisson arrivals on a **virtual clock**, ragged
 prompt/output lengths, a mask drawn from the canonical zoo, a scheduling
-policy, a preemption mode and a pool sized anywhere from comfortable to
-storm-tight all come from one ``numpy`` generator, so every run is
-addressable by a single integer seed.
+policy, a preemption mode, a per-request speculation depth and a pool sized
+anywhere from comfortable to storm-tight all come from one ``numpy``
+generator, so every run is addressable by a single integer seed.
 
 :func:`run_simulation` drives a :class:`~repro.serve.ContinuousBatchingScheduler`
 to completion and then checks the global invariants every workload must
@@ -106,6 +106,16 @@ def sim_seeds(default_count: int = 3) -> List[int]:
 # --------------------------------------------------------------------------- #
 # Workload specs
 # --------------------------------------------------------------------------- #
+#: Tensor profiles a simulated stream can decode over.  ``iid`` is the
+#: default random stream; ``peaked`` makes every row's attention peak its own
+#: most recent column (which every family's thinned draft row keeps), so a
+#: speculative stream accepts every drafted token; ``collapse`` is peaked for
+#: the first half of the horizon and iid after it, so a stream's accept rate
+#: collapses mid-run and forces rollbacks/fallbacks (and, eventually, the
+#: loop's break-even auto-disable).
+PROFILES = ("iid", "peaked", "collapse")
+
+
 @dataclass(frozen=True)
 class SimRequestSpec:
     """One simulated stream: arrival, shape, mask, priority, tensor seed."""
@@ -116,9 +126,30 @@ class SimRequestSpec:
     priority: float
     arrival: float
     seed: int
+    #: speculation depth submitted as ``LoopRequest.speculate_k`` (0 = off)
+    speculate: int = 0
+    #: tensor profile (see :data:`PROFILES`)
+    profile: str = "iid"
 
     def tensors(self, dim: int = DIM):
-        return random_qkv(self.total, dim, dtype=np.float32, seed=self.seed)
+        q, k, v = random_qkv(self.total, dim, dtype=np.float32, seed=self.seed)
+        if self.profile == "iid":
+            return q, k, v
+        # peaked: queries aim along e0 and key magnitude grows with position,
+        # so each row's argmax is its newest column -- deterministic full
+        # acceptance under speculation.  collapse: same, but the growth stops
+        # at the midpoint and keys go back to iid noise.
+        direction = np.zeros(dim, dtype=np.float32)
+        direction[0] = 1.0
+        scale = 1.0 + np.arange(self.total, dtype=np.float32)
+        peaked_k = np.broadcast_to(direction, (self.total, dim)) * scale[:, None]
+        q = np.broadcast_to(direction, q.shape).copy()
+        if self.profile == "collapse":
+            half = max(1, self.total // 2)
+            k = np.concatenate([peaked_k[:half], k[half:]]).astype(np.float32)
+        else:
+            k = peaked_k.astype(np.float32)
+        return q, k, v
 
     @property
     def mask(self):
@@ -177,9 +208,11 @@ def build_workload(
 
     Each entry carries ``mask`` (index), ``prompt``, ``decode``, ``priority``
     (index into :data:`PRIORITIES`), ``gap`` (inter-arrival scaled to
-    iterations) and ``seed``; arrivals are the running sum of gaps.  The pool
-    is sized ``min_feasible + extra_blocks``, so ``extra_blocks=0`` is the
-    preemption-storm edge and large values are comfortable.
+    iterations), ``seed`` and optional ``speculate`` (speculation depth,
+    default off) / ``profile`` (tensor profile, default ``iid``); arrivals
+    are the running sum of gaps.  The pool is sized ``min_feasible +
+    extra_blocks``, so ``extra_blocks=0`` is the preemption-storm edge and
+    large values are comfortable.
     """
     specs: List[SimRequestSpec] = []
     arrival = 0.0
@@ -195,6 +228,8 @@ def build_workload(
                 priority=PRIORITIES[int(entry.get("priority", 1)) % len(PRIORITIES)],
                 arrival=arrival,
                 seed=int(entry["seed"]),
+                speculate=int(entry.get("speculate", 0)),
+                profile=PROFILES[int(entry.get("profile", 0)) % len(PROFILES)],
             )
         )
     return SimWorkload(
@@ -223,8 +258,9 @@ def sample_workload(
 
     Poisson arrivals (exponential inter-arrival gaps at ``arrival_rate``
     requests per virtual second), ragged prompt/output lengths, random mask,
-    priority, policy, preemption mode, and a pool tightness anywhere from
-    storm (``min_feasible``) to comfortable.
+    priority, speculation depth and tensor profile, policy, preemption mode,
+    and a pool tightness anywhere from storm (``min_feasible``) to
+    comfortable.
     """
     rng = np.random.default_rng(seed)
     count = int(rng.integers(1, max_requests + 1))
@@ -236,6 +272,9 @@ def sample_workload(
             "priority": int(rng.integers(len(PRIORITIES))),
             "gap": float(rng.exponential(1.0 / arrival_rate)),
             "seed": int(rng.integers(2**16)),
+            # ~half the streams decode speculatively at depth 2-4
+            "speculate": int(rng.integers(2, 5)) if rng.integers(2) else 0,
+            "profile": int(rng.integers(len(PROFILES))),
         }
         for _ in range(count)
     ]
@@ -330,6 +369,8 @@ def workload_strategy(max_requests: int = 5) -> st.SearchStrategy:
             "priority": st.integers(min_value=0, max_value=len(PRIORITIES) - 1),
             "gap": st.floats(min_value=0.0, max_value=6.0, allow_nan=False),
             "seed": st.integers(min_value=0, max_value=2**16),
+            "speculate": st.sampled_from((0, 0, 2, 3, 4)),
+            "profile": st.integers(min_value=0, max_value=len(PROFILES) - 1),
         }
     )
     return st.builds(
@@ -392,7 +433,14 @@ def run_simulation(
     the server, pool and loop; when given, the invariant block additionally
     cross-checks the metrics registry against the loop's own counters.
     """
-    replay = "" if workload.seed is None else f" (replay: REPRO_FUZZ_SEED={workload.seed})"
+    replay = (
+        ""
+        if workload.seed is None
+        else (
+            f" (replay: REPRO_FUZZ_SEED={workload.seed} PYTHONPATH=src"
+            f" python -m pytest tests/test_serve_loop_properties.py -k seed_sweep -q)"
+        )
+    )
     server = AttentionServer(cache_capacity=32, obs=obs)
     pool = server.create_block_pool(
         key_dim=workload.dim,
@@ -429,6 +477,7 @@ def run_simulation(
                     mask=spec.mask,
                     prompt_tokens=spec.prompt,
                     priority=spec.priority,
+                    speculate_k=spec.speculate,
                 )
             )
             requests[rid] = spec
@@ -494,6 +543,25 @@ def run_simulation(
         assert scheduler.stats.tokens_total == workload.total_tokens, (
             f"loop counters disagree with the workload token count{replay}"
         )
+        # speculation accounting: every drafted token is either accepted or
+        # rolled back, never emitted twice and never silently dropped
+        stats = scheduler.stats
+        assert (
+            stats.speculate_accepted + stats.speculate_rolled_back == stats.speculate_drafted
+        ), f"speculation token accounting broke{replay}"
+        assert stats.speculate_fallbacks <= stats.speculate_passes, replay
+        drafted = sum(t.speculate_drafted for t in scheduler.telemetry.values())
+        accepted = sum(t.speculate_accepted for t in scheduler.telemetry.values())
+        assert drafted == stats.speculate_drafted, (
+            f"per-request speculation telemetry disagrees with loop totals{replay}"
+        )
+        assert accepted == stats.speculate_accepted, (
+            f"per-request speculation telemetry disagrees with loop totals{replay}"
+        )
+        if not any(spec.speculate > 1 for spec in requests.values()):
+            assert stats.speculate_passes == 0, (
+                f"speculation ran on a workload that never requested it{replay}"
+            )
         # clean drain: every block accounted for, nothing left swapped
         assert pool.blocks_in_use == 0, f"blocks leaked at drain{replay}"
         pool.check_consistency()
@@ -506,12 +574,21 @@ def run_simulation(
                 sample = snap.get(name, **labels)
                 return 0.0 if sample is None else sample.value
 
-            stats = scheduler.stats
             assert metric("loop_requests_submitted_total") == len(requests), replay
             assert metric("loop_requests_finished_total") == len(requests), replay
             assert metric("loop_iterations_total") == stats.iterations, replay
             assert metric("loop_prefill_tokens_total") == stats.prefill_tokens, replay
             assert metric("loop_decode_tokens_total") == stats.decode_tokens, replay
+            assert metric("speculate_drafted_tokens_total") == stats.speculate_drafted, replay
+            assert metric("speculate_accepted_tokens_total") == stats.speculate_accepted, (
+                replay
+            )
+            assert (
+                metric("speculate_rolled_back_tokens_total") == stats.speculate_rolled_back
+            ), replay
+            assert metric("speculate_fallback_steps_total") == stats.speculate_fallbacks, (
+                replay
+            )
             preempted = sum(
                 sample.value
                 for sample in snap.with_name("loop_preemptions_total")

@@ -257,6 +257,65 @@ class TestCancellation:
         asyncio.run(run())
         assert pool.blocks_in_use == 0
 
+    def test_cancel_between_draft_and_verify_retracts_blocks_and_quota(self):
+        """Client disconnect landing inside the speculative window.
+
+        Two speculative streams share one tenant.  The disconnect fires
+        through the draft/verify seam — after the victim's draft pass
+        proposed candidates, before the verify pass publishes the
+        multi-token append — so the cancellation races the widest KV write
+        the stack performs.  The victim's blocks and quota slot must
+        retract, the survivor must stay bit-exact, and the pool must drain
+        to zero.
+        """
+        import repro.serve.speculate as speculate_mod
+
+        scheduler = _scheduler(24, policy="fcfs")
+        pool = scheduler.pool
+        config = {"t": TenantConfig(max_streams=2)}
+        victim_req = _request(24, 4, seed=40, speculate_k=4)
+        survivor_req = _request(24, 4, seed=41, speculate_k=4)
+        survivor_oracle = _oracle(survivor_req)
+        fired = []
+
+        async def run():
+            async with AsyncServingEdge(scheduler, tenants=config) as edge:
+                victim = await edge.submit(victim_req, tenant="t")
+                survivor = await edge.submit(survivor_req, tenant="t")
+
+                def disconnect():
+                    # runs synchronously inside scheduler.step, between the
+                    # draft pass and the verify pass of the first window
+                    if not fired:
+                        fired.append(pool.blocks_in_use)
+                        edge._teardown_stream(
+                            edge._streams[victim.request_id],
+                            error=StreamCancelled("client vanished mid-window"),
+                        )
+
+                speculate_mod._between_draft_and_verify = disconnect
+                try:
+                    survivor_task = asyncio.create_task(survivor.collect())
+                    with pytest.raises(StreamCancelled):
+                        await victim.collect()
+                    assert scheduler.telemetry[victim.request_id].cancelled
+                    output = await survivor_task
+                finally:
+                    speculate_mod._between_draft_and_verify = None
+                assert fired, "the draft/verify window was never entered"
+                assert edge.stats.cancelled == 1
+                # quota retraction: the tenant's slot frees for a third stream
+                replacement = await edge.submit(_request(8, 4, seed=42), tenant="t")
+                await replacement.collect()
+                return output
+
+        output = asyncio.run(run())
+        np.testing.assert_array_equal(output, survivor_oracle)
+        assert fired[0] > 0  # the victim held blocks when the race fired
+        assert pool.blocks_in_use == 0
+        assert len(scheduler.swap_store) == 0
+        assert scheduler.active == 0
+
     def test_cancel_unknown_stream_returns_false(self):
         scheduler = _scheduler(24)
 

@@ -126,6 +126,6 @@ def test_seed_replay(seed):
             np.testing.assert_allclose(actual, expected, atol=1e-6, rtol=1e-6)
     except Exception as error:  # pragma: no cover - only on regression
         raise AssertionError(
-            f"fuzz workload failed; replay with REPRO_FUZZ_SEED={seed} "
-            f"pytest tests/test_serve_fuzz.py -k replay"
+            f"fuzz workload failed; replay with REPRO_FUZZ_SEED={seed} PYTHONPATH=src"
+            f" python -m pytest tests/test_serve_fuzz.py -k replay -q"
         ) from error
