@@ -1,0 +1,272 @@
+"""Multi-replica routed serving vs. one replica, on the virtual clock.
+
+The workload is the router's home turf: 32 decode streams in 4 prefix
+families, each family sharing a 36-token K/V prompt with 4 private decoded
+tokens on top — 90% of every stream's tokens live in the shared prefix.
+Submitted through a :class:`repro.serve.ReplicaRouter`, the affinity policy
+sends every family member after the first to the replica that already holds
+the family's blocks (28 of 32 routes hit), and each router step advances all
+busy replicas through one iteration of the *same* virtual tick — replicas
+model independent workers, exactly as the perfmodel's analytical scaling
+curve ``N / (1 + (1 - h) · s)`` assumes.
+
+Measured per replica count (1, 2, 4): aggregate tokens per **virtual**
+second (the capacity metric: how many iterations of one replica's clock the
+cluster needs to drain the queue), wall-clock tokens/sec for reference, the
+route-hit rate, and the perfmodel's predicted scaling next to the measured
+one.
+
+Acceptance (asserted, exit 1 on failure):
+
+* every stream's routed output is **bit-identical** to the single-replica
+  run — before any number counts;
+* prefix-affinity route-hit rate >= 0.8 at 4 replicas;
+* >= 1.8x aggregate tokens per virtual second at 4 replicas vs one — the
+  conservative floor: a cold router (hit rate 0) would scale only ~2.1x,
+  and a broken one that serialized replicas would scale 1.0x.
+
+Results are appended as one JSON record to ``BENCH_router.json`` at the
+repository root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_router.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.perfmodel import router_throughput_scaling
+from repro.serve import LoopRequest, ReplicaRouter, VirtualClock
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_router.json"
+
+#: Acceptance floors at 4 replicas (see module docstring).
+SCALING_THRESHOLD = 1.8
+HIT_RATE_THRESHOLD = 0.8
+
+DIM = 16
+PROMPT = 36
+DECODE = 4
+TOTAL = PROMPT + DECODE  # shared prefix = 36/40 = 90% of every stream
+BLOCK_SIZE = 4
+FAMILIES = 4
+PER_FAMILY = 8
+MAX_STREAMS = 8  # per replica
+#: per-replica pool: 8 resident streams x 12 blocks (10 + CoW/restore slack)
+NUM_BLOCKS = 96
+
+
+def _workload(seed=0):
+    """32 stream specs in 4 families sharing a full-block K/V prompt each."""
+    rng = np.random.default_rng(seed)
+    specs = []
+    for _ in range(FAMILIES):
+        pk = rng.normal(size=(PROMPT, DIM)).astype(np.float32)
+        pv = rng.normal(size=(PROMPT, DIM)).astype(np.float32)
+        for _ in range(PER_FAMILY):
+            specs.append(
+                {
+                    "q": rng.normal(size=(TOTAL, DIM)).astype(np.float32),
+                    "k": np.concatenate(
+                        [pk, rng.normal(size=(DECODE, DIM)).astype(np.float32)]
+                    ),
+                    "v": np.concatenate(
+                        [pv, rng.normal(size=(DECODE, DIM)).astype(np.float32)]
+                    ),
+                }
+            )
+    return specs
+
+
+def _measure(specs, replicas, *, router_policy="affinity", threaded=False):
+    clock = VirtualClock()
+    router = ReplicaRouter(
+        replicas,
+        key_dim=DIM,
+        num_blocks=NUM_BLOCKS,
+        block_size=BLOCK_SIZE,
+        max_streams=MAX_STREAMS,
+        prefill_chunk=PROMPT,
+        clock=clock,
+        router_policy=router_policy,
+        rebalance_interval=0,
+        threaded=threaded,
+    )
+    started = time.perf_counter()
+    rids = [
+        router.submit(
+            LoopRequest(
+                q=spec["q"], k=spec["k"], v=spec["v"], mask=None, prompt_tokens=PROMPT
+            )
+        )
+        for spec in specs
+    ]
+    router.run()
+    wall = time.perf_counter() - started
+    virtual = clock.now()
+    outputs = [router.results[rid] for rid in rids]
+    stats = router.stats
+    for handle in router.replicas:
+        assert handle.pool.blocks_in_use == 0, "bench leaked blocks at drain"
+    router.close()
+    total_tokens = len(specs) * TOTAL
+    return {
+        "replicas": replicas,
+        "router_policy": router_policy,
+        "threaded": threaded,
+        "iterations": int(virtual),
+        "virtual_seconds": virtual,
+        "tokens_per_virtual_second": total_tokens / virtual,
+        "wall_seconds": wall,
+        "tokens_per_wall_second": total_tokens / wall,
+        "route_hit_rate": stats.route_hit_rate,
+        "route_hits": stats.route_hits,
+        "route_misses": stats.route_misses,
+        "outputs": outputs,
+    }
+
+
+def _strip(run):
+    """The JSON-safe record row (outputs verified, then dropped)."""
+    return {key: value for key, value in run.items() if key != "outputs"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="reduced CI configuration")
+    args = parser.parse_args()
+
+    specs = _workload()
+    total_tokens = len(specs) * TOTAL
+    print(
+        f"== Replica routing: {FAMILIES} families x {PER_FAMILY} streams, "
+        f"prompt={PROMPT} shared, +{DECODE} decoded ({PROMPT / TOTAL:.0%} shared), "
+        f"d_k={DIM}, block_size={BLOCK_SIZE}, max_streams={MAX_STREAMS}/replica"
+    )
+
+    replica_counts = (1, 4) if args.quick else (1, 2, 4)
+    runs = {n: _measure(specs, n) for n in replica_counts}
+    baseline = runs[1]
+
+    # ---- the bit-exactness gate: routed == single replica, stream by stream
+    mismatches = 0
+    for n, run in runs.items():
+        for got, want in zip(run["outputs"], baseline["outputs"]):
+            if not np.array_equal(got, want):
+                mismatches += 1
+        if n != 1 and mismatches == 0:
+            print(f"   {n} replicas: all {len(specs)} streams bit-identical to 1 replica")
+    if mismatches:
+        print(
+            f"FAIL: {mismatches} routed streams diverged from the single-replica "
+            f"oracle — routing changed computation",
+            file=sys.stderr,
+        )
+        return 1
+
+    rows = []
+    for n in replica_counts:
+        run = runs[n]
+        scaling = run["tokens_per_virtual_second"] / baseline["tokens_per_virtual_second"]
+        predicted = router_throughput_scaling(
+            n,
+            route_hit_rate=run["route_hit_rate"],
+            shared_prefill_fraction=PROMPT / TOTAL,
+        )
+        rows.append({**_strip(run), "scaling": scaling, "predicted_scaling": predicted})
+        print(
+            f"   {n} replicas: {run['iterations']:4d} virtual iterations, "
+            f"{run['tokens_per_virtual_second']:7.1f} tok/virtual-s "
+            f"({run['tokens_per_wall_second']:9,.0f} tok/wall-s), "
+            f"hit rate {run['route_hit_rate']:.3f}  ->  {scaling:.2f}x "
+            f"(model {predicted:.2f}x)"
+        )
+
+    # ---- routing-policy comparison at 4 replicas: what affinity buys
+    policy_rows = []
+    for policy in ("affinity", "round_robin"):
+        run = runs[4] if policy == "affinity" else _measure(specs, 4, router_policy=policy)
+        policy_rows.append(_strip(run))
+        if policy != "affinity":
+            print(
+                f"   policy {policy}: hit rate {run['route_hit_rate']:.3f}, "
+                f"{run['tokens_per_virtual_second']:7.1f} tok/virtual-s"
+            )
+
+    # ---- wall-clock threaded stepping, informational (GIL-bound on CPU)
+    threaded_row = None
+    if not args.quick:
+        run = _measure(specs, 4, threaded=True)
+        threaded_row = _strip(run)
+        print(
+            f"   threaded stepping: {run['tokens_per_wall_second']:9,.0f} tok/wall-s "
+            f"vs {runs[4]['tokens_per_wall_second']:9,.0f} serial"
+        )
+
+    scaling_at_4 = next(row["scaling"] for row in rows if row["replicas"] == 4)
+    hit_rate_at_4 = runs[4]["route_hit_rate"]
+
+    record = {
+        "benchmark": "bench_router",
+        "quick": bool(args.quick),
+        "config": {
+            "dim": DIM,
+            "prompt": PROMPT,
+            "decode": DECODE,
+            "families": FAMILIES,
+            "per_family": PER_FAMILY,
+            "block_size": BLOCK_SIZE,
+            "max_streams": MAX_STREAMS,
+            "num_blocks": NUM_BLOCKS,
+            "shared_prefill_fraction": PROMPT / TOTAL,
+            "total_tokens": total_tokens,
+        },
+        "results": rows,
+        "policies": policy_rows,
+        "threaded": threaded_row,
+        "scaling_at_4": scaling_at_4,
+        "hit_rate_at_4": hit_rate_at_4,
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"   record appended to {RECORD_PATH.name}")
+
+    if hit_rate_at_4 < HIT_RATE_THRESHOLD:
+        print(
+            f"FAIL: route-hit rate {hit_rate_at_4:.3f} at 4 replicas below the "
+            f"{HIT_RATE_THRESHOLD} floor — prefix affinity is not landing",
+            file=sys.stderr,
+        )
+        return 1
+    if scaling_at_4 < SCALING_THRESHOLD:
+        print(
+            f"FAIL: {scaling_at_4:.2f}x aggregate throughput at 4 replicas below "
+            f"the {SCALING_THRESHOLD}x threshold",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"   acceptance ok: {scaling_at_4:.2f}x at 4 replicas "
+        f"(threshold {SCALING_THRESHOLD}x), hit rate {hit_rate_at_4:.3f} "
+        f"(floor {HIT_RATE_THRESHOLD})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

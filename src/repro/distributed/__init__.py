@@ -12,12 +12,16 @@ without MPI:
   attention: query rows are partitioned across ranks, K/V are all-gathered
   (the LongNet/Ulysses pattern), and each rank runs a graph kernel on its row
   slice.
+* :func:`kv_parallel_attention` — the FlashDecoding-style dual: K/V rows are
+  scattered, Q is broadcast, and per-rank partial online-softmax states are
+  merged at the root.  The serving router shards oversized requests with it.
 * load-balance analysis of partitioning strategies on skewed masks.
 """
 
 from repro.distributed.comm import CommunicationStats, SimulatedComm, SimulatedWorld
 from repro.distributed.sequence_parallel import (
     SequenceParallelResult,
+    kv_parallel_attention,
     sequence_parallel_attention,
     shard_rows,
 )
@@ -35,6 +39,7 @@ __all__ = [
     "SimulatedWorld",
     "balanced_worker_bins",
     "evaluate_partitions",
+    "kv_parallel_attention",
     "sequence_parallel_attention",
     "shard_rows",
 ]

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.explicit_kernels import csr_attention
+from repro.core.online_softmax import OnlineSoftmaxState
 from repro.core.result import AttentionResult, OpCounts
 from repro.distributed.comm import CommunicationStats, SimulatedWorld
 from repro.graph.partition import Partition, balanced_edge_partition, contiguous_partition
@@ -134,6 +135,135 @@ def sequence_parallel_attention(
         partition=partition,
         comm_stats=world.stats,
     )
+
+
+def kv_parallel_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: "MaskSpec | CSRMatrix",
+    *,
+    num_ranks: int,
+    scale: Optional[float] = None,
+    kernel: Optional[Callable[..., AttentionResult]] = None,
+    world: Optional[SimulatedWorld] = None,
+) -> SequenceParallelResult:
+    """Distributed masked attention with K/V (context) parallelism.
+
+    The FlashDecoding-style dual of :func:`sequence_parallel_attention`:
+    instead of splitting query rows, the *key and value* rows are scattered
+    in contiguous shards, the full Q is broadcast, and every rank computes a
+    partial online-softmax state of **all** query rows against the mask
+    columns its shard covers.  The per-rank partials (running max, sum and
+    weighted accumulator) travel to rank 0 as point-to-point messages on
+    :class:`~repro.distributed.comm.SimulatedComm` and are folded together
+    with :meth:`~repro.core.online_softmax.OnlineSoftmaxState.merge` — exact
+    up to floating-point reassociation, because each rank owns a disjoint
+    set of every row's neighbours.
+
+    This is the sharded-execution path the replica router uses for a
+    request whose KV cache exceeds any single replica's pool: the context is
+    what doesn't fit, so the context is what gets sharded.
+    """
+    require(num_ranks >= 1, "num_ranks must be >= 1")
+    require(
+        q.ndim == 2 and k.ndim == 2 and v.ndim == 2,
+        "kv parallelism shards 2-D (L, d) tensors",
+    )
+    length = q.shape[0]
+    csr = mask if isinstance(mask, CSRMatrix) else mask.to_csr(length)
+    require(csr.shape == (length, length), "mask shape mismatch")
+    kernel = kernel or csr_attention
+    world = world or SimulatedWorld(num_ranks)
+    require(world.num_ranks == num_ranks, "world size mismatch")
+
+    partition = contiguous_partition(length, num_ranks)
+    bounds: Sequence[Tuple[int, int]] = partition.bounds
+
+    # communication phase: broadcast Q, scatter contiguous K/V row shards
+    q_copies = world.broadcast(q)
+    k_shards = world.scatter_rows(k, bounds)
+    v_shards = world.scatter_rows(v, bounds)
+
+    rank_results: List[AttentionResult] = []
+    for rank, (start, stop) in enumerate(bounds):
+        shard_csr = _column_shard(csr, start, stop)
+        result = kernel(
+            q_copies[rank],
+            _pad_rows(k_shards[rank], length),
+            _pad_rows(v_shards[rank], length),
+            shard_csr,
+            scale=scale,
+        )
+        rank_results.append(result)
+
+    # each non-root rank ships its partial softmax state (max, sum, acc) to
+    # rank 0; the root merges them in rank order
+    root = world.comm(0)
+    for rank in range(1, num_ranks):
+        comm = world.comm(rank)
+        result = rank_results[rank]
+        comm.send(result.row_max, 0, tag=0)
+        comm.send(result.row_sum, 0, tag=1)
+        comm.send(result.output * result.row_sum[..., None], 0, tag=2)
+    merged = _partial_state(rank_results[0])
+    for rank in range(1, num_ranks):
+        merged = merged.merge(
+            OnlineSoftmaxState(
+                row_max=root.recv(rank, tag=0),
+                row_sum=root.recv(rank, tag=1),
+                accumulator=root.recv(rank, tag=2),
+            )
+        )
+    return SequenceParallelResult(
+        output=merged.finalize(dtype=rank_results[0].output.dtype),
+        rank_results=rank_results,
+        partition=partition,
+        comm_stats=world.stats,
+    )
+
+
+def _partial_state(result: AttentionResult) -> OnlineSoftmaxState:
+    """Reconstruct a rank's online-softmax state from its kernel result.
+
+    The kernels return the normalised output alongside the per-row softmax
+    statistics, so the pre-normalisation accumulator is ``output * row_sum``
+    (zero for rows the shard's mask columns never touched).
+    """
+    return OnlineSoftmaxState(
+        row_max=np.array(result.row_max, copy=True),
+        row_sum=np.array(result.row_sum, copy=True),
+        accumulator=result.output * result.row_sum[..., None],
+    )
+
+
+def _column_shard(csr: CSRMatrix, start: int, stop: int) -> CSRMatrix:
+    """Restrict a mask to columns ``[start, stop)``, re-based to column 0.
+
+    The result keeps the full square shape so the kernels accept it against
+    a zero-padded K/V shard; re-based indices all fall below ``stop - start``
+    and the padded rows beyond the shard are never referenced.
+    """
+    rows = csr.shape[0]
+    selected = (csr.indices >= start) & (csr.indices < stop)
+    row_ids = np.repeat(np.arange(rows), np.diff(csr.indptr))
+    counts = np.bincount(row_ids[selected], minlength=rows)
+    indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    return CSRMatrix(
+        shape=(rows, rows),
+        indptr=indptr,
+        indices=csr.indices[selected] - start,
+        values=csr.values[selected],
+    )
+
+
+def _pad_rows(shard: np.ndarray, length: int) -> np.ndarray:
+    """Zero-pad a K/V row shard to the square problem size the kernels expect."""
+    if shard.shape[0] == length:
+        return shard
+    padded = np.zeros((length,) + shard.shape[1:], dtype=shard.dtype)
+    padded[: shard.shape[0]] = shard
+    return padded
 
 
 def _rectangular_attention(

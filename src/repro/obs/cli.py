@@ -107,6 +107,13 @@ def _render_summary_lines(summary: dict) -> List[str]:
             f"  {key}: count={q['count']} p50={_fmt(q['p50'])} "
             f"p95={_fmt(q['p95'])} p99={_fmt(q['p99'])}"
         )
+    router = summary.get("router")
+    if router is not None:
+        lines.append(
+            f"  router: replicas={router['replicas']} routed={router['routed']} "
+            f"hit_rate={_fmt(router['route_hit_rate'])} "
+            f"rebalances={router['rebalance_passes']} moved={router['moved_streams']}"
+        )
     slo = summary.get("slo")
     if slo is not None:
         per_tenant = " ".join(
@@ -217,6 +224,20 @@ def scenarios() -> None:
     help="KV block-pool storage dtype (compare snapshots across formats).",
 )
 @click.option(
+    "--replicas",
+    default=1,
+    show_default=True,
+    type=click.IntRange(min=1),
+    help="Serve through a prefix-affinity replica router instead of one loop.",
+)
+@click.option(
+    "--router-policy",
+    default="affinity",
+    show_default=True,
+    type=click.Choice(("affinity", "weighted", "round_robin")),
+    help="Placement policy when --replicas > 1.",
+)
+@click.option(
     "--format",
     "fmt",
     default="table",
@@ -253,6 +274,8 @@ def run(
     seed: int,
     policy: Optional[str],
     storage: str,
+    replicas: int,
+    router_policy: str,
     fmt: str,
     metric_patterns: tuple,
     out: Optional[str],
@@ -260,7 +283,14 @@ def run(
     prometheus_out: Optional[str],
 ) -> None:
     """Run SCENARIO on the virtual clock and render its metrics."""
-    result = run_scenario(scenario_name, seed=seed, storage=storage, policy=policy)
+    result = run_scenario(
+        scenario_name,
+        seed=seed,
+        storage=storage,
+        policy=policy,
+        replicas=replicas,
+        router_policy=router_policy,
+    )
     if fmt == "json":
         _render_json(result, metric_patterns)
     elif fmt == "csv":

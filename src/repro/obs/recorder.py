@@ -206,6 +206,35 @@ class Observability:
             "Wall seconds spent decoding storage-encoded rows on gather",
             labels=("pool", "storage"),
         )
+        # -- replica router ----------------------------------------------- #
+        self.router_routes = reg.counter(
+            "router_routes_total",
+            "Routing decisions by outcome (hit = prefix affinity, miss = "
+            "load-based fallback, sharded = split across all replicas)",
+            labels=("outcome",),
+        )
+        self.router_replica_streams = reg.gauge(
+            "router_replica_streams",
+            "Streams (waiting + running) currently placed on each replica",
+            labels=("replica",),
+        )
+        self.router_replica_tokens = reg.gauge(
+            "router_replica_pending_tokens",
+            "Tokens still to emit on each replica (the rebalance load signal)",
+            labels=("replica",),
+        )
+        self.router_rebalances = reg.counter(
+            "router_rebalance_passes_total",
+            "Rebalance passes that examined the replica loads",
+        )
+        self.router_moved_streams = reg.counter(
+            "router_moved_streams_total",
+            "Waiting streams withdrawn and resubmitted to another replica",
+        )
+        self.router_comm_bytes = reg.counter(
+            "router_comm_bytes_total",
+            "Simulated bytes moved executing sharded requests across replicas",
+        )
 
     def snapshot(self) -> MetricsSnapshot:
         return self.registry.snapshot()

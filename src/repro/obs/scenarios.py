@@ -42,6 +42,7 @@ from repro.serve import (
     AttentionServer,
     ContinuousBatchingScheduler,
     LoopRequest,
+    ReplicaRouter,
     VirtualClock,
     resolve_serving_kwargs,
     scheduling_policy,
@@ -331,6 +332,9 @@ class ScenarioResult:
     server_stats: object
     telemetry: Dict[int, object]
     iterations: int
+    #: set when the scenario ran through a multi-replica router
+    router_stats: Optional[object] = None
+    replicas: int = 1
 
     def summary(self) -> dict:
         """The derived serving numbers the ops CLI leads with."""
@@ -360,6 +364,14 @@ class ScenarioResult:
             "per_token_seconds": _percentiles("serving_per_token_seconds"),
             "preemption_stall_seconds": _percentiles("serving_preemption_stall_seconds"),
         }
+        if self.router_stats is not None:
+            summary["router"] = {
+                "replicas": self.replicas,
+                "routed": self.router_stats.routed,
+                "route_hit_rate": self.router_stats.route_hit_rate,
+                "rebalance_passes": self.router_stats.rebalance_passes,
+                "moved_streams": self.router_stats.moved_streams,
+            }
         slo = self.slo_attainment()
         if slo is not None:
             summary["slo"] = slo
@@ -407,6 +419,8 @@ def run_scenario(
     clock=None,
     max_iterations: int = 20_000,
     on_iteration: Optional[Callable[[int, Observability], None]] = None,
+    replicas: int = 1,
+    router_policy: str = "affinity",
 ) -> ScenarioResult:
     """Drive one scenario to drain on a virtual clock; returns its result.
 
@@ -421,12 +435,32 @@ def run_scenario(
     :func:`~repro.serve.resolve_serving_kwargs` helper the scheduler and
     client use); ``on_iteration(iteration, obs)`` is invoked after every
     scheduler step so a live renderer can refresh mid-run.
+
+    ``replicas > 1`` drives the same workload through a
+    :class:`~repro.serve.ReplicaRouter` (each replica gets its own
+    ``num_blocks``-sized pool and a ``router_policy``-routed share of the
+    streams); outputs and per-request telemetry stay deterministic, and the
+    summary gains a ``router`` block with the placement counters.
     """
+    require(replicas >= 1, "replicas must be >= 1")
     scenario = (
         name_or_scenario
         if isinstance(name_or_scenario, Scenario)
         else build_scenario(name_or_scenario, seed=seed)
     )
+    if replicas > 1:
+        return _run_scenario_routed(
+            scenario,
+            seed=seed,
+            storage=storage,
+            obs=obs,
+            policy=policy,
+            clock=clock,
+            max_iterations=max_iterations,
+            on_iteration=on_iteration,
+            replicas=replicas,
+            router_policy=router_policy,
+        )
     policy, clock, obs = resolve_serving_kwargs(
         policy=policy,
         clock=clock if clock is not None else VirtualClock(),
@@ -457,21 +491,7 @@ def run_scenario(
     while pending or scheduler.active:
         now = clock.now()
         while pending and pending[0].arrival <= now:
-            request = pending.popleft()
-            q, k, v = random_qkv(request.total, DIM, dtype=np.float32, seed=request.seed)
-            scheduler.submit(
-                LoopRequest(
-                    q=q,
-                    k=k,
-                    v=v,
-                    mask=MASKS[request.mask_index],
-                    prompt_tokens=min(request.prompt, request.total),
-                    priority=request.priority,
-                    tenant=request.tenant,
-                    slo_latency_seconds=request.slo,
-                    speculate_k=request.speculate,
-                )
-            )
+            scheduler.submit(_loop_request(pending.popleft()))
         if not scheduler.active:
             clock.advance(pending[0].arrival - now)
             continue
@@ -494,6 +514,95 @@ def run_scenario(
         iterations=loop_stats.iterations,
     )
     server.close()
+    return result
+
+
+def _loop_request(request: ScenarioRequest) -> LoopRequest:
+    """Materialize one scenario entry into the loop request it describes."""
+    q, k, v = random_qkv(request.total, DIM, dtype=np.float32, seed=request.seed)
+    return LoopRequest(
+        q=q,
+        k=k,
+        v=v,
+        mask=MASKS[request.mask_index],
+        prompt_tokens=min(request.prompt, request.total),
+        priority=request.priority,
+        tenant=request.tenant,
+        slo_latency_seconds=request.slo,
+        speculate_k=request.speculate,
+    )
+
+
+def _run_scenario_routed(
+    scenario: Scenario,
+    *,
+    seed: int,
+    storage: Optional[str],
+    obs: Optional[Observability],
+    policy,
+    clock,
+    max_iterations: int,
+    on_iteration: Optional[Callable[[int, Observability], None]],
+    replicas: int,
+    router_policy: str,
+) -> ScenarioResult:
+    """The ``replicas > 1`` half of :func:`run_scenario`: same arrivals, same
+    virtual clock, placed across a replica router instead of one loop."""
+    require(
+        policy is None or isinstance(policy, str),
+        "replicas>1 builds one policy instance per replica; pass a registry "
+        "name, not an instance",
+    )
+    clock = clock if clock is not None else VirtualClock()
+    obs = obs if obs is not None else Observability()
+    router = ReplicaRouter(
+        replicas,
+        key_dim=DIM,
+        num_blocks=scenario.num_blocks,
+        block_size=scenario.block_size,
+        storage=storage,
+        policy=policy if policy is not None else scenario.policy,
+        policy_seed=scenario.policy_seed,
+        router_policy=router_policy,
+        clock=clock,
+        obs=obs,
+        max_streams=scenario.max_streams,
+        prefill_chunk=scenario.prefill_chunk,
+        max_iteration_tokens=scenario.max_iteration_tokens,
+        preemption=scenario.preemption,
+        name=f"{scenario.name}",
+    )
+    pending = deque(sorted(scenario.requests, key=lambda r: (r.arrival, r.seed)))
+    while pending or router.active:
+        now = clock.now()
+        while pending and pending[0].arrival <= now:
+            router.submit(_loop_request(pending.popleft()))
+        if not router.active:
+            clock.advance(pending[0].arrival - now)
+            continue
+        require(
+            router.iterations < max_iterations,
+            f"scenario {scenario.name!r} exceeded {max_iterations} iterations",
+        )
+        router.step()
+        if on_iteration is not None:
+            on_iteration(router.iterations, obs)
+
+    loop_stats = router.loop_stats()
+    result = ScenarioResult(
+        scenario=scenario,
+        seed=int(seed),
+        obs=obs,
+        loop_stats=loop_stats,
+        server_stats=tuple(
+            handle.server.stats_snapshot() for handle in router.replicas
+        ),
+        telemetry=dict(router.telemetry),
+        iterations=router.iterations,
+        router_stats=router.stats,
+        replicas=int(replicas),
+    )
+    router.close()
     return result
 
 

@@ -17,6 +17,10 @@ V100 — Table I).  It has two halves:
   KV-cache byte accounting (linear in the decoded length) and a per-step
   runtime estimate over the new token's mask row, including the
   incremental-vs-full-recompute speedup the decode benchmark measures.
+* :mod:`repro.perfmodel.router` — multi-replica placement economics:
+  fingerprint-routing cost, rebalance makespan gain (priced by the same
+  partitioner the router executes), and the replica throughput-scaling
+  curve the router benchmark measures.
 """
 
 from repro.perfmodel.devices import (
@@ -57,6 +61,15 @@ from repro.perfmodel.decode import (
     preemption_cost,
     speculation_cost,
 )
+from repro.perfmodel.router import (
+    RebalanceEstimate,
+    RoutingCostEstimate,
+    balanced_makespan,
+    fingerprint_seconds,
+    rebalance_gain,
+    router_throughput_scaling,
+    routing_cost,
+)
 
 __all__ = [
     "A100_SXM4_80GB",
@@ -70,13 +83,17 @@ __all__ = [
     "L40_48GB",
     "MemoryBreakdown",
     "PreemptionCostEstimate",
+    "RebalanceEstimate",
+    "RoutingCostEstimate",
     "RuntimeEstimate",
     "SloEstimate",
     "SpeculationCostEstimate",
     "RuntimeModel",
     "V100_SXM2_32GB",
+    "balanced_makespan",
     "blocks_for_tokens",
     "combine_estimates",
+    "fingerprint_seconds",
     "context_limit_sweep",
     "context_limit_table",
     "decode_step_flops",
@@ -90,5 +107,8 @@ __all__ = [
     "paged_sessions_supported",
     "paging_fragmentation_overhead",
     "preemption_cost",
+    "rebalance_gain",
+    "router_throughput_scaling",
+    "routing_cost",
     "speculation_cost",
 ]

@@ -45,6 +45,14 @@ Three layers turn the paper's kernels into a serving stack:
   and :class:`AsyncServingEdge` is the asyncio front door — streaming
   token responses over per-stream queues, consumer backpressure, per-tenant
   rate/stream/block quotas, SLO-aware slack scheduling, graceful drain.
+* :mod:`repro.serve.router` — multi-replica serving: a
+  :class:`ReplicaRouter` fans streams out to N scheduler replicas by
+  prompt-prefix fingerprint affinity (:func:`prefix_fingerprints`), falls
+  back to load-based placement, rebalances waiting streams along
+  :func:`~repro.distributed.balanced_worker_bins` under skew, and shards
+  oversized requests across replicas via
+  :func:`~repro.distributed.kv_parallel_attention` — routed outputs stay
+  bit-identical to a single-replica run (``ServingClient(replicas=N)``).
 
 Quick start::
 
@@ -103,6 +111,17 @@ from repro.serve.paging import (
     SwapHandle,
     SwapStore,
     SwapStoreStats,
+    prefix_fingerprints,
+)
+from repro.serve.router import (
+    DEFAULT_AFFINITY_CAPACITY,
+    ROUTER_POLICIES,
+    RebalanceRecord,
+    ReplicaHandle,
+    ReplicaRouter,
+    RouterReport,
+    RouterStats,
+    aggregate_loop_stats,
 )
 from repro.serve.quant import (
     STORAGE_DTYPES,
@@ -142,6 +161,7 @@ __all__ = [
     "BlockPoolStats",
     "CacheStats",
     "ContinuousBatchingScheduler",
+    "DEFAULT_AFFINITY_CAPACITY",
     "DEFAULT_BLOCK_SIZE",
     "DEFAULT_DRAFT_FRACTION",
     "DEFAULT_HEAD_DIM",
@@ -164,8 +184,14 @@ __all__ = [
     "PlanStep",
     "PoolExhausted",
     "PriorityPolicy",
+    "ROUTER_POLICIES",
+    "RebalanceRecord",
+    "ReplicaHandle",
+    "ReplicaRouter",
     "RequestBatch",
     "RequestTelemetry",
+    "RouterReport",
+    "RouterStats",
     "SchedulingPolicy",
     "STORAGE_DTYPES",
     "ServerStats",
@@ -184,11 +210,13 @@ __all__ = [
     "VirtualClock",
     "WallClock",
     "WeightedFairPolicy",
+    "aggregate_loop_stats",
     "attention_tolerance",
     "compile_plan",
     "decode_reference_mask",
     "mask_key",
     "plan_cache_key",
+    "prefix_fingerprints",
     "resolve_serving_kwargs",
     "resolve_storage",
     "scheduling_policy",

@@ -45,6 +45,7 @@ from repro.serve.loop import (
 )
 from repro.serve.paging import DEFAULT_BLOCK_SIZE, SwapStore
 from repro.serve.quant import resolve_storage
+from repro.serve.router import ReplicaRouter
 from repro.serve.scheduler import AttentionServer, DecodeTicket
 from repro.serve.decode import DecodeSession
 from repro.utils.validation import require
@@ -95,6 +96,14 @@ class ServingClient:
         the client builds lazily on first loop-routed call.
     tenants, default_tenant, max_buffered_chunks:
         Tenant isolation config for the async edge ``agenerate`` uses.
+    replicas, router_policy, router_seed, rebalance_interval:
+        ``replicas > 1`` assembles a :class:`~repro.serve.router.ReplicaRouter`
+        instead of a single scheduler: each replica gets its own server and
+        ``num_blocks``-sized pool, and ``generate``/``generate_many`` route
+        by prompt-prefix affinity (outputs stay bit-identical to
+        ``replicas=1``).  Requires ``key_dim`` and excludes ``server=``,
+        ``scheduler=``, ``memory_budget_bytes=`` and the session/async entry
+        points, which are single-server concepts.
     """
 
     def __init__(
@@ -123,7 +132,67 @@ class ServingClient:
         tenants: Optional[Dict[str, TenantConfig]] = None,
         default_tenant: Optional[TenantConfig] = None,
         max_buffered_chunks: int = 8,
+        replicas: int = 1,
+        router_policy: str = "affinity",
+        router_seed: int = 0,
+        rebalance_interval: int = 8,
     ) -> None:
+        require(replicas >= 1, "replicas must be >= 1")
+        self._router: Optional[ReplicaRouter] = None
+        if replicas > 1:
+            require(
+                server is None and scheduler is None,
+                "replicas>1 builds its own per-replica servers; drop server=/scheduler=",
+            )
+            require(
+                key_dim is not None,
+                "replicas>1 needs key_dim= to size each replica's block pool",
+            )
+            require(
+                memory_budget_bytes is None,
+                "multi-replica pools are sized per replica by num_blocks=, "
+                "not a global byte budget",
+            )
+            require(
+                policy is None or isinstance(policy, str),
+                "replicas>1 builds one policy instance per replica; pass a "
+                "registry name, not an instance",
+            )
+            self._router = ReplicaRouter(
+                replicas,
+                key_dim=key_dim,
+                value_dim=value_dim,
+                num_blocks=num_blocks if num_blocks is not None else 64,
+                block_size=block_size,
+                batch_shape=batch_shape,
+                pool_dtype=pool_dtype,
+                storage=storage,
+                policy=policy if policy is not None else "fcfs",
+                policy_seed=policy_seed,
+                router_policy=router_policy,
+                router_seed=router_seed,
+                clock=clock,
+                obs=obs,
+                max_streams=max_streams,
+                prefill_chunk=prefill_chunk,
+                max_iteration_tokens=max_iteration_tokens,
+                preemption=preemption,
+                device=device,
+                rebalance_interval=rebalance_interval,
+            )
+            self.server = None
+            self._scheduler = None
+            self._policy = None
+            self._clock = self._router.clock
+            self._obs = self._router.obs
+            self._storage = self._router.storage
+            self._loop_kwargs = {}
+            self._tenants = tenants
+            self._default_tenant = default_tenant
+            self._max_buffered_chunks = max_buffered_chunks
+            self._edge = None
+            self._edge_loop = None
+            return
         if scheduler is not None:
             require(
                 server is None,
@@ -191,8 +260,18 @@ class ServingClient:
     # The loop (built lazily: session-only clients need no block pool)
     # ------------------------------------------------------------------ #
     @property
+    def router(self) -> Optional[ReplicaRouter]:
+        """The multi-replica router (None unless built with ``replicas>1``)."""
+        return self._router
+
+    @property
     def scheduler(self) -> ContinuousBatchingScheduler:
         if self._scheduler is None:
+            require(
+                self._router is None,
+                "a replicas>1 client routes through client.router, not one "
+                "scheduler; use generate/generate_many or router.* directly",
+            )
             require(
                 self.server.block_pool is not None,
                 "loop-routed generation needs a KV block pool: construct the "
@@ -245,7 +324,9 @@ class ServingClient:
         )
 
     def submit(self, request: LoopRequest) -> int:
-        """Queue a prepared request on the loop; returns its id."""
+        """Queue a prepared request on the loop (or router); returns its id."""
+        if self._router is not None:
+            return self._router.submit(request)
         return self.scheduler.submit(request)
 
     def generate(
@@ -278,7 +359,7 @@ class ServingClient:
             slo_latency_seconds=slo_latency_seconds,
             speculate_k=speculate_k,
         )
-        rid = self.scheduler.submit(request)
+        rid = self.submit(request)
         self._drive({rid}, max_iterations)
         return self._result(rid)
 
@@ -286,38 +367,57 @@ class ServingClient:
         self, requests: Sequence[LoopRequest], *, max_iterations: Optional[int] = None
     ) -> List[GenerationResult]:
         """Submit a batch and drive the loop until all of them finish."""
-        rids = [self.scheduler.submit(request) for request in requests]
+        rids = [self.submit(request) for request in requests]
         self._drive(set(rids), max_iterations)
         return [self._result(rid) for rid in rids]
 
+    def _engine(self):
+        """Whatever executes streams: the router, or the single loop."""
+        return self._router if self._router is not None else self.scheduler
+
     def _drive(self, rids: Set[int], max_iterations: Optional[int]) -> None:
-        scheduler = self.scheduler
+        engine = self._engine()
+        # a router rebalance pass may legitimately produce one zero-token
+        # step, so the stall tolerance is one strike wider there
+        strikes = 3 if self._router is not None else 2
         stalled = 0
-        while any(rid not in scheduler.results for rid in rids):
-            if max_iterations is not None and scheduler.stats.iterations >= max_iterations:
+        while any(rid not in engine.results for rid in rids):
+            iterations = (
+                engine.iterations
+                if self._router is not None
+                else engine.stats.iterations
+            )
+            if max_iterations is not None and iterations >= max_iterations:
                 raise RuntimeError(
                     f"generation exceeded {max_iterations} iterations with "
-                    f"{scheduler.active} streams still active"
+                    f"{engine.active} streams still active"
                 )
-            report = scheduler.step()
+            report = engine.step()
             if report.tokens == 0 and not report.admitted and not report.finished:
                 stalled += 1
                 require(
-                    stalled < 2, "serving loop stalled: no admission, tokens, or finishes"
+                    stalled < strikes,
+                    "serving loop stalled: no admission, tokens, or finishes",
                 )
             else:
                 stalled = 0
 
     def _result(self, rid: int) -> GenerationResult:
-        output = self.scheduler.results.pop(rid)
+        engine = self._engine()
+        output = engine.results.pop(rid)
         return GenerationResult(
-            request_id=rid, output=output, telemetry=self.scheduler.telemetry[rid]
+            request_id=rid, output=output, telemetry=engine.telemetry[rid]
         )
 
     # ------------------------------------------------------------------ #
     # Async generation (routed through the edge)
     # ------------------------------------------------------------------ #
     async def _ensure_edge(self) -> AsyncServingEdge:
+        require(
+            self._router is None,
+            "the async edge drives one scheduler; replicas>1 serves through "
+            "generate/generate_many (or router.submit + router.step)",
+        )
         loop = asyncio.get_running_loop()
         if self._edge is None or self._edge_loop is not loop or not self._edge.running:
             self._edge = AsyncServingEdge(
@@ -401,6 +501,11 @@ class ServingClient:
         ``AttentionServer.open_decode_session``; see that shim's target for
         full semantics.
         """
+        require(
+            self.server is not None,
+            "session entry points address one server; a replicas>1 client "
+            "has no single server (use the replica handles on client.router)",
+        )
         return self.server._open_decode_session(
             mask,
             horizon,
@@ -420,6 +525,11 @@ class ServingClient:
         reserve_tokens: Optional[int] = None,
     ) -> DecodeTicket:
         """Queue-mode admission (the consolidated ``request_decode_session``)."""
+        require(
+            self.server is not None,
+            "session entry points address one server; a replicas>1 client "
+            "has no single server (use the replica handles on client.router)",
+        )
         return self.server._request_decode_session(
             mask,
             horizon,
@@ -430,6 +540,11 @@ class ServingClient:
 
     def close_session(self, session: DecodeSession) -> List[DecodeTicket]:
         """Finish a session; returns any queued tickets admitted by the space."""
+        require(
+            self.server is not None,
+            "session entry points address one server; a replicas>1 client "
+            "has no single server (use the replica handles on client.router)",
+        )
         return self.server.close_decode_session(session)
 
     # ------------------------------------------------------------------ #
@@ -437,7 +552,10 @@ class ServingClient:
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Release the server's worker pool (the edge task dies with its loop)."""
-        self.server.close()
+        if self._router is not None:
+            self._router.close()
+        else:
+            self.server.close()
 
     def __enter__(self) -> "ServingClient":
         return self

@@ -519,6 +519,7 @@ class LoopStatsSnapshot:
     admission_blocked: int
     finished: int
     cancelled: int
+    withdrawn: int
     slo_attained: int
     slo_missed: int
     prefill_tokens: int
@@ -573,6 +574,9 @@ class LoopStats:
     finished: int = 0
     #: streams abandoned via :meth:`ContinuousBatchingScheduler.cancel`
     cancelled: int = 0
+    #: waiting streams handed back via :meth:`ContinuousBatchingScheduler.withdraw`
+    #: (a placement layer moved them to another replica before they ran)
+    withdrawn: int = 0
     #: finished SLO-carrying streams that beat / missed their deadline
     slo_attained: int = 0
     slo_missed: int = 0
@@ -639,6 +643,7 @@ class LoopStats:
                 admission_blocked=self.admission_blocked,
                 finished=self.finished,
                 cancelled=self.cancelled,
+                withdrawn=self.withdrawn,
                 slo_attained=self.slo_attained,
                 slo_missed=self.slo_missed,
                 prefill_tokens=self.prefill_tokens,
@@ -931,6 +936,79 @@ class ContinuousBatchingScheduler:
                     obs.trace.end_span(stream.span, now, tokens=telemetry.tokens_emitted)
                     stream.span = None
         return True
+
+    # ------------------------------------------------------------------ #
+    # Placement hooks: withdrawal and load inspection for a replica router
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_tokens(self) -> int:
+        """Tokens still to emit across all waiting and running streams.
+
+        The load signal a placement layer balances on: unlike stream counts,
+        it weighs a long prompt heavier than a one-token decode tail.
+        """
+        return sum(
+            stream.request.total_tokens - stream.emitted
+            for stream in self._streams.values()
+            if stream.state != _FINISHED
+        )
+
+    def withdrawable(self) -> List[int]:
+        """Ids of waiting streams :meth:`withdraw` would currently accept."""
+        return [
+            stream.request.request_id
+            for stream in self._waiting
+            if stream.session is None
+            and stream.swap_key is None
+            and not stream.emitted
+            and stream.request.request_id not in self._held
+        ]
+
+    def withdraw(self, request_id: int) -> Optional[LoopRequest]:
+        """Remove a waiting, never-scheduled stream and hand its request back.
+
+        The rebalancing primitive: a placement layer can pull a stream that
+        has not yet touched this replica — still waiting, never activated,
+        nothing emitted, no swap payload, not held — and resubmit it to
+        another scheduler.  The request comes back with ``request_id``
+        cleared so the next ``submit`` assigns a fresh id; this scheduler's
+        telemetry for the withdrawn id is dropped (the stream never ran
+        here).  Returns ``None`` for anything ineligible — unknown ids,
+        running or preempted streams, streams with emitted tokens — so
+        callers racing a natural activation simply leave the stream where
+        it is.
+        """
+        stream = self._streams.get(request_id)
+        if (
+            stream is None
+            or stream.state != _WAITING
+            or stream.session is not None
+            or stream.swap_key is not None
+            or stream.emitted
+            or request_id in self._held
+        ):
+            return None
+        self._waiting.remove(stream)
+        del self._streams[request_id]
+        del self.telemetry[request_id]
+        self._emit_listeners.pop(request_id, None)
+        with self.stats.lock:
+            self.stats.withdrawn += 1
+        obs = self.obs
+        if obs.enabled:
+            now = self.clock.now()
+            obs.queued_streams.set(len(self._waiting))
+            if obs.trace is not None:
+                if stream.queue_span is not None:
+                    obs.trace.end_span(stream.queue_span, now)
+                    stream.queue_span = None
+                obs.trace.event("withdraw", now, span=stream.span, request_id=request_id)
+                if stream.span is not None:
+                    obs.trace.end_span(stream.span, now, tokens=0)
+                    stream.span = None
+        request = stream.request
+        request.request_id = None
+        return request
 
     # ------------------------------------------------------------------ #
     # The iteration

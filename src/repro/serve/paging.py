@@ -106,6 +106,50 @@ def _fingerprint(
     return digest.hexdigest()
 
 
+def prefix_fingerprints(
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+    storage: Optional[str] = None,
+    dtype=np.float32,
+) -> List[str]:
+    """Chained fingerprints of a prompt's *full* KV blocks, without a pool.
+
+    Returns exactly the chain a :class:`PagedKVCache` registers while
+    prefilling these rows on a pool of the same ``block_size`` / ``storage``
+    / compute ``dtype``: the chain advances only on full blocks and a
+    partially filled tail is re-fingerprinted over the complete block's
+    encoded content once it fills, so the result is independent of how the
+    prompt was chunked.  This is the prefix-affinity routing key — a
+    front-end router can compute it before picking a replica and know which
+    replica's pool already holds the deepest matching prefix.
+    """
+    k = np.asarray(k)
+    v = np.asarray(v)
+    require(k.shape[-2] == v.shape[-2], "k and v must cover the same tokens")
+    require(block_size >= 1, "block size must be >= 1")
+    resolved = resolve_storage(storage, resolve_dtype(dtype))
+    full_blocks = k.shape[-2] // block_size
+    if full_blocks == 0:
+        return []
+    covered = full_blocks * block_size
+    payload = encode_chunk(k[..., :covered, :], v[..., :covered, :], resolved)
+    chain = "root"
+    fingerprints: List[str] = []
+    for index in range(full_blocks):
+        block = payload.slice(index * block_size, (index + 1) * block_size)
+        chain = _fingerprint(
+            chain,
+            np.ascontiguousarray(block.k).tobytes(),
+            np.ascontiguousarray(block.v).tobytes(),
+            block_size,
+            block.param_bytes(),
+        )
+        fingerprints.append(chain)
+    return fingerprints
+
+
 @dataclass
 class BlockPoolStats:
     """Counters and gauges of one :class:`BlockPool` (gauges updated under its lock)."""

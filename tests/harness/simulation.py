@@ -21,17 +21,27 @@ satisfy, failing with the replay seed in the message:
   within float tolerance;
 * **clean drain** — pool refcounts zero, pool consistency, empty swap store.
 
+Workloads also sample a **replica count** and **router policy** (the last
+draws of the seed's rng sequence, so pre-router seeds reproduce identical
+workloads): ``replicas > 1`` drives the same arrivals through a
+:class:`~repro.serve.ReplicaRouter` and adds the cross-replica conservation
+invariants — no stream lost or duplicated across replicas, every replica's
+pool and swap store drained, the metrics registry equal to the summed
+per-replica loop counters (moved streams re-count as submissions), and
+route-decision accounting closed (hits + misses = routed = requests).
+
 Seed plumbing: ``REPRO_FUZZ_SEED`` (comma-separated list) pins the base
 seeds everywhere; ``REPRO_SIM_SEED_COUNT`` expands each base seed into a
 contiguous family (``base * 100 + i``), which is how the CI ``sim`` job's
-5-seed matrix becomes the nightly 100-seed sweep.
+5-seed matrix becomes the nightly 100-seed sweep; ``REPRO_SIM_REPLICAS``
+pins the sampled replica count (the CI router job's replica matrix).
 """
 
 from __future__ import annotations
 
 import os
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -47,6 +57,7 @@ from repro.serve import (
     ContinuousBatchingScheduler,
     DecodeSession,
     LoopRequest,
+    ReplicaRouter,
     SwapStore,
     VirtualClock,
     decode_reference_mask,
@@ -75,6 +86,10 @@ STREAM_MASKS = len(MASKS) - 1
 POLICIES = ("fcfs", "priority", "weighted")
 PREEMPTION_MODES = ("auto", "swap", "recompute")
 PRIORITIES = (0.5, 1.0, 2.0, 4.0)
+#: Replica counts a sampled workload can route across (1 = plain loop);
+#: 1 is over-weighted so most seeds still exercise the single-loop driver.
+REPLICA_CHOICES = (1, 1, 2, 4)
+ROUTER_POLICY_CHOICES = ("affinity", "weighted", "round_robin")
 
 
 # --------------------------------------------------------------------------- #
@@ -173,6 +188,11 @@ class SimWorkload:
     #: base seed this workload was sampled from (None for hand-built ones);
     #: failure messages print it for one-variable replay
     seed: Optional[int] = None
+    #: replica count: 1 drives one ContinuousBatchingScheduler, >1 drives a
+    #: ReplicaRouter with this many replicas (each pool sized ``num_blocks``)
+    replicas: int = 1
+    #: placement policy when ``replicas > 1``
+    router_policy: str = "affinity"
 
     @property
     def total_tokens(self) -> int:
@@ -259,8 +279,11 @@ def sample_workload(
     Poisson arrivals (exponential inter-arrival gaps at ``arrival_rate``
     requests per virtual second), ragged prompt/output lengths, random mask,
     priority, speculation depth and tensor profile, policy, preemption mode,
-    and a pool tightness anywhere from storm (``min_feasible``) to
-    comfortable.
+    a pool tightness anywhere from storm (``min_feasible``) to comfortable,
+    and a replica count + router policy (drawn *last*, so seeds sampled
+    before the router existed reproduce identical workloads; the env var
+    ``REPRO_SIM_REPLICAS`` pins the replica count after the draw without
+    perturbing anything else).
     """
     rng = np.random.default_rng(seed)
     count = int(rng.integers(1, max_requests + 1))
@@ -278,7 +301,7 @@ def sample_workload(
         }
         for _ in range(count)
     ]
-    return build_workload(
+    workload = build_workload(
         entries,
         extra_blocks=int(rng.integers(0, 7)),
         block_size=int(rng.integers(2, 7)),
@@ -290,6 +313,14 @@ def sample_workload(
         preemption=PREEMPTION_MODES[int(rng.integers(len(PREEMPTION_MODES)))],
         seed=seed,
     )
+    # Router draws come LAST so every seed sampled before the router existed
+    # keeps its exact workload; the env pin overrides only the replica count.
+    replicas = int(REPLICA_CHOICES[int(rng.integers(len(REPLICA_CHOICES)))])
+    router_policy = ROUTER_POLICY_CHOICES[int(rng.integers(len(ROUTER_POLICY_CHOICES)))]
+    pinned = os.environ.get("REPRO_SIM_REPLICAS")
+    if pinned:
+        replicas = int(pinned)
+    return replace(workload, replicas=replicas, router_policy=router_policy)
 
 
 # --------------------------------------------------------------------------- #
@@ -416,6 +447,54 @@ class SimulationReport:
     requests: Dict[int, SimRequestSpec] = field(default_factory=dict)
     #: the observability recorder the run was driven with (None = disabled)
     obs: Optional[object] = None
+    #: RouterStats when the workload routed across replicas (None = one loop)
+    router_stats: Optional[object] = None
+
+
+def _verify_request_outputs(requests, tensors, results, telemetry, replay) -> int:
+    """Per-request oracle block shared by the one-loop and routed drivers.
+
+    Asserts every request finished with exactly ``total`` rows, bit-equal to
+    a private :class:`DecodeSession` replay and float-close to the one-shot
+    ``engine.run`` oracle; returns the summed emitted-token count.
+    """
+    engine = GraphAttentionEngine()
+    emitted_total = 0
+    for rid, spec in requests.items():
+        q, k, v = tensors[rid]
+        output = results.get(rid)
+        assert output is not None, f"request {rid} never finished{replay}"
+        record = telemetry[rid]
+        # no lost or duplicated tokens: exactly `total` rows, each once
+        assert output.shape[-2] == spec.total, (
+            f"request {rid} emitted {output.shape[-2]} of {spec.total} rows{replay}"
+        )
+        assert record.tokens_emitted == spec.total, (
+            f"request {rid} counted {record.tokens_emitted} tokens{replay}"
+        )
+        emitted_total += record.tokens_emitted
+        # bit-exact vs. the per-request decode oracle, even across
+        # preemption / swap-in / recompute restores / rebalance moves
+        oracle = DecodeSession.start(spec.mask, spec.total, retain_outputs=True)
+        if spec.prompt:
+            oracle.prefill(q[: spec.prompt], k[: spec.prompt], v[: spec.prompt])
+        for i in range(spec.prompt, spec.total):
+            oracle.step(q[i], k[i], v[i])
+        np.testing.assert_array_equal(
+            output,
+            oracle.outputs(),
+            err_msg=f"request {rid} diverged from its decode replay{replay}",
+        )
+        # and equal to the one-shot engine oracle within float tolerance
+        reference = engine.run(q, k, v, decode_reference_mask(spec.mask, spec.total))
+        np.testing.assert_allclose(
+            output,
+            reference.output,
+            atol=1e-6,
+            rtol=1e-6,
+            err_msg=f"request {rid} diverged from engine.run{replay}",
+        )
+    return emitted_total
 
 
 def run_simulation(
@@ -432,7 +511,14 @@ def run_simulation(
     ``obs`` (an :class:`repro.obs.Observability`) threads a recorder through
     the server, pool and loop; when given, the invariant block additionally
     cross-checks the metrics registry against the loop's own counters.
+
+    Workloads with ``replicas > 1`` route the same arrivals through a
+    :class:`ReplicaRouter` instead (see :func:`_run_routed_simulation`).
     """
+    if workload.replicas > 1:
+        return _run_routed_simulation(
+            workload, max_iterations=max_iterations, check=check, obs=obs
+        )
     replay = (
         ""
         if workload.seed is None
@@ -503,42 +589,9 @@ def run_simulation(
         obs=obs,
     )
     if check:
-        engine = GraphAttentionEngine()
-        emitted_total = 0
-        for rid, spec in requests.items():
-            q, k, v = tensors[rid]
-            output = scheduler.results.get(rid)
-            assert output is not None, f"request {rid} never finished{replay}"
-            telemetry = scheduler.telemetry[rid]
-            # no lost or duplicated tokens: exactly `total` rows, each once
-            assert output.shape[-2] == spec.total, (
-                f"request {rid} emitted {output.shape[-2]} of {spec.total} rows{replay}"
-            )
-            assert telemetry.tokens_emitted == spec.total, (
-                f"request {rid} counted {telemetry.tokens_emitted} tokens{replay}"
-            )
-            emitted_total += telemetry.tokens_emitted
-            # bit-exact vs. the per-request decode oracle, even across
-            # preemption / swap-in / recompute restores
-            oracle = DecodeSession.start(spec.mask, spec.total, retain_outputs=True)
-            if spec.prompt:
-                oracle.prefill(q[: spec.prompt], k[: spec.prompt], v[: spec.prompt])
-            for i in range(spec.prompt, spec.total):
-                oracle.step(q[i], k[i], v[i])
-            np.testing.assert_array_equal(
-                output,
-                oracle.outputs(),
-                err_msg=f"request {rid} diverged from its decode replay{replay}",
-            )
-            # and equal to the one-shot engine oracle within float tolerance
-            reference = engine.run(q, k, v, decode_reference_mask(spec.mask, spec.total))
-            np.testing.assert_allclose(
-                output,
-                reference.output,
-                atol=1e-6,
-                rtol=1e-6,
-                err_msg=f"request {rid} diverged from engine.run{replay}",
-            )
+        emitted_total = _verify_request_outputs(
+            requests, tensors, scheduler.results, scheduler.telemetry, replay
+        )
         assert emitted_total == workload.total_tokens, f"token conservation broke{replay}"
         assert scheduler.stats.tokens_total == workload.total_tokens, (
             f"loop counters disagree with the workload token count{replay}"
@@ -597,4 +650,169 @@ def run_simulation(
             ttft = snap.get("serving_ttft_seconds")
             assert ttft is not None and ttft.count == len(requests), replay
     server.close()
+    return report
+
+
+def _run_routed_simulation(
+    workload: SimWorkload,
+    *,
+    max_iterations: int = 20_000,
+    check: bool = True,
+    obs=None,
+) -> SimulationReport:
+    """Route one workload across replicas to drain; verify conservation.
+
+    Same arrivals, same per-request oracles as :func:`run_simulation`, plus
+    the cross-replica invariants: no stream lost or duplicated across
+    replicas, every replica's pool and swap store drained, the summed
+    per-replica counters closing against the workload (moved streams
+    re-count as submissions and withdrawals), and every route decision
+    accounted for (hits + misses = routed = requests; nothing sharded —
+    simulated pools always fit their largest stream).
+    """
+    replay = (
+        ""
+        if workload.seed is None
+        else (
+            f" (replay: REPRO_FUZZ_SEED={workload.seed}"
+            f" REPRO_SIM_REPLICAS={workload.replicas} PYTHONPATH=src"
+            f" python -m pytest tests/test_serve_loop_properties.py -k seed_sweep -q)"
+        )
+    )
+    clock = VirtualClock()
+    router = ReplicaRouter(
+        workload.replicas,
+        key_dim=workload.dim,
+        num_blocks=workload.num_blocks,
+        block_size=workload.block_size,
+        policy=workload.policy,
+        policy_seed=workload.policy_seed,
+        router_policy=workload.router_policy,
+        clock=clock,
+        obs=obs,
+        max_streams=workload.max_streams,
+        prefill_chunk=workload.prefill_chunk,
+        max_iteration_tokens=workload.max_iteration_tokens,
+        preemption=workload.preemption,
+        name="sim-router",
+    )
+
+    pending = deque(sorted(workload.specs, key=lambda s: (s.arrival, s.seed)))
+    requests: Dict[int, SimRequestSpec] = {}
+    tensors: Dict[int, tuple] = {}
+    while pending or router.active:
+        now = clock.now()
+        while pending and pending[0].arrival <= now:
+            spec = pending.popleft()
+            q, k, v = spec.tensors(workload.dim)
+            rid = router.submit(
+                LoopRequest(
+                    q=q,
+                    k=k,
+                    v=v,
+                    mask=spec.mask,
+                    prompt_tokens=spec.prompt,
+                    priority=spec.priority,
+                    speculate_k=spec.speculate,
+                )
+            )
+            requests[rid] = spec
+            tensors[rid] = (q, k, v)
+        if not router.active:
+            clock.advance(pending[0].arrival - now)
+            continue
+        assert router.iterations < max_iterations, (
+            f"routed simulation exceeded {max_iterations} iterations{replay}"
+        )
+        router.step()
+
+    stats = router.loop_stats()
+    report = SimulationReport(
+        workload=workload,
+        outputs=dict(router.results),
+        telemetry=dict(router.telemetry),
+        loop_stats=stats,
+        server_stats=tuple(handle.server.stats for handle in router.replicas),
+        pool_stats=tuple(handle.pool.stats.snapshot() for handle in router.replicas),
+        swap_stats=tuple(handle.swap_store.stats for handle in router.replicas),
+        iterations=router.iterations,
+        requests=requests,
+        obs=obs,
+        router_stats=router.stats,
+    )
+    if check:
+        emitted_total = _verify_request_outputs(
+            requests, tensors, router.results, router.telemetry, replay
+        )
+        assert emitted_total == workload.total_tokens, f"token conservation broke{replay}"
+        assert stats.tokens_total == workload.total_tokens, (
+            f"summed replica counters disagree with the workload token count{replay}"
+        )
+        # no stream lost or duplicated across replicas
+        assert len(router.results) == len(requests), replay
+        assert stats.finished == len(requests), (
+            f"replicas finished {stats.finished} of {len(requests)} streams{replay}"
+        )
+        # every route decision accounted for; nothing ever sharded here
+        rstats = router.stats
+        assert rstats.routed == len(requests), replay
+        assert rstats.route_hits + rstats.route_misses == rstats.routed, (
+            f"route accounting broke{replay}"
+        )
+        assert rstats.sharded_requests == 0, replay
+        # each rebalance move is exactly one withdraw + one resubmit
+        assert stats.withdrawn == rstats.moved_streams, (
+            f"withdrawals disagree with moved streams{replay}"
+        )
+        # speculation accounting holds on the summed counters too
+        assert (
+            stats.speculate_accepted + stats.speculate_rolled_back == stats.speculate_drafted
+        ), f"speculation token accounting broke{replay}"
+        assert stats.speculate_fallbacks <= stats.speculate_passes, replay
+        # clean drain on *every* replica: refcounts zero, nothing swapped
+        for handle in router.replicas:
+            assert handle.pool.blocks_in_use == 0, (
+                f"replica {handle.index} leaked blocks at drain{replay}"
+            )
+            handle.pool.check_consistency()
+            assert len(handle.swap_store) == 0, (
+                f"replica {handle.index} left streams in its swap store{replay}"
+            )
+        if obs is not None and obs.enabled:
+            # the shared registry must equal the summed per-replica counters;
+            # a moved stream re-counts as a submission on its target replica
+            snap = obs.snapshot()
+
+            def metric(name, **labels):
+                sample = snap.get(name, **labels)
+                return 0.0 if sample is None else sample.value
+
+            assert metric("loop_requests_submitted_total") == (
+                len(requests) + rstats.moved_streams
+            ), replay
+            assert metric("loop_requests_finished_total") == len(requests), replay
+            assert metric("loop_iterations_total") == stats.iterations, replay
+            assert metric("loop_prefill_tokens_total") == stats.prefill_tokens, replay
+            assert metric("loop_decode_tokens_total") == stats.decode_tokens, replay
+            assert metric("speculate_drafted_tokens_total") == stats.speculate_drafted, (
+                replay
+            )
+            assert metric("speculate_accepted_tokens_total") == stats.speculate_accepted, (
+                replay
+            )
+            preempted = sum(
+                sample.value for sample in snap.with_name("loop_preemptions_total")
+            )
+            assert preempted == stats.preemptions, replay
+            ttft = snap.get("serving_ttft_seconds")
+            assert ttft is not None and ttft.count == len(requests), replay
+            assert metric("router_routes_total", outcome="hit") == rstats.route_hits, replay
+            assert metric("router_routes_total", outcome="miss") == rstats.route_misses, (
+                replay
+            )
+            assert metric("router_rebalance_passes_total") == rstats.rebalance_passes, (
+                replay
+            )
+            assert metric("router_moved_streams_total") == rstats.moved_streams, replay
+    router.close()
     return report

@@ -51,3 +51,81 @@ class TestEvaluatePartitions:
     def test_invalid_part_count(self):
         with pytest.raises(ValueError):
             evaluate_partitions(LocalMask(window=3), 0, length=32)
+
+
+class TestRouterIntegration:
+    """The router's rebalance record is the partitioner's own output.
+
+    ``ReplicaRouter.rebalance`` spreads withdrawable streams along
+    ``balanced_worker_bins`` over their total-token costs; the
+    ``RebalanceRecord`` it leaves behind must replay exactly against a
+    direct call — the serving layer adds bookkeeping, never a different
+    partition.
+    """
+
+    def _skewed_router(self):
+        import numpy as np
+
+        from repro.masks.structured import CausalMask
+        from repro.serve import LoopRequest, ReplicaRouter
+
+        rng = np.random.default_rng(53)
+        router = ReplicaRouter(
+            4,
+            key_dim=4,
+            num_blocks=16,
+            block_size=4,
+            max_streams=1,
+            rebalance_interval=2,
+        )
+        # identical K/V prefixes + affinity routing pile all 8 streams onto
+        # one replica; max_streams=1 keeps seven of them withdrawable
+        pk = rng.normal(size=(8, 4)).astype("float32")
+        pv = rng.normal(size=(8, 4)).astype("float32")
+        for _ in range(8):
+            total = int(rng.integers(10, 18))
+            tail = total - 8
+            router.submit(
+                LoopRequest(
+                    q=rng.normal(size=(total, 4)).astype("float32"),
+                    k=np.concatenate(
+                        [pk, rng.normal(size=(tail, 4)).astype("float32")]
+                    ),
+                    v=np.concatenate(
+                        [pv, rng.normal(size=(tail, 4)).astype("float32")]
+                    ),
+                    mask=CausalMask(),
+                    prompt_tokens=8,
+                )
+            )
+        return router
+
+    def test_rebalance_record_replays_against_balanced_worker_bins(self):
+        import numpy as np
+
+        from repro.distributed.partition_balance import balanced_worker_bins
+
+        router = self._skewed_router()
+        while router.last_rebalance is None or router.last_rebalance.moved == 0:
+            router.step()
+        record = router.last_rebalance
+        expected = balanced_worker_bins(record.costs, router.num_replicas)
+        assert len(record.bins) == len(expected) == router.num_replicas
+        for got, want in zip(record.bins, expected):
+            np.testing.assert_array_equal(got, want)
+        # the record's load vector covers every replica and the target order
+        # visits each replica at most once
+        assert record.loads.shape == (router.num_replicas,)
+        assert len(set(record.replica_order)) == len(record.replica_order)
+        router.run()
+        router.close()
+
+    def test_empty_costs_yield_empty_bins_for_every_worker(self):
+        import numpy as np
+
+        from repro.distributed.partition_balance import balanced_worker_bins
+
+        bins = balanced_worker_bins(np.array([]), 3)
+        assert len(bins) == 3
+        for indices in bins:
+            assert indices.size == 0

@@ -54,6 +54,22 @@ def test_trace_spans_are_well_formed_and_closed(seed):
     assert obs.trace.open_spans() == [], "spans left open after drain"
     # one root request span per request, each carrying its token count
     roots = [r for r in records if r.get("kind") == "span" and r["name"] == "request"]
+    if report.workload.replicas > 1:
+        # replica loops stamp replica-local request ids (which collide across
+        # replicas), and a rebalance move withdraws + resubmits — the old
+        # root span closes with tokens=0 and a fresh one opens on the target
+        # replica.  Match finished spans to telemetry by their stamps.
+        moved = report.router_stats.moved_streams
+        finished = [r for r in roots if r["attrs"]["tokens"] > 0]
+        assert len(roots) == len(report.telemetry) + moved
+        assert len(finished) == len(report.telemetry)
+        got = sorted((r["attrs"]["tokens"], r["start"], r["end"]) for r in finished)
+        want = sorted(
+            (t.tokens_emitted, t.arrival_time, t.finish_time)
+            for t in report.telemetry.values()
+        )
+        assert got == want
+        return
     assert len(roots) == len(report.telemetry)
     for root in roots:
         telemetry = report.telemetry[root["request"]]

@@ -12,7 +12,13 @@ of randomized serving workloads.  The seed-sweep test honors
 one environment variable:
 
     REPRO_FUZZ_SEED=<seed> pytest tests/test_serve_fuzz.py -k replay
+
+The replica sweep rides the same sampler: one sampled workload is replayed
+at 1, 2 and 4 replicas and every stream's output must be bit-identical
+across the three runs — routing is placement, never computation.
 """
+
+from dataclasses import replace
 
 import numpy as np
 import pytest
@@ -23,10 +29,12 @@ from harness.simulation import (
     DIM,
     MASKS,
     fuzz_seeds,
-    oneshot_spec_strategy,
-    oneshot_tensors,
+    run_simulation,
     sample_oneshot_specs,
     sample_stream_specs,
+    sample_workload,
+    oneshot_spec_strategy,
+    oneshot_tensors,
     stream_spec_strategy,
     stream_tensors,
 )
@@ -129,3 +137,36 @@ def test_seed_replay(seed):
             f"fuzz workload failed; replay with REPRO_FUZZ_SEED={seed} PYTHONPATH=src"
             f" python -m pytest tests/test_serve_fuzz.py -k replay -q"
         ) from error
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds(default_count=4))
+def test_replica_counts_agree_bitwise(seed):
+    """One sampled workload, three replica counts, identical bits throughout.
+
+    The drivers submit arrivals in the same order and assign monotonically
+    increasing ids, so matching submission ranks across runs pairs the same
+    stream with itself; every pair must be ``assert_array_equal``-identical
+    (the run_simulation invariant block already pinned each run to its own
+    DecodeSession replay — this closes the loop *between* replica counts).
+    """
+    workload = sample_workload(seed)
+    reports = [
+        run_simulation(replace(workload, replicas=n, router_policy="affinity"))
+        for n in (1, 2, 4)
+    ]
+    base = reports[0]
+    base_order = sorted(base.requests)
+    for other in reports[1:]:
+        other_order = sorted(other.requests)
+        assert [base.requests[r] for r in base_order] == [
+            other.requests[r] for r in other_order
+        ], f"submission order diverged across replica counts (seed {seed})"
+        for rid_a, rid_b in zip(base_order, other_order):
+            np.testing.assert_array_equal(
+                base.outputs[rid_a],
+                other.outputs[rid_b],
+                err_msg=(
+                    f"stream diverged between replica counts; replay with"
+                    f" REPRO_FUZZ_SEED={seed}"
+                ),
+            )

@@ -27,7 +27,14 @@ import pytest
 from harness.simulation import fuzz_seeds, stream_tensors
 from repro.core.engine import GraphAttentionEngine
 from repro.masks.windowed import LocalMask
-from repro.serve import AttentionServer, BlockPool, PoolExhausted, ServingClient
+from repro.serve import (
+    AttentionServer,
+    BlockPool,
+    LoopRequest,
+    PoolExhausted,
+    ReplicaRouter,
+    ServingClient,
+)
 from repro.serve.decode import DecodeSession, decode_reference_mask, stacked_decode_step
 from repro.utils.rng import derive_seed
 
@@ -181,6 +188,51 @@ def test_failed_step_batch_advances_no_block_table():
     sessions[1].close()
     result = sessions[0].step(q[4], k[4], v[4])
     assert result.meta["position"] == 4
+
+
+def test_threaded_router_under_pressure_matches_serial_router():
+    """Thread-stepped replicas == serially-stepped replicas, bit for bit.
+
+    Twelve streams over four replicas whose 8-block pools hold barely one
+    24-token stream each (6 blocks + slack), so every replica preempts and
+    retries throughout; the thread pool only changes *when* each replica's
+    step runs, never what it computes, so the two runs must be identical.
+    """
+
+    def _run(threaded):
+        router = ReplicaRouter(
+            4,
+            key_dim=DIM,
+            num_blocks=8,
+            block_size=4,
+            max_streams=2,
+            threaded=threaded,
+        )
+        rids = []
+        for stream in range(12):
+            q, k, v = _stream_qkv(900, stream)
+            rids.append(
+                router.submit(
+                    LoopRequest(q=q, k=k, v=v, mask=MASK, prompt_tokens=PROMPT)
+                )
+            )
+        router.run()
+        outputs = [router.results[rid] for rid in rids]
+        preemptions = router.loop_stats().preemptions
+        for handle in router.replicas:
+            assert handle.pool.blocks_in_use == 0
+            handle.pool.check_consistency()
+            assert len(handle.swap_store) == 0
+        router.close()
+        return outputs, preemptions
+
+    serial_outputs, serial_preemptions = _run(threaded=False)
+    threaded_outputs, threaded_preemptions = _run(threaded=True)
+    assert serial_preemptions == threaded_preemptions
+    for got, want in zip(threaded_outputs, serial_outputs):
+        np.testing.assert_array_equal(got, want)
+    # the pressure was real: tight pools forced actual preemption traffic
+    assert serial_preemptions > 0
 
 
 def test_failed_single_step_leaves_session_unchanged():
